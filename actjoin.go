@@ -1,0 +1,332 @@
+// Package actjoin is a main-memory point-polygon join library built on an
+// Adaptive Cell Trie (ACT), reproducing Kipf et al., "Adaptive Main-Memory
+// Indexing for High-Performance Point-Polygon Joins" (EDBT 2020).
+//
+// The library indexes a mostly-static set of largely disjoint polygons
+// (city neighborhoods, tax zones, geofences) and answers "which polygons
+// cover this point" at tens of millions of points per second per core.
+//
+// Two operating modes mirror the paper's two join algorithms:
+//
+//   - With a precision bound (WithPrecision), the index refines polygon
+//     boundaries until every false positive is within the bound, and
+//     queries never perform geometric point-in-polygon (PIP) tests.
+//   - Without one, queries are exact: the index identifies most results via
+//     true-hit filtering and falls back to PIP tests only for points near
+//     polygon boundaries. Train adapts the index to an expected query
+//     distribution to make that fallback rare.
+//
+// Quick start:
+//
+//	idx, err := actjoin.NewIndex(polygons, actjoin.WithPrecision(4))
+//	if err != nil { ... }
+//	ids := idx.CoversApprox(actjoin.Point{Lon: -73.98, Lat: 40.75})
+package actjoin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"actjoin/internal/act"
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/cover"
+	"actjoin/internal/geom"
+	"actjoin/internal/join"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+// Point is a geographic location in degrees.
+type Point struct {
+	Lon, Lat float64
+}
+
+// Ring is a closed polygon ring; the closing vertex must not be repeated.
+type Ring []Point
+
+// Polygon is an area with an exterior ring and optional holes.
+type Polygon struct {
+	Exterior Ring
+	Holes    []Ring
+}
+
+// PolygonID identifies a polygon by its position in the slice passed to
+// NewIndex.
+type PolygonID = uint32
+
+// MaxPolygons is the largest indexable polygon count (30-bit ids, as in the
+// paper's tagged-entry encoding).
+const MaxPolygons = refs.MaxPolygonID + 1
+
+// options collect the build configuration.
+type options struct {
+	precisionMeters float64
+	delta           int
+	coveringCells   int
+	interiorCells   int
+}
+
+// Option configures NewIndex.
+type Option func(*options) error
+
+// WithPrecision enables the approximate mode with the given distance bound
+// in meters: every point reported for a polygon is inside it or within
+// `meters` of it, and approximate queries never run PIP tests. The paper's
+// headline configuration is 4 meters.
+func WithPrecision(meters float64) Option {
+	return func(o *options) error {
+		if meters <= 0 || math.IsNaN(meters) || math.IsInf(meters, 0) {
+			return fmt.Errorf("actjoin: invalid precision %v", meters)
+		}
+		o.precisionMeters = meters
+		return nil
+	}
+}
+
+// WithGranularity sets the trie granularity δ — quadtree levels per radix
+// level. Valid values are 1, 2 and 4 (ACT1/ACT2/ACT4); the default is 4,
+// the paper's fastest configuration.
+func WithGranularity(delta int) Option {
+	return func(o *options) error {
+		if delta != 1 && delta != 2 && delta != 4 {
+			return fmt.Errorf("actjoin: granularity must be 1, 2 or 4, got %d", delta)
+		}
+		o.delta = delta
+		return nil
+	}
+}
+
+// WithCoveringBudget overrides the per-polygon approximation budgets (the
+// paper's defaults are 128 covering cells and 256 interior cells).
+func WithCoveringBudget(coveringCells, interiorCells int) Option {
+	return func(o *options) error {
+		if coveringCells < 4 || interiorCells < 0 {
+			return fmt.Errorf("actjoin: invalid covering budget %d/%d", coveringCells, interiorCells)
+		}
+		o.coveringCells = coveringCells
+		o.interiorCells = interiorCells
+		return nil
+	}
+}
+
+// Index is an immutable point-polygon join index. All query methods are
+// safe for concurrent use; Train is not (train before sharing).
+type Index struct {
+	polys []*geom.Polygon
+	sc    *supercover.SuperCovering
+	tree  *act.Tree
+	table *refs.Table
+	opt   options
+
+	precisionLevel int
+	numCells       int
+}
+
+// NewIndex builds an index over the polygons. Polygon ids are slice
+// positions. The build computes per-polygon coverings, merges them into the
+// super covering and freezes the Adaptive Cell Trie.
+func NewIndex(polygons []Polygon, opts ...Option) (*Index, error) {
+	o := options{delta: act.Delta4, coveringCells: 128, interiorCells: 256}
+	for _, fn := range opts {
+		if err := fn(&o); err != nil {
+			return nil, err
+		}
+	}
+	if len(polygons) == 0 {
+		return nil, errors.New("actjoin: no polygons")
+	}
+	if len(polygons) > MaxPolygons {
+		return nil, fmt.Errorf("actjoin: %d polygons exceed the %d limit", len(polygons), MaxPolygons)
+	}
+
+	internal := make([]*geom.Polygon, len(polygons))
+	var bound geom.Rect = geom.EmptyRect()
+	for i, p := range polygons {
+		gp, err := toGeom(p)
+		if err != nil {
+			return nil, fmt.Errorf("actjoin: polygon %d: %w", i, err)
+		}
+		internal[i] = gp
+		bound = bound.Union(gp.Bound())
+	}
+
+	sc := supercover.Build(internal, supercover.Options{
+		Covering: cover.Options{MaxCells: o.coveringCells},
+		Interior: cover.Options{MaxCells: o.interiorCells, MaxLevel: 20},
+	})
+
+	ix := &Index{polys: internal, sc: sc, opt: o}
+	if o.precisionMeters > 0 {
+		ix.precisionLevel = cellid.LevelForMaxDiagonalMeters(o.precisionMeters, bound.Center().Y)
+		sc.RefineToPrecision(internal, ix.precisionLevel)
+	}
+	ix.freeze()
+	return ix, nil
+}
+
+func toGeom(p Polygon) (*geom.Polygon, error) {
+	rings := make([]geom.Ring, 0, 1+len(p.Holes))
+	conv := func(r Ring) (geom.Ring, error) {
+		out := make(geom.Ring, len(r))
+		for i, v := range r {
+			if math.IsNaN(v.Lon) || math.IsNaN(v.Lat) ||
+				v.Lon < -180 || v.Lon > 180 || v.Lat < -90 || v.Lat > 90 {
+				return nil, fmt.Errorf("vertex %d out of range: (%v, %v)", i, v.Lon, v.Lat)
+			}
+			out[i] = geom.Point{X: v.Lon, Y: v.Lat}
+		}
+		return out, nil
+	}
+	ext, err := conv(p.Exterior)
+	if err != nil {
+		return nil, err
+	}
+	rings = append(rings, ext)
+	for _, h := range p.Holes {
+		hr, err := conv(h)
+		if err != nil {
+			return nil, err
+		}
+		rings = append(rings, hr)
+	}
+	return geom.NewPolygon(rings...)
+}
+
+// freeze rebuilds the ACT and lookup table from the current super covering.
+func (ix *Index) freeze() {
+	kvs, table := cellindex.Encode(ix.sc.Cells())
+	ix.tree = act.Build(kvs, ix.opt.delta)
+	ix.table = table
+	ix.numCells = len(kvs)
+}
+
+// Precision returns the configured precision bound in meters, or 0 when the
+// index is exact-only.
+func (ix *Index) Precision() float64 { return ix.opt.precisionMeters }
+
+// Covers returns the ids of all polygons covering p, exactly: candidate
+// cells are refined with PIP tests (the paper's accurate join).
+func (ix *Index) Covers(p Point) []PolygonID {
+	return ix.query(p, true)
+}
+
+// CoversApprox returns polygon ids without any PIP test. With a precision
+// bound of d meters, every reported polygon is within d of p; without one,
+// results may include polygons whose boundary cells contain p.
+func (ix *Index) CoversApprox(p Point) []PolygonID {
+	return ix.query(p, false)
+}
+
+func (ix *Index) query(p Point, exact bool) []PolygonID {
+	gp := geom.Point{X: p.Lon, Y: p.Lat}
+	entry := ix.tree.Find(cellid.FromPoint(gp))
+	if entry.IsFalseHit() {
+		return nil
+	}
+	var out []PolygonID
+	ix.table.Visit(entry, func(r refs.Ref) {
+		if r.Interior() || !exact {
+			out = append(out, r.PolygonID())
+			return
+		}
+		if ix.polys[r.PolygonID()].ContainsPoint(gp) {
+			out = append(out, r.PolygonID())
+		}
+	})
+	return out
+}
+
+// TrainStats reports the outcome of Train.
+type TrainStats struct {
+	PointsSeen    int
+	CellsSplit    int
+	BudgetReached bool
+	NumCells      int // cells after training
+}
+
+// Train adapts the index to an expected point distribution (the paper's
+// Section 3.3.1): every training point hitting a cell that would require a
+// PIP test splits that cell one level, until maxCells (0 = unlimited) is
+// reached. The trie is rebuilt afterwards. Training mutates the index; do
+// not run queries concurrently with it.
+func (ix *Index) Train(points []Point, maxCells int) TrainStats {
+	cells := make([]cellid.CellID, len(points))
+	for i, p := range points {
+		cells[i] = cellid.FromPoint(geom.Point{X: p.Lon, Y: p.Lat})
+	}
+	res := ix.sc.Train(ix.polys, cells, maxCells)
+	ix.freeze()
+	return TrainStats{
+		PointsSeen:    res.PointsSeen,
+		CellsSplit:    res.Splits,
+		BudgetReached: res.BudgetReached,
+		NumCells:      ix.numCells,
+	}
+}
+
+// JoinResult summarizes a bulk join.
+type JoinResult struct {
+	// Counts[pid] is the number of points covered by polygon pid.
+	Counts []int64
+	// PIPTests is the number of geometric refinements performed (0 in
+	// approximate mode).
+	PIPTests int64
+	// STHPercent is the share of points answered without any candidate hit
+	// (the paper's "solely true hits" metric).
+	STHPercent float64
+	// Duration is the probe-phase wall time.
+	Duration time.Duration
+	// ThroughputMpts is points per second in millions.
+	ThroughputMpts float64
+}
+
+// Join counts points per polygon — the paper's evaluation workload. exact
+// selects the accurate join; threads > 1 parallelizes the probe phase with
+// the paper's batched atomic cursor.
+func (ix *Index) Join(points []Point, exact bool, threads int) JoinResult {
+	pts := make([]geom.Point, len(points))
+	cells := make([]cellid.CellID, len(points))
+	for i, p := range points {
+		pts[i] = geom.Point{X: p.Lon, Y: p.Lat}
+		cells[i] = cellid.FromPoint(pts[i])
+	}
+	mode := join.Approximate
+	if exact {
+		mode = join.Exact
+	}
+	res := join.Run(ix.tree, ix.table, pts, cells, ix.polys, join.Options{Mode: mode, Threads: threads})
+	return JoinResult{
+		Counts:         res.Counts,
+		PIPTests:       res.PIPTests,
+		STHPercent:     res.STHPercent(),
+		Duration:       res.Duration,
+		ThroughputMpts: res.ThroughputMpts(),
+	}
+}
+
+// Stats describes the built index.
+type Stats struct {
+	NumPolygons    int
+	NumCells       int // super covering cells
+	NumTrieNodes   int
+	TrieSizeBytes  int // node arena
+	TableSizeBytes int // shared lookup table
+	Granularity    int // quadtree levels per radix level (δ)
+	PrecisionLevel int // refinement level, 0 when exact-only
+}
+
+// Stats returns structural statistics of the index.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		NumPolygons:    len(ix.polys),
+		NumCells:       ix.numCells,
+		NumTrieNodes:   ix.tree.NumNodes(),
+		TrieSizeBytes:  ix.tree.SizeBytes(),
+		TableSizeBytes: ix.table.SizeBytes(),
+		Granularity:    ix.opt.delta,
+		PrecisionLevel: ix.precisionLevel,
+	}
+}

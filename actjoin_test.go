@@ -1,0 +1,237 @@
+package actjoin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// square returns a simple square polygon.
+func square(lon, lat, size float64) Polygon {
+	return Polygon{Exterior: Ring{
+		{lon, lat}, {lon + size, lat}, {lon + size, lat + size}, {lon, lat + size},
+	}}
+}
+
+func testPolygons() []Polygon {
+	return []Polygon{
+		square(-74.00, 40.70, 0.03),
+		square(-73.97, 40.70, 0.03),
+		{
+			Exterior: Ring{{-73.99, 40.74}, {-73.94, 40.74}, {-73.94, 40.79}, {-73.99, 40.79}},
+			Holes:    []Ring{{{-73.97, 40.76}, {-73.96, 40.76}, {-73.96, 40.77}, {-73.97, 40.77}}},
+		},
+	}
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	if _, err := NewIndex(nil); err == nil {
+		t.Error("empty polygon set must fail")
+	}
+	if _, err := NewIndex([]Polygon{{Exterior: Ring{{0, 0}, {1, 1}}}}); err == nil {
+		t.Error("2-vertex ring must fail")
+	}
+	if _, err := NewIndex([]Polygon{square(0, 0, 1)}, WithPrecision(-3)); err == nil {
+		t.Error("negative precision must fail")
+	}
+	if _, err := NewIndex([]Polygon{square(0, 0, 1)}, WithGranularity(3)); err == nil {
+		t.Error("granularity 3 must fail")
+	}
+	if _, err := NewIndex([]Polygon{square(500, 0, 1)}); err == nil {
+		t.Error("out-of-range longitude must fail")
+	}
+	if _, err := NewIndex([]Polygon{square(0, 0, 1)}, WithCoveringBudget(1, 0)); err == nil {
+		t.Error("absurd covering budget must fail")
+	}
+}
+
+func TestCoversExact(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    Point
+		want []PolygonID
+	}{
+		{Point{-73.985, 40.715}, []PolygonID{0}},
+		{Point{-73.955, 40.715}, []PolygonID{1}},
+		{Point{-73.96, 40.75}, []PolygonID{2}},
+		{Point{-73.965, 40.765}, nil}, // in the hole
+		{Point{-73.90, 40.60}, nil},   // outside everything
+	}
+	for _, c := range cases {
+		got := idx.Covers(c.p)
+		if len(got) != len(c.want) {
+			t.Errorf("Covers(%v) = %v, want %v", c.p, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Covers(%v) = %v, want %v", c.p, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPrecisionBoundMode(t *testing.T) {
+	idx, err := NewIndex(testPolygons(), WithPrecision(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Precision() != 15 {
+		t.Errorf("Precision = %v", idx.Precision())
+	}
+	st := idx.Stats()
+	if st.PrecisionLevel == 0 {
+		t.Error("precision level must be set")
+	}
+	// Approximate queries must agree with exact ones for points well inside
+	// or well outside (here: > 15m from any boundary).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		p := Point{-74.01 + rng.Float64()*0.09, 40.69 + rng.Float64()*0.11}
+		exact := idx.Covers(p)
+		approx := idx.CoversApprox(p)
+		// approx is a superset of exact.
+		seen := map[PolygonID]bool{}
+		for _, id := range approx {
+			seen[id] = true
+		}
+		for _, id := range exact {
+			if !seen[id] {
+				t.Fatalf("approx missed exact result %d at %v", id, p)
+			}
+		}
+	}
+}
+
+func TestGranularities(t *testing.T) {
+	for _, delta := range []int{1, 2, 4} {
+		idx, err := NewIndex(testPolygons(), WithGranularity(delta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := idx.Stats().Granularity; got != delta {
+			t.Errorf("Granularity = %d, want %d", got, delta)
+		}
+		if got := idx.Covers(Point{-73.985, 40.715}); len(got) != 1 || got[0] != 0 {
+			t.Errorf("delta %d: Covers = %v", delta, got)
+		}
+	}
+}
+
+func TestJoinCounts(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var pts []Point
+	for i := 0; i < 20000; i++ {
+		pts = append(pts, Point{-74.01 + rng.Float64()*0.09, 40.69 + rng.Float64()*0.11})
+	}
+	exact := idx.Join(pts, true, 1)
+	multi := idx.Join(pts, true, 4)
+	for i := range exact.Counts {
+		if exact.Counts[i] != multi.Counts[i] {
+			t.Errorf("thread mismatch for polygon %d", i)
+		}
+	}
+	// Oracle.
+	want := make([]int64, 3)
+	for _, p := range pts {
+		for _, id := range idx.Covers(p) {
+			want[id]++
+		}
+	}
+	for i := range want {
+		if exact.Counts[i] != want[i] {
+			t.Errorf("polygon %d: join count %d, oracle %d", i, exact.Counts[i], want[i])
+		}
+	}
+	if exact.ThroughputMpts <= 0 || exact.Duration <= 0 {
+		t.Error("metrics must be populated")
+	}
+}
+
+func TestTrainReducesPIPTests(t *testing.T) {
+	polys := testPolygons()
+	mk := func() *Index {
+		idx, err := NewIndex(polys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	rng := rand.New(rand.NewSource(3))
+	var train, probe []Point
+	for i := 0; i < 4000; i++ {
+		// Concentrate near the shared boundary of polygons 0 and 1.
+		train = append(train, Point{-73.97 + (rng.Float64()-0.5)*0.002, 40.70 + rng.Float64()*0.03})
+		probe = append(probe, Point{-73.97 + (rng.Float64()-0.5)*0.002, 40.70 + rng.Float64()*0.03})
+	}
+	plain := mk()
+	before := plain.Join(probe, true, 1)
+
+	trained := mk()
+	st := trained.Train(train, 0)
+	if st.CellsSplit == 0 {
+		t.Fatal("training must split boundary cells")
+	}
+	after := trained.Join(probe, true, 1)
+	if after.PIPTests >= before.PIPTests {
+		t.Errorf("training must reduce PIP tests: %d -> %d", before.PIPTests, after.PIPTests)
+	}
+	// Results stay exact.
+	for i := range before.Counts {
+		if before.Counts[i] != after.Counts[i] {
+			t.Errorf("training changed result for polygon %d", i)
+		}
+	}
+}
+
+func TestTrainBudget(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := idx.Stats().NumCells + 8
+	rng := rand.New(rand.NewSource(4))
+	var train []Point
+	for i := 0; i < 5000; i++ {
+		train = append(train, Point{-73.97 + (rng.Float64()-0.5)*0.001, 40.70 + rng.Float64()*0.03})
+	}
+	st := idx.Train(train, budget)
+	if !st.BudgetReached {
+		t.Error("budget must be reached")
+	}
+	if st.NumCells > budget+3 {
+		t.Errorf("cells %d exceed budget %d", st.NumCells, budget)
+	}
+}
+
+func TestStats(t *testing.T) {
+	idx, err := NewIndex(testPolygons(), WithPrecision(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	if st.NumPolygons != 3 || st.NumCells == 0 || st.NumTrieNodes == 0 || st.TrieSizeBytes == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+func TestCoveringBudgetOption(t *testing.T) {
+	small, err := NewIndex(testPolygons(), WithCoveringBudget(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := NewIndex(testPolygons(), WithCoveringBudget(256, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats().NumCells >= large.Stats().NumCells {
+		t.Errorf("larger budget must yield more cells: %d vs %d",
+			small.Stats().NumCells, large.Stats().NumCells)
+	}
+}

@@ -1,0 +1,224 @@
+// Command actquery joins a CSV stream of points against a GeoJSON polygon
+// file using the actjoin index — the operational shape of the paper's
+// motivating workload (taxi pick-up CSVs vs neighborhood polygons).
+//
+// Usage:
+//
+//	actquery -polygons zones.geojson -points pickups.csv -lon 0 -lat 1
+//	actquery -polygons zones.geojson -points - < pickups.csv
+//	actquery -polygons zones.geojson -point -73.98,40.75
+//	actquery -polygons zones.geojson -points pickups.csv -precision 4 -save idx.act
+//	actquery -load idx.act -point -73.98,40.75
+//
+// With -points it prints per-polygon counts (name, count); with -point it
+// prints the covering polygons of one location.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"actjoin"
+)
+
+func main() {
+	var (
+		polyFile  = flag.String("polygons", "", "GeoJSON file with the polygon regions")
+		loadFile  = flag.String("load", "", "load a serialized index instead of building one")
+		saveFile  = flag.String("save", "", "save the built index to this file")
+		pointFile = flag.String("points", "", "CSV file with points ('-' for stdin)")
+		onePoint  = flag.String("point", "", "single 'lon,lat' query instead of a CSV join")
+		lonCol    = flag.Int("lon", 0, "CSV column of the longitude")
+		latCol    = flag.Int("lat", 1, "CSV column of the latitude")
+		header    = flag.Bool("header", false, "skip the first CSV row")
+		precision = flag.Float64("precision", 0, "precision bound in meters (0 = exact index)")
+		exact     = flag.Bool("exact", false, "force exact results even with a precision bound")
+		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "probe threads")
+	)
+	flag.Parse()
+
+	idx, names, err := buildOrLoad(*polyFile, *loadFile, *precision)
+	if err != nil {
+		fail(err)
+	}
+	if *saveFile != "" {
+		if err := save(idx, *saveFile); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "index saved to %s\n", *saveFile)
+	}
+
+	switch {
+	case *onePoint != "":
+		p, err := parsePoint(*onePoint)
+		if err != nil {
+			fail(err)
+		}
+		var ids []actjoin.PolygonID
+		if *exact || *precision == 0 {
+			ids = idx.Covers(p)
+		} else {
+			ids = idx.CoversApprox(p)
+		}
+		if len(ids) == 0 {
+			fmt.Println("no polygon covers this point")
+			return
+		}
+		for _, id := range ids {
+			fmt.Printf("%d\t%s\n", id, name(names, id))
+		}
+	case *pointFile != "":
+		pts, skipped, err := readPoints(*pointFile, *lonCol, *latCol, *header)
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		res := idx.Join(pts, *exact || *precision == 0, *threads)
+		fmt.Fprintf(os.Stderr, "joined %d points in %v (%.1f M points/s, %d PIP tests, %d rows skipped)\n",
+			len(pts), time.Since(start).Round(time.Millisecond), res.ThroughputMpts, res.PIPTests, skipped)
+		for id, c := range res.Counts {
+			if c > 0 {
+				fmt.Printf("%s\t%d\n", name(names, actjoin.PolygonID(id)), c)
+			}
+		}
+	default:
+		fail(fmt.Errorf("need -points or -point; run with -h for usage"))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "actquery: %v\n", err)
+	os.Exit(1)
+}
+
+func name(names []string, id actjoin.PolygonID) string {
+	if int(id) < len(names) {
+		return names[id]
+	}
+	return fmt.Sprintf("polygon-%d", id)
+}
+
+func buildOrLoad(polyFile, loadFile string, precision float64) (*actjoin.Index, []string, error) {
+	switch {
+	case loadFile != "":
+		f, err := os.Open(loadFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		idx, err := actjoin.ReadIndexFrom(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		return idx, nil, nil
+	case polyFile != "":
+		data, err := os.ReadFile(polyFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		polys, names, err := actjoin.PolygonsFromGeoJSON(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		var opts []actjoin.Option
+		if precision > 0 {
+			opts = append(opts, actjoin.WithPrecision(precision))
+		}
+		start := time.Now()
+		idx, err := actjoin.NewIndex(polys, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := idx.Stats()
+		fmt.Fprintf(os.Stderr, "indexed %d polygons: %d cells, %.1f MiB, built in %v\n",
+			st.NumPolygons, st.NumCells,
+			float64(st.TrieSizeBytes+st.TableSizeBytes)/(1<<20),
+			time.Since(start).Round(time.Millisecond))
+		return idx, names, nil
+	default:
+		return nil, nil, fmt.Errorf("need -polygons or -load")
+	}
+}
+
+func save(idx *actjoin.Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parsePoint(s string) (actjoin.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return actjoin.Point{}, fmt.Errorf("bad point %q, want lon,lat", s)
+	}
+	lon, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	lat, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err1 != nil || err2 != nil {
+		return actjoin.Point{}, fmt.Errorf("bad point %q", s)
+	}
+	return actjoin.Point{Lon: lon, Lat: lat}, nil
+}
+
+// readPoints parses the CSV, tolerating malformed rows (real-world taxi
+// CSVs are full of them); it returns how many were skipped.
+func readPoints(path string, lonCol, latCol int, skipHeader bool) ([]actjoin.Point, int, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		r = f
+	}
+	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
+	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
+
+	var pts []actjoin.Point
+	skipped := 0
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			skipped++
+			continue
+		}
+		if first && skipHeader {
+			first = false
+			continue
+		}
+		first = false
+		if lonCol >= len(rec) || latCol >= len(rec) {
+			skipped++
+			continue
+		}
+		lon, err1 := strconv.ParseFloat(strings.TrimSpace(rec[lonCol]), 64)
+		lat, err2 := strconv.ParseFloat(strings.TrimSpace(rec[latCol]), 64)
+		if err1 != nil || err2 != nil || lon < -180 || lon > 180 || lat < -90 || lat > 90 {
+			skipped++
+			continue
+		}
+		pts = append(pts, actjoin.Point{Lon: lon, Lat: lat})
+	}
+	return pts, skipped, nil
+}

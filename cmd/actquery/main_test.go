@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParsePoint(t *testing.T) {
+	p, err := parsePoint("-73.98, 40.75")
+	if err != nil || p.Lon != -73.98 || p.Lat != 40.75 {
+		t.Errorf("parsePoint = %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "1", "a,b", "1,2,3"} {
+		if _, err := parsePoint(bad); err == nil {
+			t.Errorf("parsePoint(%q) must fail", bad)
+		}
+	}
+}
+
+func TestReadPoints(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	csvData := "lon,lat,label\n" +
+		"-73.98,40.75,a\n" +
+		"garbage,row,b\n" +
+		"-73.95,40.70,c\n" +
+		"200,40.70,out-of-range\n" +
+		"-73.90\n" // too few columns
+	if err := os.WriteFile(path, []byte(csvData), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	pts, skipped, err := readPoints(path, 0, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Errorf("parsed %d points, want 2", len(pts))
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+	if pts[0].Lon != -73.98 || pts[1].Lat != 40.70 {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestReadPointsMissingFile(t *testing.T) {
+	if _, _, err := readPoints("/nonexistent/file.csv", 0, 1, false); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestBuildOrLoadValidation(t *testing.T) {
+	if _, _, err := buildOrLoad("", "", 0); err == nil {
+		t.Error("no inputs must fail")
+	}
+	if _, _, err := buildOrLoad("/nonexistent.geojson", "", 0); err == nil {
+		t.Error("missing polygon file must fail")
+	}
+	if _, _, err := buildOrLoad("", "/nonexistent.act", 0); err == nil {
+		t.Error("missing index file must fail")
+	}
+}

@@ -1,0 +1,102 @@
+// NYC taxi scenario (the paper's motivating workload): map clustered
+// pick-up locations to neighborhood polygons, comparing the approximate
+// join under a 4m precision bound with the exact join.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+
+	"actjoin"
+	"actjoin/internal/dataset"
+	"actjoin/internal/geom"
+)
+
+// toPublic converts generated geometry to the public API types.
+func toPublic(polys []*geom.Polygon) []actjoin.Polygon {
+	out := make([]actjoin.Polygon, len(polys))
+	for i, p := range polys {
+		var pub actjoin.Polygon
+		for ri, ring := range p.Rings {
+			r := make(actjoin.Ring, len(ring))
+			for j, v := range ring {
+				r[j] = actjoin.Point{Lon: v.X, Lat: v.Y}
+			}
+			if ri == 0 {
+				pub.Exterior = r
+			} else {
+				pub.Holes = append(pub.Holes, r)
+			}
+		}
+		out[i] = pub
+	}
+	return out
+}
+
+func main() {
+	numPoints := flag.Int("points", 2_000_000, "taxi pick-ups to join")
+	flag.Parse()
+
+	spec := dataset.NYCNeighborhoods(dataset.ScaleSmall)
+	polys := spec.Generate()
+	fmt.Printf("generated %d neighborhood polygons (avg %.1f vertices)\n",
+		len(polys), dataset.AvgVertices(polys))
+
+	raw := dataset.TaxiPoints(spec.Bound, *numPoints, 2016)
+	pts := make([]actjoin.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = actjoin.Point{Lon: p.X, Lat: p.Y}
+	}
+
+	// Approximate index with the paper's 4m headline precision.
+	approxIdx, err := actjoin.NewIndex(toPublic(polys), actjoin.WithPrecision(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := approxIdx.Stats()
+	fmt.Printf("4m index: %d cells, %.1f MiB\n",
+		st.NumCells, float64(st.TrieSizeBytes+st.TableSizeBytes)/(1<<20))
+
+	threads := runtime.GOMAXPROCS(0)
+	approx := approxIdx.Join(pts, false, threads)
+	fmt.Printf("approximate join (<4m): %.1f M points/s on %d threads, 0 PIP tests\n",
+		approx.ThroughputMpts, threads)
+
+	// Exact join on a coarse (accurate-mode) index.
+	exactIdx, err := actjoin.NewIndex(toPublic(polys))
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := exactIdx.Join(pts, true, threads)
+	fmt.Printf("exact join: %.1f M points/s, %d PIP tests, STH %.1f%%\n",
+		exact.ThroughputMpts, exact.PIPTests, exact.STHPercent)
+
+	// The approximate counts must dominate the exact counts, and both
+	// should agree closely (false positives sit within 4m of borders).
+	var totalExact, totalApprox int64
+	for i := range exact.Counts {
+		totalExact += exact.Counts[i]
+		totalApprox += approx.Counts[i]
+	}
+	fmt.Printf("matched pairs: exact %d, approximate %d (+%.3f%%)\n",
+		totalExact, totalApprox,
+		100*float64(totalApprox-totalExact)/float64(totalExact))
+
+	// Busiest zones.
+	type zone struct {
+		id    int
+		count int64
+	}
+	zones := make([]zone, len(exact.Counts))
+	for i, c := range exact.Counts {
+		zones[i] = zone{i, c}
+	}
+	sort.Slice(zones, func(i, j int) bool { return zones[i].count > zones[j].count })
+	fmt.Println("top 5 pick-up zones:")
+	for _, z := range zones[:5] {
+		fmt.Printf("  zone %3d: %d pick-ups\n", z.id, z.count)
+	}
+}

@@ -1,0 +1,79 @@
+// Precision/memory trade-off explorer: sweep the precision bound and report
+// index size, build-side cell counts and the observed false-positive rate
+// of the approximate join — the trade-off at the heart of the paper
+// ("trade memory consumption with precision").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"actjoin"
+	"actjoin/internal/dataset"
+	"actjoin/internal/geom"
+)
+
+func toPublic(polys []*geom.Polygon) []actjoin.Polygon {
+	out := make([]actjoin.Polygon, len(polys))
+	for i, p := range polys {
+		var pub actjoin.Polygon
+		for ri, ring := range p.Rings {
+			r := make(actjoin.Ring, len(ring))
+			for j, v := range ring {
+				r[j] = actjoin.Point{Lon: v.X, Lat: v.Y}
+			}
+			if ri == 0 {
+				pub.Exterior = r
+			} else {
+				pub.Holes = append(pub.Holes, r)
+			}
+		}
+		out[i] = pub
+	}
+	return out
+}
+
+func main() {
+	spec := dataset.NYCNeighborhoods(dataset.ScaleSmall)
+	rawPolys := spec.Generate()
+	polys := toPublic(rawPolys)
+	rawPts := dataset.TaxiPoints(spec.Bound, 500_000, 99)
+	pts := make([]actjoin.Point, len(rawPts))
+	for i, p := range rawPts {
+		pts[i] = actjoin.Point{Lon: p.X, Lat: p.Y}
+	}
+
+	// Exact oracle for the false-positive rate.
+	exactIdx, err := actjoin.NewIndex(polys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := exactIdx.Join(pts, true, 0)
+	var exactPairs int64
+	for _, c := range exact.Counts {
+		exactPairs += c
+	}
+
+	fmt.Printf("%-9s %10s %12s %12s %14s %12s\n",
+		"precision", "cells", "index MiB", "M pts/s", "extra pairs", "FP rate")
+	for _, prec := range []float64{120, 60, 30, 15, 8, 4} {
+		idx, err := actjoin.NewIndex(polys, actjoin.WithPrecision(prec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := idx.Stats()
+		res := idx.Join(pts, false, 0)
+		var pairs int64
+		for _, c := range res.Counts {
+			pairs += c
+		}
+		extra := pairs - exactPairs
+		fmt.Printf("%7.0fm %10d %12.2f %12.1f %14d %11.4f%%\n",
+			prec, st.NumCells,
+			float64(st.TrieSizeBytes+st.TableSizeBytes)/(1<<20),
+			res.ThroughputMpts, extra,
+			100*float64(extra)/float64(exactPairs))
+	}
+	fmt.Println("\ntighter precision costs memory (more boundary cells) but buys a")
+	fmt.Println("lower false-positive rate; throughput barely moves (ACT4's flatness).")
+}

@@ -1,0 +1,212 @@
+package actjoin
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// GeoJSON support: the polygon datasets this index targets (city
+// neighborhoods, zones, districts) are almost universally distributed as
+// GeoJSON FeatureCollections, so the library reads them directly.
+// MultiPolygon features are flattened into one Polygon per outer ring; the
+// returned names slice records each polygon's feature name (or id), aligned
+// with the polygon ids the index will assign.
+
+type geoJSONGeometry struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+type geoJSONFeature struct {
+	Type       string                 `json:"type"`
+	Geometry   *geoJSONGeometry       `json:"geometry"`
+	Properties map[string]interface{} `json:"properties"`
+	ID         interface{}            `json:"id"`
+}
+
+type geoJSONRoot struct {
+	Type        string           `json:"type"`
+	Features    []geoJSONFeature `json:"features"`
+	Geometry    *geoJSONGeometry `json:"geometry"`    // bare Feature
+	Coordinates json.RawMessage  `json:"coordinates"` // bare geometry
+}
+
+// PolygonsFromGeoJSON parses a GeoJSON document — a FeatureCollection, a
+// single Feature, or a bare Polygon/MultiPolygon geometry — into polygons
+// ready for NewIndex, plus a parallel slice of display names (feature
+// property "name" or "NAME", else the feature id, else "polygon-<n>").
+func PolygonsFromGeoJSON(data []byte) ([]Polygon, []string, error) {
+	var root geoJSONRoot
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, nil, fmt.Errorf("actjoin: invalid GeoJSON: %w", err)
+	}
+
+	var polys []Polygon
+	var names []string
+	add := func(g *geoJSONGeometry, name string) error {
+		ps, err := polygonsFromGeometry(g)
+		if err != nil {
+			return err
+		}
+		for _, p := range ps {
+			polys = append(polys, p)
+			names = append(names, name)
+		}
+		return nil
+	}
+
+	switch root.Type {
+	case "FeatureCollection":
+		for i, f := range root.Features {
+			if f.Geometry == nil {
+				continue
+			}
+			if err := add(f.Geometry, featureName(f, len(polys))); err != nil {
+				return nil, nil, fmt.Errorf("actjoin: feature %d: %w", i, err)
+			}
+		}
+	case "Feature":
+		if root.Geometry == nil {
+			return nil, nil, fmt.Errorf("actjoin: feature without geometry")
+		}
+		if err := add(root.Geometry, "polygon-0"); err != nil {
+			return nil, nil, err
+		}
+	case "Polygon", "MultiPolygon":
+		g := &geoJSONGeometry{Type: root.Type, Coordinates: root.Coordinates}
+		if err := add(g, "polygon-0"); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, fmt.Errorf("actjoin: unsupported GeoJSON type %q", root.Type)
+	}
+	if len(polys) == 0 {
+		return nil, nil, fmt.Errorf("actjoin: no polygons in GeoJSON document")
+	}
+	return polys, names, nil
+}
+
+func featureName(f geoJSONFeature, fallback int) string {
+	for _, key := range []string{"name", "NAME", "Name", "neighborhood", "zone"} {
+		if v, ok := f.Properties[key]; ok {
+			if s, ok := v.(string); ok && s != "" {
+				return s
+			}
+		}
+	}
+	if f.ID != nil {
+		return fmt.Sprint(f.ID)
+	}
+	return fmt.Sprintf("polygon-%d", fallback)
+}
+
+func polygonsFromGeometry(g *geoJSONGeometry) ([]Polygon, error) {
+	switch g.Type {
+	case "Polygon":
+		var rings [][][]float64
+		if err := json.Unmarshal(g.Coordinates, &rings); err != nil {
+			return nil, fmt.Errorf("polygon coordinates: %w", err)
+		}
+		p, err := polygonFromRings(rings)
+		if err != nil {
+			return nil, err
+		}
+		return []Polygon{p}, nil
+	case "MultiPolygon":
+		var multi [][][][]float64
+		if err := json.Unmarshal(g.Coordinates, &multi); err != nil {
+			return nil, fmt.Errorf("multipolygon coordinates: %w", err)
+		}
+		out := make([]Polygon, 0, len(multi))
+		for i, rings := range multi {
+			p, err := polygonFromRings(rings)
+			if err != nil {
+				return nil, fmt.Errorf("member %d: %w", i, err)
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unsupported geometry type %q", g.Type)
+	}
+}
+
+func polygonFromRings(rings [][][]float64) (Polygon, error) {
+	if len(rings) == 0 {
+		return Polygon{}, fmt.Errorf("polygon with no rings")
+	}
+	var p Polygon
+	for ri, ring := range rings {
+		r, err := ringFromCoords(ring)
+		if err != nil {
+			return Polygon{}, fmt.Errorf("ring %d: %w", ri, err)
+		}
+		if ri == 0 {
+			p.Exterior = r
+		} else {
+			p.Holes = append(p.Holes, r)
+		}
+	}
+	return p, nil
+}
+
+func ringFromCoords(coords [][]float64) (Ring, error) {
+	if len(coords) < 4 {
+		// GeoJSON rings repeat the first vertex, so 4 positions = triangle.
+		return nil, fmt.Errorf("ring has %d positions, need >= 4", len(coords))
+	}
+	r := make(Ring, 0, len(coords))
+	for i, c := range coords {
+		if len(c) < 2 {
+			return nil, fmt.Errorf("position %d has %d ordinates", i, len(c))
+		}
+		r = append(r, Point{Lon: c[0], Lat: c[1]})
+	}
+	// Drop the GeoJSON closing vertex (our rings close implicitly).
+	if r[0] == r[len(r)-1] {
+		r = r[:len(r)-1]
+	}
+	if len(r) < 3 {
+		return nil, fmt.Errorf("ring degenerates to %d distinct vertices", len(r))
+	}
+	return r, nil
+}
+
+// MarshalGeoJSON renders polygons as a GeoJSON FeatureCollection, the
+// inverse of PolygonsFromGeoJSON (names may be nil).
+func MarshalGeoJSON(polys []Polygon, names []string) ([]byte, error) {
+	type feature struct {
+		Type       string            `json:"type"`
+		Properties map[string]string `json:"properties"`
+		Geometry   struct {
+			Type        string        `json:"type"`
+			Coordinates [][][]float64 `json:"coordinates"`
+		} `json:"geometry"`
+	}
+	type collection struct {
+		Type     string    `json:"type"`
+		Features []feature `json:"features"`
+	}
+
+	col := collection{Type: "FeatureCollection"}
+	for i, p := range polys {
+		var f feature
+		f.Type = "Feature"
+		f.Properties = map[string]string{}
+		if names != nil && i < len(names) {
+			f.Properties["name"] = names[i]
+		}
+		f.Geometry.Type = "Polygon"
+		rings := append([]Ring{p.Exterior}, p.Holes...)
+		for _, ring := range rings {
+			coords := make([][]float64, 0, len(ring)+1)
+			for _, v := range ring {
+				coords = append(coords, []float64{v.Lon, v.Lat})
+			}
+			coords = append(coords, []float64{ring[0].Lon, ring[0].Lat}) // close
+			f.Geometry.Coordinates = append(f.Geometry.Coordinates, coords)
+		}
+		col.Features = append(col.Features, f)
+	}
+	return json.MarshalIndent(col, "", "  ")
+}

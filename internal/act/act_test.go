@@ -1,0 +1,407 @@
+package act
+
+import (
+	"math/rand"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+// bruteFind is the reference implementation: scan all cells for the unique
+// one containing the leaf.
+func bruteFind(kvs []cellindex.KeyEntry, leaf cellid.CellID) refs.Entry {
+	for _, kv := range kvs {
+		if kv.Key.Contains(leaf) {
+			return kv.Entry
+		}
+	}
+	return refs.FalseHit
+}
+
+// buildTestCovering builds a super covering over a small polygon set and
+// returns the encoded pairs.
+func buildTestCovering(t testing.TB) ([]cellindex.KeyEntry, *refs.Table, []*geom.Polygon) {
+	t.Helper()
+	polys := []*geom.Polygon{
+		geom.MustPolygon(geom.Ring{
+			{X: -74.00, Y: 40.70}, {X: -73.97, Y: 40.70}, {X: -73.97, Y: 40.73}, {X: -74.00, Y: 40.73},
+		}),
+		geom.MustPolygon(geom.Ring{
+			{X: -73.97, Y: 40.70}, {X: -73.94, Y: 40.70}, {X: -73.94, Y: 40.73}, {X: -73.97, Y: 40.73},
+		}),
+		geom.MustPolygon(geom.Ring{
+			{X: -73.985, Y: 40.715}, {X: -73.955, Y: 40.715}, {X: -73.955, Y: 40.745}, {X: -73.985, Y: 40.745},
+		}),
+	}
+	sc := supercover.Build(polys, supercover.DefaultOptions())
+	kvs, table := cellindex.Encode(sc.Cells())
+	return kvs, table, polys
+}
+
+func TestBuildEmptyTree(t *testing.T) {
+	for _, delta := range []int{Delta1, Delta2, Delta4} {
+		tr := Build(nil, delta)
+		if got := tr.Find(cellid.FromPoint(geom.Point{X: 1, Y: 2})); !got.IsFalseHit() {
+			t.Errorf("delta %d: empty tree must return false hits", delta)
+		}
+		if tr.NumNodes() != 0 || tr.SizeBytes() != 0 {
+			t.Errorf("delta %d: empty tree must have no nodes", delta)
+		}
+	}
+}
+
+func TestBuildPanicsOnBadDelta(t *testing.T) {
+	for _, delta := range []int{0, 3, 5, 8, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("delta %d must panic", delta)
+				}
+			}()
+			Build(nil, delta)
+		}()
+	}
+}
+
+func TestSingleCellAllDeltas(t *testing.T) {
+	base := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	for level := 0; level <= cellid.MaxLevel; level++ {
+		cell := base.Parent(level)
+		entry := refs.NewTable().Encode([]refs.Ref{refs.MakeRef(42, true)})
+		kvs := []cellindex.KeyEntry{{Key: cell, Entry: entry}}
+		for _, delta := range []int{1, 2, 4} {
+			tr := Build(kvs, delta)
+			// Any leaf inside the cell must find the entry.
+			if got := tr.Find(base); got != entry {
+				t.Fatalf("level %d delta %d: Find = %v, want %v", level, delta, got, entry)
+			}
+			// The cell's own range endpoints must also hit.
+			if got := tr.Find(cell.RangeMin()); got != entry {
+				t.Fatalf("level %d delta %d: RangeMin miss", level, delta)
+			}
+			if got := tr.Find(cell.RangeMax()); got != entry {
+				t.Fatalf("level %d delta %d: RangeMax miss", level, delta)
+			}
+			// A leaf on another face must miss.
+			other := cellid.FromPoint(geom.Point{X: 100, Y: -40})
+			if got := tr.Find(other); !got.IsFalseHit() {
+				t.Fatalf("level %d delta %d: foreign leaf hit", level, delta)
+			}
+		}
+	}
+}
+
+func TestSiblingMissWithPrefix(t *testing.T) {
+	// One deep cell creates a long common prefix; leaves that differ inside
+	// the prefix must miss via the prefix check.
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	cell := leaf.Parent(20)
+	entry := refs.NewTable().Encode([]refs.Ref{refs.MakeRef(1, false)})
+	for _, delta := range []int{1, 2, 4} {
+		tr := Build([]cellindex.KeyEntry{{Key: cell, Entry: entry}}, delta)
+		// Sibling cell at level 20: guaranteed outside.
+		sibling := leaf.Parent(19).Child((cell.ChildPosition(20) + 1) % 4)
+		if got := tr.Find(sibling.RangeMin()); !got.IsFalseHit() {
+			t.Errorf("delta %d: sibling leaf must miss", delta)
+		}
+		// Same-face leaf far away.
+		far := cellid.FromPoint(geom.Point{X: -73.5, Y: 40.71})
+		if far.Face() == cell.Face() {
+			if got := tr.Find(far); !got.IsFalseHit() {
+				t.Errorf("delta %d: far leaf must miss", delta)
+			}
+		}
+	}
+}
+
+func TestKeyExtensionReplicatesPayload(t *testing.T) {
+	// Bands anchor at the deepest cell (level 8 here, a multiple of 4), so
+	// a level-6 cell with delta 4 must be extended to 16 level-8 replicas.
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	anchor := leaf.Parent(8)
+	// A disjoint level-6 cell: a sibling subtree of the anchor's level-5
+	// ancestor.
+	other := leaf.Parent(4).Child((leaf.ChildPosition(5) + 1) % 4).Child(0)
+	if other.Level() != 6 || anchor.Intersects(other) {
+		t.Fatal("test setup broken")
+	}
+	tbl := refs.NewTable()
+	ea := tbl.Encode([]refs.Ref{refs.MakeRef(9, true)})
+	eb := tbl.Encode([]refs.Ref{refs.MakeRef(10, true)})
+	kvs := []cellindex.KeyEntry{{Key: anchor, Entry: ea}, {Key: other, Entry: eb}}
+	if kvs[0].Key > kvs[1].Key {
+		kvs[0], kvs[1] = kvs[1], kvs[0]
+	}
+	tr := Build(kvs, Delta4)
+	// All 16 level-8 descendants of the level-6 cell carry the payload.
+	for _, c1 := range other.Children() {
+		for _, c2 := range c1.Children() {
+			if got := tr.Find(c2.RangeMin()); got != eb {
+				t.Fatalf("descendant %v missed the extended payload", c2)
+			}
+		}
+	}
+	if got := tr.Find(anchor.RangeMax()); got != ea {
+		t.Fatal("anchor cell lost")
+	}
+	if tr.NumValueSlots() != 1+16 {
+		t.Errorf("NumValueSlots = %d, want 17 (anchor + 16 replicas)", tr.NumValueSlots())
+	}
+}
+
+func TestBandAnchoringAvoidsReplication(t *testing.T) {
+	// The paper's 4m bound is level 22 (not a multiple of 4). With the
+	// bands anchored at the deepest level, level-22 cells need no
+	// key-extension replicas in ACT4.
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	parent := leaf.Parent(21)
+	kids := parent.Children() // four level-22 cells
+	tbl := refs.NewTable()
+	var kvs []cellindex.KeyEntry
+	for i, k := range kids {
+		kvs = append(kvs, cellindex.KeyEntry{Key: k, Entry: tbl.Encode([]refs.Ref{refs.MakeRef(uint32(i), true)})})
+	}
+	tr := Build(kvs, Delta4)
+	if tr.NumValueSlots() != 4 {
+		t.Errorf("NumValueSlots = %d, want 4 (no replication at the anchor level)", tr.NumValueSlots())
+	}
+	for i, k := range kids {
+		want := tbl.Encode([]refs.Ref{refs.MakeRef(uint32(i), true)})
+		if got := tr.Find(k.RangeMin()); got != want {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+}
+
+func TestFindMatchesBruteForce(t *testing.T) {
+	kvs, _, _ := buildTestCovering(t)
+	if len(kvs) == 0 {
+		t.Fatal("empty covering")
+	}
+	rng := rand.New(rand.NewSource(1))
+	trees := map[int]*Tree{}
+	for _, delta := range []int{1, 2, 4} {
+		trees[delta] = Build(kvs, delta)
+	}
+	for iter := 0; iter < 5000; iter++ {
+		p := geom.Point{X: -74.02 + rng.Float64()*0.1, Y: 40.68 + rng.Float64()*0.09}
+		leaf := cellid.FromPoint(p)
+		want := bruteFind(kvs, leaf)
+		for delta, tr := range trees {
+			if got := tr.Find(leaf); got != want {
+				t.Fatalf("delta %d: Find(%v) = %#x, want %#x", delta, leaf, got, want)
+			}
+		}
+	}
+}
+
+func TestFindDepthMatchesFind(t *testing.T) {
+	kvs, _, _ := buildTestCovering(t)
+	tr := Build(kvs, Delta4)
+	rng := rand.New(rand.NewSource(2))
+	maxDepth := (maxIndexLevel + Delta4 - 1) / Delta4
+	for iter := 0; iter < 2000; iter++ {
+		p := geom.Point{X: -74.02 + rng.Float64()*0.1, Y: 40.68 + rng.Float64()*0.09}
+		leaf := cellid.FromPoint(p)
+		e1 := tr.Find(leaf)
+		e2, depth := tr.FindDepth(leaf)
+		if e1 != e2 {
+			t.Fatalf("FindDepth entry mismatch")
+		}
+		if e1 != refs.FalseHit || depth > 0 {
+			if depth < 0 || depth > maxDepth {
+				t.Fatalf("depth %d out of range", depth)
+			}
+		}
+	}
+}
+
+func TestDeltaSizeTradeoffs(t *testing.T) {
+	kvs, _, _ := buildTestCovering(t)
+	t1 := Build(kvs, Delta1)
+	t2 := Build(kvs, Delta2)
+	t4 := Build(kvs, Delta4)
+	// Higher fanout means fewer (bigger) nodes.
+	if !(t1.NumNodes() > t2.NumNodes() && t2.NumNodes() > t4.NumNodes()) {
+		t.Errorf("node counts should decrease with fanout: %d %d %d",
+			t1.NumNodes(), t2.NumNodes(), t4.NumNodes())
+	}
+	for _, tr := range []*Tree{t1, t2, t4} {
+		if tr.SizeBytes() != 8*tr.NumNodes()*tr.Fanout() {
+			t.Error("SizeBytes must equal arena size")
+		}
+		if tr.NumCells() != len(kvs) {
+			t.Errorf("NumCells = %d, want %d", tr.NumCells(), len(kvs))
+		}
+	}
+}
+
+func TestDeepCellsSupported(t *testing.T) {
+	// Band anchoring supports cells at any level up to the leaf level.
+	leaf := cellid.FromPoint(geom.Point{X: 1, Y: 1})
+	entry := refs.Entry(uint64(refs.MakeRef(1, false))<<2 | refs.TagOneRef)
+	for _, level := range []int{29, 30} {
+		tr := Build([]cellindex.KeyEntry{{Key: leaf.Parent(level), Entry: entry}}, Delta4)
+		if got := tr.Find(leaf.Parent(level).RangeMin()); got != entry {
+			t.Errorf("level-%d cell not found", level)
+		}
+	}
+}
+
+func TestBuildPanicsOnOverlappingCells(t *testing.T) {
+	leaf := cellid.FromPoint(geom.Point{X: 1, Y: 1})
+	entry := refs.Entry(uint64(refs.MakeRef(1, false))<<2 | refs.TagOneRef)
+	kvs := []cellindex.KeyEntry{
+		{Key: leaf.Parent(8), Entry: entry},
+		{Key: leaf.Parent(12), Entry: entry}, // contained in the first
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overlapping cells must panic")
+		}
+	}()
+	Build(kvs, Delta4)
+}
+
+func TestFalseHitEntriesSkipped(t *testing.T) {
+	// Cells encoded to FalseHit (empty ref lists) must simply not be
+	// indexed rather than corrupting the tree.
+	leaf := cellid.FromPoint(geom.Point{X: 1, Y: 1})
+	kvs := []cellindex.KeyEntry{{Key: leaf.Parent(8), Entry: refs.FalseHit}}
+	tr := Build(kvs, Delta4)
+	if got := tr.Find(leaf); !got.IsFalseHit() {
+		t.Error("false-hit cell must not be found")
+	}
+}
+
+func TestMultiFaceTree(t *testing.T) {
+	// Cells on two different faces must live in separate face trees.
+	l1 := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71}) // face with NYC
+	l2 := cellid.FromPoint(geom.Point{X: 100, Y: -40})      // other hemisphere
+	if l1.Face() == l2.Face() {
+		t.Fatal("test setup: expected different faces")
+	}
+	tbl := refs.NewTable()
+	e1 := tbl.Encode([]refs.Ref{refs.MakeRef(1, true)})
+	e2 := tbl.Encode([]refs.Ref{refs.MakeRef(2, true)})
+	kvs := []cellindex.KeyEntry{
+		{Key: l1.Parent(10), Entry: e1},
+		{Key: l2.Parent(10), Entry: e2},
+	}
+	if kvs[0].Key > kvs[1].Key {
+		kvs[0], kvs[1] = kvs[1], kvs[0]
+	}
+	tr := Build(kvs, Delta4)
+	if got := tr.Find(l1); got != e1 {
+		t.Errorf("face 1 lookup = %#x, want %#x", got, e1)
+	}
+	if got := tr.Find(l2); got != e2 {
+		t.Errorf("face 2 lookup = %#x, want %#x", got, e2)
+	}
+}
+
+func TestStats(t *testing.T) {
+	kvs, _, _ := buildTestCovering(t)
+	tr := Build(kvs, Delta4)
+	st := tr.ComputeStats()
+	if st.NumNodes != tr.NumNodes() {
+		t.Errorf("stats NumNodes %d != %d", st.NumNodes, tr.NumNodes())
+	}
+	if st.NumValueSlots != tr.NumValueSlots() {
+		t.Errorf("stats NumValueSlots %d != %d", st.NumValueSlots, tr.NumValueSlots())
+	}
+	total := st.NumValueSlots + st.NumChildSlots + st.NumEmptySlots
+	if total != tr.NumNodes()*tr.Fanout() {
+		t.Errorf("slot counts %d don't sum to %d", total, tr.NumNodes()*tr.Fanout())
+	}
+	var nodes int
+	for _, n := range st.NodesPerDepth {
+		nodes += n
+	}
+	if nodes != st.NumNodes {
+		t.Error("NodesPerDepth must sum to NumNodes")
+	}
+	if st.AvgValueDepth <= 0 || st.AvgValueDepth > float64(st.MaxDepth+1) {
+		t.Errorf("AvgValueDepth = %v out of range", st.AvgValueDepth)
+	}
+	for d, occ := range st.OccupancyPerDepth {
+		if occ < 0 || occ > 1 {
+			t.Errorf("occupancy at depth %d = %v", d, occ)
+		}
+	}
+}
+
+// Larger fanout must never require more node accesses than smaller fanout.
+func TestDepthMonotoneInFanout(t *testing.T) {
+	kvs, _, _ := buildTestCovering(t)
+	t1 := Build(kvs, Delta1)
+	t4 := Build(kvs, Delta4)
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 1000; iter++ {
+		p := geom.Point{X: -74.02 + rng.Float64()*0.1, Y: 40.68 + rng.Float64()*0.09}
+		leaf := cellid.FromPoint(p)
+		_, d1 := t1.FindDepth(leaf)
+		_, d4 := t4.FindDepth(leaf)
+		if d4 > d1 {
+			t.Fatalf("ACT4 depth %d > ACT1 depth %d for %v", d4, d1, leaf)
+		}
+	}
+}
+
+// Refined coverings must still probe correctly across all deltas (exercises
+// key extension at many levels at once).
+func TestFindAfterRefinement(t *testing.T) {
+	polys := []*geom.Polygon{
+		geom.MustPolygon(geom.Ring{
+			{X: -74.00, Y: 40.70}, {X: -73.96, Y: 40.705}, {X: -73.95, Y: 40.74}, {X: -73.99, Y: 40.735},
+		}),
+	}
+	sc := supercover.Build(polys, supercover.DefaultOptions())
+	sc.RefineToPrecision(polys, 17)
+	kvs, _ := cellindex.Encode(sc.Cells())
+	rng := rand.New(rand.NewSource(4))
+	for _, delta := range []int{1, 2, 4} {
+		tr := Build(kvs, delta)
+		for iter := 0; iter < 1500; iter++ {
+			p := geom.Point{X: -74.01 + rng.Float64()*0.07, Y: 40.69 + rng.Float64()*0.06}
+			leaf := cellid.FromPoint(p)
+			if got, want := tr.Find(leaf), bruteFind(kvs, leaf); got != want {
+				t.Fatalf("delta %d: mismatch after refinement", delta)
+			}
+		}
+	}
+}
+
+func BenchmarkFindACT4(b *testing.B) {
+	kvs, _, _ := buildTestCovering(b)
+	tr := Build(kvs, Delta4)
+	rng := rand.New(rand.NewSource(5))
+	leaves := make([]cellid.CellID, 4096)
+	for i := range leaves {
+		p := geom.Point{X: -74.02 + rng.Float64()*0.1, Y: 40.68 + rng.Float64()*0.09}
+		leaves[i] = cellid.FromPoint(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Find(leaves[i&4095])
+	}
+}
+
+func BenchmarkFindACT1(b *testing.B) {
+	kvs, _, _ := buildTestCovering(b)
+	tr := Build(kvs, Delta1)
+	rng := rand.New(rand.NewSource(6))
+	leaves := make([]cellid.CellID, 4096)
+	for i := range leaves {
+		p := geom.Point{X: -74.02 + rng.Float64()*0.1, Y: 40.68 + rng.Float64()*0.09}
+		leaves[i] = cellid.FromPoint(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Find(leaves[i&4095])
+	}
+}

@@ -1,0 +1,50 @@
+package act
+
+import (
+	"fmt"
+
+	"actjoin/internal/cellindex"
+)
+
+// BuildOptions expose the design choices of ACT for ablation studies (the
+// benchmarks under bench_test.go quantify each):
+//
+//   - the common-prefix skip at the root (Section 3.1.2: "we only use a
+//     common prefix at the root level"),
+//   - the band anchoring at the deepest indexed level (see the package
+//     comment; disabling it reverts to levels ≡ 0 (mod δ), which shatters
+//     off-grid cells into up to 4^(δ-1) replicas).
+type BuildOptions struct {
+	Delta            int
+	DisablePrefix    bool
+	DisableAnchoring bool
+}
+
+// BuildWithOptions is Build with ablation switches.
+func BuildWithOptions(kvs []cellindex.KeyEntry, opt BuildOptions) *Tree {
+	if opt.Delta != Delta1 && opt.Delta != Delta2 && opt.Delta != Delta4 {
+		panic(fmt.Sprintf("act: unsupported delta %d", opt.Delta))
+	}
+	t := &Tree{
+		delta:            opt.Delta,
+		span:             uint(2 * opt.Delta),
+		fanout:           1 << uint(2*opt.Delta),
+		disablePrefix:    opt.DisablePrefix,
+		disableAnchoring: opt.DisableAnchoring,
+	}
+	for f := range t.faces {
+		t.faces[f].root = -1
+	}
+	start := 0
+	for start < len(kvs) {
+		face := kvs[start].Key.Face()
+		end := start
+		for end < len(kvs) && kvs[end].Key.Face() == face {
+			end++
+		}
+		t.buildFace(face, kvs[start:end])
+		start = end
+	}
+	t.numCells = len(kvs)
+	return t
+}

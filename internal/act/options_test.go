@@ -1,0 +1,95 @@
+package act
+
+import (
+	"math/rand"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+)
+
+func TestBuildWithOptionsEquivalence(t *testing.T) {
+	// All ablation variants must return identical probe results; only the
+	// structure (size, depth) may differ.
+	kvs, _, _ := buildTestCovering(t)
+	base := Build(kvs, Delta4)
+	variants := []BuildOptions{
+		{Delta: Delta4, DisablePrefix: true},
+		{Delta: Delta4, DisableAnchoring: true},
+		{Delta: Delta4, DisablePrefix: true, DisableAnchoring: true},
+		{Delta: Delta2, DisableAnchoring: true},
+		{Delta: Delta1, DisablePrefix: true},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, opt := range variants {
+		tr := BuildWithOptions(kvs, opt)
+		for iter := 0; iter < 3000; iter++ {
+			p := geom.Point{X: -74.02 + rng.Float64()*0.1, Y: 40.68 + rng.Float64()*0.09}
+			leaf := cellid.FromPoint(p)
+			if got, want := tr.Find(leaf), base.Find(leaf); got != want {
+				t.Fatalf("%+v: Find mismatch at %v", opt, leaf)
+			}
+		}
+	}
+}
+
+// buildLevel22Cells returns the four level-22 children of parent as index
+// input (level 22 is the paper's 4m precision level, not a multiple of 4).
+func buildLevel22Cells(parent cellid.CellID) []cellindex.KeyEntry {
+	tbl := refs.NewTable()
+	var kvs []cellindex.KeyEntry
+	for i, k := range parent.Children() {
+		kvs = append(kvs, cellindex.KeyEntry{
+			Key:   k,
+			Entry: tbl.Encode([]refs.Ref{refs.MakeRef(uint32(i), true)}),
+		})
+	}
+	return kvs
+}
+
+func TestAnchoringAblationSizeEffect(t *testing.T) {
+	// Cells at a level not divisible by 4: with anchoring they need no
+	// replicas; without it they shatter into replicas.
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	parent := leaf.Parent(21)
+	input := buildLevel22Cells(parent)
+	anchored := BuildWithOptions(input, BuildOptions{Delta: Delta4})
+	plain := BuildWithOptions(input, BuildOptions{Delta: Delta4, DisableAnchoring: true})
+	if anchored.NumValueSlots() >= plain.NumValueSlots() {
+		t.Errorf("anchoring must reduce value slots: %d vs %d",
+			anchored.NumValueSlots(), plain.NumValueSlots())
+	}
+	if plain.NumValueSlots() != 4*16 {
+		t.Errorf("mod-4 alignment should produce 16 replicas per level-22 cell, got %d slots",
+			plain.NumValueSlots())
+	}
+}
+
+func TestPrefixAblationDepthEffect(t *testing.T) {
+	// Disabling the prefix forces deeper traversals for deep, clustered
+	// cells.
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	parent := leaf.Parent(21)
+	input := buildLevel22Cells(parent)
+	with := BuildWithOptions(input, BuildOptions{Delta: Delta4})
+	without := BuildWithOptions(input, BuildOptions{Delta: Delta4, DisablePrefix: true})
+	_, dWith := with.FindDepth(leaf)
+	_, dWithout := without.FindDepth(leaf)
+	if dWith >= dWithout {
+		t.Errorf("prefix skip must shorten traversals: %d vs %d", dWith, dWithout)
+	}
+	if without.NumNodes() <= with.NumNodes() {
+		t.Errorf("prefix skip must also save nodes: %d vs %d", with.NumNodes(), without.NumNodes())
+	}
+}
+
+func TestBuildWithOptionsPanicsOnBadDelta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad delta must panic")
+		}
+	}()
+	BuildWithOptions(nil, BuildOptions{Delta: 7})
+}

@@ -1,0 +1,111 @@
+package act
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+	"actjoin/internal/sortedvec"
+)
+
+// randomDisjointCells generates a random set of pairwise-disjoint cells by
+// recursively either emitting or splitting quadrants — the same family of
+// inputs a super covering produces, but unconstrained by geometry.
+func randomDisjointCells(rng *rand.Rand, maxCells int) []cellindex.KeyEntry {
+	tbl := refs.NewTable()
+	var out []cellindex.KeyEntry
+	var walk func(c cellid.CellID)
+	walk = func(c cellid.CellID) {
+		if len(out) >= maxCells {
+			return
+		}
+		r := rng.Float64()
+		switch {
+		case r < 0.30 && c.Level() > 0:
+			out = append(out, cellindex.KeyEntry{
+				Key:   c,
+				Entry: tbl.Encode([]refs.Ref{refs.MakeRef(uint32(len(out)), rng.Intn(2) == 0)}),
+			})
+		case r < 0.85 && c.Level() < cellid.MaxLevel-1:
+			// Split into a random subset of children.
+			for _, child := range c.Children() {
+				if rng.Float64() < 0.6 {
+					walk(child)
+				}
+			}
+		}
+		// Otherwise: leave this region empty.
+	}
+	for f := 0; f < cellid.NumFaces; f++ {
+		if rng.Float64() < 0.5 {
+			walk(cellid.FaceCell(f))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Property: for arbitrary disjoint cell sets, every ACT variant agrees with
+// the sorted-vector reference on random probes, including probes crafted to
+// hit cell boundaries.
+func TestPropertyACTMatchesSortedVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 30; round++ {
+		kvs := randomDisjointCells(rng, 300)
+		if len(kvs) == 0 {
+			continue
+		}
+		lb := sortedvec.Build(kvs)
+		for _, delta := range []int{1, 2, 4} {
+			tr := Build(kvs, delta)
+			// Random global probes.
+			for i := 0; i < 300; i++ {
+				p := geom.Point{X: rng.Float64()*360 - 180, Y: rng.Float64()*180 - 90}
+				leaf := cellid.FromPoint(p)
+				if got, want := tr.Find(leaf), lb.Find(leaf); got != want {
+					t.Fatalf("round %d delta %d: mismatch at %v: %#x vs %#x",
+						round, delta, leaf, got, want)
+				}
+			}
+			// Boundary probes: range endpoints of indexed cells and of
+			// their neighbors in sorted order.
+			for i := 0; i < len(kvs); i += 7 {
+				for _, leaf := range []cellid.CellID{
+					kvs[i].Key.RangeMin(), kvs[i].Key.RangeMax(),
+					kvs[i].Key.RangeMin() - 2, kvs[i].Key.RangeMax() + 2,
+				} {
+					if !leaf.IsValid() || !leaf.IsLeaf() {
+						continue
+					}
+					if got, want := tr.Find(leaf), lb.Find(leaf); got != want {
+						t.Fatalf("round %d delta %d: boundary mismatch at %v",
+							round, delta, leaf)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: value-slot accounting matches an independent recount via stats.
+func TestPropertySlotAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for round := 0; round < 10; round++ {
+		kvs := randomDisjointCells(rng, 200)
+		for _, delta := range []int{1, 2, 4} {
+			tr := Build(kvs, delta)
+			st := tr.ComputeStats()
+			if st.NumValueSlots != tr.NumValueSlots() {
+				t.Fatalf("slot accounting diverged: %d vs %d",
+					st.NumValueSlots, tr.NumValueSlots())
+			}
+			if st.NumNodes != tr.NumNodes() {
+				t.Fatalf("node accounting diverged")
+			}
+		}
+	}
+}

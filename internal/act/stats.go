@@ -1,0 +1,91 @@
+package act
+
+// Stats describes the structure of a built trie, mirroring the metrics the
+// paper uses to explain ACT's behaviour (node counts per level, slot
+// occupancy, average value depth).
+type Stats struct {
+	NumNodes      int
+	NumValueSlots int
+	NumChildSlots int
+	NumEmptySlots int
+	SizeBytes     int
+	// NodesPerDepth[d] is the number of nodes at radix depth d (root = 0).
+	NodesPerDepth []int
+	// ValuesPerDepth[d] is the number of value slots in depth-d nodes.
+	ValuesPerDepth []int
+	// OccupancyPerDepth[d] is the fraction of non-sentinel slots at depth d.
+	OccupancyPerDepth []float64
+	// AvgValueDepth is the mean radix depth of value slots (1-based node
+	// accesses needed to reach them).
+	AvgValueDepth float64
+	MaxDepth      int
+}
+
+// ComputeStats walks the arena and tallies structural statistics.
+func (t *Tree) ComputeStats() Stats {
+	st := Stats{
+		NumNodes:      t.numNodes,
+		NumValueSlots: 0,
+		SizeBytes:     t.SizeBytes(),
+	}
+	type item struct {
+		node  int
+		depth int
+	}
+	var stack []item
+	for f := range t.faces {
+		if t.faces[f].root >= 0 {
+			stack = append(stack, item{int(t.faces[f].root), 0})
+		}
+	}
+	var slotsPerDepth []int
+	grow := func(d int) {
+		for len(st.NodesPerDepth) <= d {
+			st.NodesPerDepth = append(st.NodesPerDepth, 0)
+			st.ValuesPerDepth = append(st.ValuesPerDepth, 0)
+			slotsPerDepth = append(slotsPerDepth, 0)
+		}
+	}
+	var depthSum, valueCount int
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		grow(it.depth)
+		st.NodesPerDepth[it.depth]++
+		slotsPerDepth[it.depth] += t.fanout
+		if it.depth > st.MaxDepth {
+			st.MaxDepth = it.depth
+		}
+		base := it.node * t.fanout
+		for s := 0; s < t.fanout; s++ {
+			e := t.entries[base+s]
+			switch {
+			case e == 0:
+				st.NumEmptySlots++
+			case e&3 == 0:
+				st.NumChildSlots++
+				stack = append(stack, item{int(e>>2) - 1, it.depth + 1})
+			default:
+				st.NumValueSlots++
+				st.ValuesPerDepth[it.depth]++
+				depthSum += it.depth + 1
+				valueCount++
+			}
+		}
+	}
+	st.OccupancyPerDepth = make([]float64, len(st.NodesPerDepth))
+	for d := range st.NodesPerDepth {
+		if slotsPerDepth[d] > 0 {
+			occupied := st.ValuesPerDepth[d]
+			// child slots at this depth = nodes at depth d+1
+			if d+1 < len(st.NodesPerDepth) {
+				occupied += st.NodesPerDepth[d+1]
+			}
+			st.OccupancyPerDepth[d] = float64(occupied) / float64(slotsPerDepth[d])
+		}
+	}
+	if valueCount > 0 {
+		st.AvgValueDepth = float64(depthSum) / float64(valueCount)
+	}
+	return st
+}

@@ -1,0 +1,179 @@
+// Package btree implements the paper's "GBT" baseline: a B+-tree over
+// (cell id, tagged entry) pairs with a byte-budgeted node size, defaulting
+// to the 256-byte target that the authors found most query-efficient for
+// the Google C++ B-tree.
+//
+// The tree is bulk-loaded from the sorted super covering and immutable
+// afterwards — the same lifecycle as every index in the paper (build once,
+// probe from many threads). Levels are stored as flat arrays ("static"
+// B+-tree): leaves hold the key/value pairs, inner levels hold the first key
+// of each child node. Probing descends one node per level, binary-searching
+// within the node, and finishes with the same predecessor/range containment
+// check as the sorted vector.
+package btree
+
+import (
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/refs"
+)
+
+// DefaultNodeBytes is the paper's best-performing node size for GBT.
+const DefaultNodeBytes = 256
+
+// Tree is the immutable B+-tree.
+type Tree struct {
+	leafCap  int // pairs per leaf node
+	innerCap int // separator keys per inner node
+
+	keys []cellid.CellID // all leaf keys, flat, sorted
+	vals []refs.Entry
+
+	// levels[0] is the lowest inner level (first key of every leaf);
+	// levels[k] holds the first key of every level-(k-1) node. The highest
+	// level fits in one node.
+	levels [][]cellid.CellID
+}
+
+// Build bulk-loads a tree with the given node byte budget (0 uses
+// DefaultNodeBytes). Input must be sorted and disjoint.
+func Build(kvs []cellindex.KeyEntry, nodeBytes int) *Tree {
+	if nodeBytes <= 0 {
+		nodeBytes = DefaultNodeBytes
+	}
+	leafCap := nodeBytes / 16 // 8-byte key + 8-byte entry per pair
+	if leafCap < 2 {
+		leafCap = 2
+	}
+	innerCap := nodeBytes / 8 // 8-byte separator key per child
+	if innerCap < 2 {
+		innerCap = 2
+	}
+	t := &Tree{
+		leafCap:  leafCap,
+		innerCap: innerCap,
+		keys:     make([]cellid.CellID, len(kvs)),
+		vals:     make([]refs.Entry, len(kvs)),
+	}
+	for i, kv := range kvs {
+		if i > 0 && kv.Key <= t.keys[i-1] {
+			panic("btree: input not strictly sorted")
+		}
+		t.keys[i] = kv.Key
+		t.vals[i] = kv.Entry
+	}
+
+	// Build inner levels bottom-up until one node suffices.
+	child := t.keys
+	childCap := leafCap
+	for len(child) > childCap {
+		numNodes := (len(child) + childCap - 1) / childCap
+		level := make([]cellid.CellID, numNodes)
+		for i := 0; i < numNodes; i++ {
+			level[i] = child[i*childCap]
+		}
+		t.levels = append(t.levels, level)
+		child = level
+		childCap = innerCap
+	}
+	return t
+}
+
+// Len returns the number of indexed cells.
+func (t *Tree) Len() int { return len(t.keys) }
+
+// Height returns the number of levels (1 = a single leaf level).
+func (t *Tree) Height() int { return len(t.levels) + 1 }
+
+// SizeBytes returns the footprint: 16 bytes per leaf pair plus 8 bytes per
+// inner separator.
+func (t *Tree) SizeBytes() int {
+	size := 16 * len(t.keys)
+	for _, l := range t.levels {
+		size += 8 * len(l)
+	}
+	return size
+}
+
+// Find locates the cell containing the query leaf.
+func (t *Tree) Find(leaf cellid.CellID) refs.Entry {
+	e, _, _ := t.find(leaf)
+	return e
+}
+
+// FindCount is Find plus structural counters: key comparisons and node
+// accesses (Table 5 substitution).
+func (t *Tree) FindCount(leaf cellid.CellID) (e refs.Entry, cmps, nodes int) {
+	return t.find(leaf)
+}
+
+func (t *Tree) find(leaf cellid.CellID) (refs.Entry, int, int) {
+	if len(t.keys) == 0 {
+		return refs.FalseHit, 0, 0
+	}
+	cmps, nodes := 0, 0
+
+	// Descend inner levels from the top. child is the node index at the
+	// next level down.
+	child := 0
+	for li := len(t.levels) - 1; li >= 0; li-- {
+		level := t.levels[li]
+		cap := t.innerCap
+		lo := child * cap
+		hi := lo + cap
+		if hi > len(level) {
+			hi = len(level)
+		}
+		nodes++
+		// upper_bound(leaf) - 1 within [lo, hi): the last separator <= leaf.
+		l, h := lo, hi
+		for l < h {
+			mid := int(uint(l+h) >> 1)
+			cmps++
+			if level[mid] <= leaf {
+				l = mid + 1
+			} else {
+				h = mid
+			}
+		}
+		child = l - 1
+		if child < lo {
+			child = lo // query before the first separator: leftmost child
+		}
+	}
+
+	// Leaf node: global pair range of leaf node `child`.
+	lo := child * t.leafCap
+	hi := lo + t.leafCap
+	if hi > len(t.keys) {
+		hi = len(t.keys)
+	}
+	nodes++
+	l, h := lo, hi
+	for l < h {
+		mid := int(uint(l+h) >> 1)
+		cmps++
+		if t.keys[mid] < leaf {
+			l = mid + 1
+		} else {
+			h = mid
+		}
+	}
+	// Same containment logic as the sorted vector, using the flat arrays so
+	// the predecessor may live in the preceding leaf node.
+	if l < len(t.keys) {
+		cmps++
+		if t.keys[l].RangeMin() <= leaf {
+			return t.vals[l], cmps, nodes
+		}
+	}
+	if l > 0 {
+		cmps++
+		if t.keys[l-1].RangeMax() >= leaf {
+			return t.vals[l-1], cmps, nodes
+		}
+	}
+	return refs.FalseHit, cmps, nodes
+}
+
+var _ cellindex.Index = (*Tree)(nil)

@@ -1,0 +1,167 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+	"actjoin/internal/sortedvec"
+	"actjoin/internal/supercover"
+)
+
+func entryFor(id uint32) refs.Entry {
+	return refs.Entry(uint64(refs.MakeRef(id, true))<<2 | refs.TagOneRef)
+}
+
+// denseCells generates all descendants of parent at the given level.
+func denseCells(parent cellid.CellID, level int) []cellindex.KeyEntry {
+	var kvs []cellindex.KeyEntry
+	var gen func(c cellid.CellID)
+	gen = func(c cellid.CellID) {
+		if c.Level() == level {
+			kvs = append(kvs, cellindex.KeyEntry{Key: c, Entry: entryFor(uint32(len(kvs)))})
+			return
+		}
+		for _, k := range c.Children() {
+			gen(k)
+		}
+	}
+	gen(parent)
+	return kvs
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, 0)
+	if got := tr.Find(cellid.FromPoint(geom.Point{X: 1, Y: 1})); !got.IsFalseHit() {
+		t.Error("empty tree must miss")
+	}
+	if tr.Height() != 1 {
+		t.Errorf("empty tree height = %d", tr.Height())
+	}
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	cell := leaf.Parent(9)
+	tr := Build([]cellindex.KeyEntry{{Key: cell, Entry: entryFor(3)}}, 0)
+	if tr.Height() != 1 {
+		t.Errorf("height = %d, want 1", tr.Height())
+	}
+	if got := tr.Find(leaf); got != entryFor(3) {
+		t.Errorf("Find = %#x", got)
+	}
+	if got := tr.Find(cellid.FromPoint(geom.Point{X: 50, Y: 50})); !got.IsFalseHit() {
+		t.Error("miss expected")
+	}
+}
+
+func TestMultiLevelTree(t *testing.T) {
+	parent := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71}).Parent(8)
+	kvs := denseCells(parent, 14) // 4096 cells -> several levels at 256B nodes
+	tr := Build(kvs, 0)
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, want >= 3 for 4096 cells", tr.Height())
+	}
+	if tr.Len() != len(kvs) {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// Every cell must be found via its range endpoints and center.
+	for i, kv := range kvs {
+		if got := tr.Find(kv.Key.RangeMin()); got != kv.Entry {
+			t.Fatalf("cell %d RangeMin: got %#x want %#x", i, got, kv.Entry)
+		}
+		if got := tr.Find(kv.Key.RangeMax()); got != kv.Entry {
+			t.Fatalf("cell %d RangeMax: got %#x want %#x", i, got, kv.Entry)
+		}
+	}
+	// Leaves outside the parent must miss.
+	if got := tr.Find(cellid.FromPoint(geom.Point{X: 10, Y: -10})); !got.IsFalseHit() {
+		t.Error("outside leaf must miss")
+	}
+}
+
+func TestAgainstSortedVector(t *testing.T) {
+	polys := []*geom.Polygon{
+		geom.MustPolygon(geom.Ring{
+			{X: -74.00, Y: 40.70}, {X: -73.96, Y: 40.705}, {X: -73.95, Y: 40.74}, {X: -73.99, Y: 40.735},
+		}),
+		geom.MustPolygon(geom.Ring{
+			{X: -73.95, Y: 40.69}, {X: -73.92, Y: 40.69}, {X: -73.92, Y: 40.72}, {X: -73.95, Y: 40.72},
+		}),
+	}
+	sc := supercover.Build(polys, supercover.DefaultOptions())
+	sc.RefineToPrecision(polys, 15)
+	kvs, _ := cellindex.Encode(sc.Cells())
+	tr := Build(kvs, 0)
+	lb := sortedvec.Build(kvs)
+
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 8000; iter++ {
+		p := geom.Point{X: -74.02 + rng.Float64()*0.12, Y: 40.68 + rng.Float64()*0.08}
+		leaf := cellid.FromPoint(p)
+		if got, want := tr.Find(leaf), lb.Find(leaf); got != want {
+			t.Fatalf("btree Find(%v) = %#x, sortedvec = %#x", leaf, got, want)
+		}
+	}
+}
+
+func TestNodeSizes(t *testing.T) {
+	parent := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71}).Parent(8)
+	kvs := denseCells(parent, 13) // 1024 cells
+	for _, nodeBytes := range []int{64, 256, 1024, 4096} {
+		tr := Build(kvs, nodeBytes)
+		for i := 0; i < len(kvs); i += 16 {
+			if got := tr.Find(kvs[i].Key.RangeMin()); got != kvs[i].Entry {
+				t.Fatalf("nodeBytes %d: wrong result", nodeBytes)
+			}
+		}
+	}
+	// Smaller nodes mean taller trees.
+	small := Build(kvs, 64)
+	large := Build(kvs, 4096)
+	if small.Height() <= large.Height() {
+		t.Errorf("64B height %d should exceed 4096B height %d", small.Height(), large.Height())
+	}
+}
+
+func TestBuildPanicsOnUnsorted(t *testing.T) {
+	a := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71}).Parent(10)
+	b := cellid.FromPoint(geom.Point{X: -73.5, Y: 40.9}).Parent(10)
+	if a < b {
+		a, b = b, a
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted input must panic")
+		}
+	}()
+	Build([]cellindex.KeyEntry{{Key: a, Entry: entryFor(1)}, {Key: b, Entry: entryFor(2)}}, 0)
+}
+
+func TestFindCount(t *testing.T) {
+	parent := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71}).Parent(8)
+	kvs := denseCells(parent, 14)
+	tr := Build(kvs, 0)
+	_, cmps, nodes := tr.FindCount(kvs[100].Key.RangeMin())
+	if nodes != tr.Height() {
+		t.Errorf("node accesses %d != height %d", nodes, tr.Height())
+	}
+	if cmps <= 0 || cmps > 10*tr.Height() {
+		t.Errorf("comparisons = %d out of expected range", cmps)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	parent := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71}).Parent(8)
+	kvs := denseCells(parent, 12)
+	tr := Build(kvs, 0)
+	if tr.SizeBytes() <= 16*len(kvs) {
+		t.Error("size must include inner levels")
+	}
+	if tr.SizeBytes() > 20*len(kvs) {
+		t.Error("inner levels should be a small fraction")
+	}
+}

@@ -1,0 +1,78 @@
+package btree
+
+import (
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/geom"
+)
+
+// Probes around the extreme keys exercise the lower-bound logic at the
+// array ends and across leaf-node boundaries.
+func TestBoundaryProbes(t *testing.T) {
+	parent := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71}).Parent(8)
+	kvs := denseCells(parent, 13) // 1024 cells spanning several leaves
+	tr := Build(kvs, 0)
+
+	first, last := kvs[0].Key, kvs[len(kvs)-1].Key
+
+	// One leaf id before the whole range must miss.
+	if before := first.RangeMin() - 2; cellid.CellID(before).IsLeaf() {
+		if got := tr.Find(cellid.CellID(before)); !got.IsFalseHit() {
+			t.Error("leaf before the range must miss")
+		}
+	}
+	// One leaf id after the whole range must miss.
+	if after := last.RangeMax() + 2; cellid.CellID(after).IsLeaf() {
+		if got := tr.Find(cellid.CellID(after)); !got.IsFalseHit() {
+			t.Error("leaf after the range must miss")
+		}
+	}
+	// Every leaf-node boundary: the last key of leaf i and first key of
+	// leaf i+1 must both resolve correctly (the predecessor may live in the
+	// preceding node).
+	for i := tr.leafCap - 1; i < len(kvs)-1; i += tr.leafCap {
+		a, b := kvs[i], kvs[i+1]
+		if got := tr.Find(a.Key.RangeMax()); got != a.Entry {
+			t.Fatalf("leaf-boundary predecessor lookup failed at %d", i)
+		}
+		if got := tr.Find(b.Key.RangeMin()); got != b.Entry {
+			t.Fatalf("leaf-boundary successor lookup failed at %d", i)
+		}
+	}
+}
+
+// Sparse trees (cells scattered across faces) must still route correctly
+// even though inner separators jump across huge key gaps.
+func TestSparseMultiFaceTree(t *testing.T) {
+	var kvs []cellindex.KeyEntry
+	pts := []geom.Point{
+		{X: -170, Y: -80}, {X: -100, Y: -40}, {X: -50, Y: 40},
+		{X: 10, Y: -10}, {X: 70, Y: 50}, {X: 150, Y: 80},
+	}
+	for i, p := range pts {
+		kvs = append(kvs, cellindex.KeyEntry{
+			Key:   cellid.FromPoint(p).Parent(10),
+			Entry: entryFor(uint32(i)),
+		})
+	}
+	// Input must be sorted; points were chosen ascending by face but
+	// verify and sort defensively.
+	for i := 1; i < len(kvs); i++ {
+		if kvs[i-1].Key >= kvs[i].Key {
+			t.Skip("test points not in id order on this grid layout")
+		}
+	}
+	tr := Build(kvs, 64) // tiny nodes force height even on 6 cells
+	for i, kv := range kvs {
+		if got := tr.Find(kv.Key.RangeMin()); got != entryFor(uint32(i)) {
+			t.Errorf("cell %d lookup failed", i)
+		}
+		// A point in the same face but outside the cell must miss.
+		sibling := kv.Key.ImmediateParent().Child((kv.Key.ChildPosition(kv.Key.Level()) + 2) % 4)
+		if got := tr.Find(sibling.RangeMin()); !got.IsFalseHit() {
+			t.Errorf("sibling of cell %d wrongly hit", i)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package cellid
+
+import "strings"
+
+// Token returns the canonical compact string form of the cell id: the
+// big-endian hex representation with trailing zeros stripped (the same
+// scheme S2 uses, so tokens sort like cell ids and ancestors share string
+// prefixes at 4-level granularity). The invalid id returns "X".
+func (c CellID) Token() string {
+	if c == 0 {
+		return "X"
+	}
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	v := uint64(c)
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[v&0xf]
+		v >>= 4
+	}
+	s := string(b[:])
+	return strings.TrimRight(s, "0")
+}
+
+// FromToken parses a token back into a cell id. Invalid input returns the
+// zero (invalid) CellID.
+func FromToken(s string) CellID {
+	if s == "" || s == "X" || len(s) > 16 {
+		return 0
+	}
+	var v uint64
+	for _, r := range s {
+		var d uint64
+		switch {
+		case r >= '0' && r <= '9':
+			d = uint64(r - '0')
+		case r >= 'a' && r <= 'f':
+			d = uint64(r-'a') + 10
+		case r >= 'A' && r <= 'F':
+			d = uint64(r-'A') + 10
+		default:
+			return 0
+		}
+		v = v<<4 | d
+	}
+	v <<= uint(4 * (16 - len(s)))
+	return CellID(v)
+}

@@ -1,0 +1,70 @@
+package cellid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"actjoin/internal/geom"
+)
+
+func TestTokenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := geom.Point{X: rng.Float64()*360 - 180, Y: rng.Float64()*180 - 90}
+		c := FromPoint(p).Parent(rng.Intn(MaxLevel + 1))
+		tok := c.Token()
+		if got := FromToken(tok); got != c {
+			t.Fatalf("round trip failed: %v -> %q -> %v", c, tok, got)
+		}
+		if len(tok) == 0 || len(tok) > 16 {
+			t.Fatalf("token length %d", len(tok))
+		}
+		if tok[len(tok)-1] == '0' {
+			t.Fatalf("token %q has trailing zero", tok)
+		}
+	}
+}
+
+func TestTokenInvalid(t *testing.T) {
+	if CellID(0).Token() != "X" {
+		t.Error("invalid id token must be X")
+	}
+	for _, s := range []string{"", "X", "zz", "12345678901234567", "g1"} {
+		if got := FromToken(s); got != 0 {
+			t.Errorf("FromToken(%q) = %v, want 0", s, got)
+		}
+	}
+	if got := FromToken("ABC"); got != FromToken("abc") {
+		t.Error("token parsing must be case-insensitive")
+	}
+}
+
+func TestTokenPrefixProperty(t *testing.T) {
+	// Tokens of 4-level-aligned ancestors are string prefixes of their
+	// descendants' tokens (each hex digit encodes two quadtree levels).
+	f := func(lon, lat float64, l8 uint8) bool {
+		lon = mod(lon, 360) - 180
+		lat = mod(lat, 180) - 90
+		leaf := FromPoint(geom.Point{X: lon, Y: lat})
+		level := int(l8)%12 + 2
+		level -= level % 2 // 2-level alignment = whole hex digits
+		anc := leaf.Parent(level)
+		child := leaf.Parent(level + 2)
+		at, ct := anc.Token(), child.Token()
+		// The ancestor token minus its sentinel digit prefixes the child.
+		return len(at) >= 1 && len(ct) >= len(at) &&
+			ct[:len(at)-1] == at[:len(at)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod(v, m float64) float64 {
+	v = v - m*float64(int(v/m))
+	if v < 0 {
+		v += m
+	}
+	return v
+}

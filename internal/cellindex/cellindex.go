@@ -1,0 +1,45 @@
+// Package cellindex defines the common interface of the physical cell-id
+// index structures the paper evaluates (ACT, the Google-B-tree stand-in, and
+// the sorted vector): a map from the disjoint cells of a super covering to
+// tagged entries, probed with leaf cell ids of query points.
+//
+// It also provides the shared input preparation: encoding a frozen super
+// covering into (cell id, tagged entry) pairs plus the lookup table, which
+// "is the same among all data structures that we evaluate" (Section 4.1).
+package cellindex
+
+import (
+	"actjoin/internal/cellid"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+// KeyEntry is one indexable pair.
+type KeyEntry struct {
+	Key   cellid.CellID
+	Entry refs.Entry
+}
+
+// Index is the probe interface shared by all physical representations. Find
+// returns the tagged entry of the unique super-covering cell containing the
+// query leaf, or refs.FalseHit when no cell contains it.
+type Index interface {
+	Find(leaf cellid.CellID) refs.Entry
+	// SizeBytes returns the in-memory footprint of the structure itself
+	// (excluding the shared lookup table).
+	SizeBytes() int
+}
+
+// Encode converts super-covering cells into index input and the shared
+// lookup table. Cells must be sorted and disjoint (supercover.Cells output).
+// Reference lists are normalized; up to two references are inlined into the
+// tagged entry, longer lists are deduplicated into the table.
+func Encode(cells []supercover.Cell) ([]KeyEntry, *refs.Table) {
+	table := refs.NewTable()
+	out := make([]KeyEntry, 0, len(cells))
+	for _, c := range cells {
+		rs := refs.Normalize(c.Refs)
+		out = append(out, KeyEntry{Key: c.ID, Entry: table.Encode(rs)})
+	}
+	return out, table
+}

@@ -1,0 +1,180 @@
+package dataset
+
+import "actjoin/internal/geom"
+
+// Scale selects dataset sizes. ScaleTiny is for unit tests of the
+// experiment harness; ScaleSmall keeps full benchmark runs tractable on a
+// laptop; ScalePaper matches the paper's polygon counts (Table 1 and
+// Figure 9).
+type Scale int
+
+const (
+	ScaleTiny Scale = iota
+	ScaleSmall
+	ScalePaper
+)
+
+// ParseScale maps the CLI flag spelling to a Scale.
+func ParseScale(s string) (Scale, bool) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, true
+	case "small":
+		return ScaleSmall, true
+	case "paper":
+		return ScalePaper, true
+	}
+	return ScaleSmall, false
+}
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScalePaper:
+		return "paper"
+	default:
+		return "small"
+	}
+}
+
+// Spec describes one polygon dataset.
+type Spec struct {
+	Name       string
+	Bound      geom.Rect
+	Rows, Cols int
+	EdgeSubdiv int
+	Seed       int64
+}
+
+// NumPolygons returns Rows*Cols.
+func (s Spec) NumPolygons() int { return s.Rows * s.Cols }
+
+// Generate builds the polygon tiling for the spec.
+func (s Spec) Generate() []*geom.Polygon {
+	return Mesh(MeshOptions{
+		Rows:       s.Rows,
+		Cols:       s.Cols,
+		Bound:      s.Bound,
+		EdgeSubdiv: s.EdgeSubdiv,
+		Jitter:     0.22,
+		Roughness:  0.12,
+		Seed:       s.Seed,
+	})
+}
+
+// nycBound is the approximate MBR of New York City.
+var nycBound = geom.Rect{
+	Lo: geom.Point{X: -74.26, Y: 40.49},
+	Hi: geom.Point{X: -73.70, Y: 40.92},
+}
+
+// NYCBoroughs stands in for the 5 NYC borough polygons (avg 662 vertices in
+// the paper): few, large, very complex polygons.
+func NYCBoroughs(scale Scale) Spec {
+	s := Spec{
+		Name:  "boroughs",
+		Bound: nycBound,
+		Rows:  1, Cols: 5,
+		// 4 * 2^7 = 512 vertices for interior polygons, approaching the
+		// paper's 662 average; borders are straight, so the average lands
+		// lower, preserving "few polygons, many edges".
+		EdgeSubdiv: 7,
+		Seed:       101,
+	}
+	if scale == ScaleTiny {
+		s.Cols = 3
+		s.EdgeSubdiv = 5
+	}
+	return s
+}
+
+// NYCNeighborhoods stands in for the 289 neighborhood polygons
+// (avg 29.6 vertices). 17 x 17 = 289 exactly.
+func NYCNeighborhoods(scale Scale) Spec {
+	s := Spec{
+		Name:  "neighborhoods",
+		Bound: nycBound,
+		Rows:  17, Cols: 17,
+		EdgeSubdiv: 3, // 4 * 2^3 = 32 vertices
+		Seed:       102,
+	}
+	if scale == ScaleTiny {
+		s.Rows, s.Cols = 6, 6
+	}
+	return s
+}
+
+// NYCCensus stands in for the 39,184 census-block polygons (avg 12.5
+// vertices). The paper scale uses 124 x 316 = 39,184 exactly; the small
+// scale divides each axis by ~4 (31 x 79 = 2,449) to keep covering
+// construction fast on a laptop.
+func NYCCensus(scale Scale) Spec {
+	s := Spec{
+		Name:       "census",
+		Bound:      nycBound,
+		EdgeSubdiv: 1, // 4 * 2 = 8-12 vertices
+		Seed:       103,
+	}
+	switch scale {
+	case ScalePaper:
+		s.Rows, s.Cols = 124, 316
+	case ScaleTiny:
+		s.Rows, s.Cols = 12, 20
+	default:
+		s.Rows, s.Cols = 31, 79
+	}
+	return s
+}
+
+// Twitter city datasets (Figure 9): polygon counts match the paper's
+// neighborhood sets (NYC 289, BOS 42, LA 160, SF 117).
+
+// Boston neighborhoods (42 polygons).
+func Boston() Spec {
+	return Spec{
+		Name: "bos",
+		Bound: geom.Rect{
+			Lo: geom.Point{X: -71.19, Y: 42.23},
+			Hi: geom.Point{X: -70.92, Y: 42.40},
+		},
+		Rows: 6, Cols: 7, // 42
+		EdgeSubdiv: 3,
+		Seed:       104,
+	}
+}
+
+// LosAngeles neighborhoods (160 polygons).
+func LosAngeles() Spec {
+	return Spec{
+		Name: "la",
+		Bound: geom.Rect{
+			Lo: geom.Point{X: -118.67, Y: 33.70},
+			Hi: geom.Point{X: -118.15, Y: 34.34},
+		},
+		Rows: 16, Cols: 10, // 160
+		EdgeSubdiv: 3,
+		Seed:       105,
+	}
+}
+
+// SanFrancisco neighborhoods (117 polygons).
+func SanFrancisco() Spec {
+	return Spec{
+		Name: "sf",
+		Bound: geom.Rect{
+			Lo: geom.Point{X: -122.52, Y: 37.70},
+			Hi: geom.Point{X: -122.35, Y: 37.84},
+		},
+		Rows: 9, Cols: 13, // 117
+		EdgeSubdiv: 3,
+		Seed:       106,
+	}
+}
+
+// NYCTwitter is the NYC neighborhood set reused for the Twitter experiment.
+func NYCTwitter(scale Scale) Spec {
+	s := NYCNeighborhoods(scale)
+	s.Name = "nyc"
+	return s
+}

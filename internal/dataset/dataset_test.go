@@ -1,0 +1,259 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"actjoin/internal/geom"
+)
+
+func TestMeshDeterminism(t *testing.T) {
+	opt := MeshOptions{Rows: 3, Cols: 4, Bound: nycBound, EdgeSubdiv: 3, Jitter: 0.2, Roughness: 0.1, Seed: 7}
+	a := Mesh(opt)
+	b := Mesh(opt)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		ra, rb := a[i].Rings[0], b[i].Rings[0]
+		if len(ra) != len(rb) {
+			t.Fatalf("polygon %d vertex count mismatch", i)
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("polygon %d vertex %d differs", i, j)
+			}
+		}
+	}
+	// A different seed must differ.
+	opt.Seed = 8
+	c := Mesh(opt)
+	same := true
+	for i := range a {
+		if len(a[i].Rings[0]) != len(c[i].Rings[0]) {
+			same = false
+			break
+		}
+		for j := range a[i].Rings[0] {
+			if a[i].Rings[0][j] != c[i].Rings[0][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical meshes")
+	}
+}
+
+func TestMeshTilesTheBound(t *testing.T) {
+	opt := MeshOptions{Rows: 5, Cols: 6, Bound: nycBound, EdgeSubdiv: 2, Jitter: 0.2, Roughness: 0.1, Seed: 3}
+	polys := Mesh(opt)
+	if len(polys) != 30 {
+		t.Fatalf("polygon count = %d", len(polys))
+	}
+	// Interior displacement conserves area per shared edge, so total area
+	// must match the bound almost exactly.
+	total := TotalArea(polys)
+	want := nycBound.Area()
+	if math.Abs(total-want) > 0.02*want {
+		t.Errorf("total area %v, want ~%v", total, want)
+	}
+	// Random interior points must be covered by exactly one polygon.
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		p := geom.Point{
+			X: nycBound.Lo.X + rng.Float64()*nycBound.Width(),
+			Y: nycBound.Lo.Y + rng.Float64()*nycBound.Height(),
+		}
+		n := 0
+		for _, poly := range polys {
+			if poly.ContainsPoint(p) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("point %v covered by %d polygons, want exactly 1", p, n)
+		}
+	}
+}
+
+func TestMeshPolygonValidity(t *testing.T) {
+	polys := Mesh(MeshOptions{Rows: 4, Cols: 4, Bound: nycBound, EdgeSubdiv: 4, Jitter: 0.22, Roughness: 0.12, Seed: 5})
+	for i, p := range polys {
+		if p.NumVertices() < 4 {
+			t.Errorf("polygon %d has only %d vertices", i, p.NumVertices())
+		}
+		if p.Rings[0].SignedArea() <= 0 {
+			t.Errorf("polygon %d not counter-clockwise", i)
+		}
+		if p.Area() <= 0 {
+			t.Errorf("polygon %d has non-positive area", i)
+		}
+	}
+}
+
+func TestCitySpecs(t *testing.T) {
+	cases := []struct {
+		spec    Spec
+		count   int
+		minAvgV float64
+		maxAvgV float64
+	}{
+		{NYCBoroughs(ScaleSmall), 5, 200, 700},
+		{NYCNeighborhoods(ScaleSmall), 289, 20, 40},
+		{NYCCensus(ScaleSmall), 2449, 6, 16},
+		{NYCBoroughs(ScaleTiny), 3, 30, 200},
+		{NYCNeighborhoods(ScaleTiny), 36, 20, 40},
+		{NYCCensus(ScaleTiny), 240, 6, 16},
+		{Boston(), 42, 20, 40},
+		{LosAngeles(), 160, 20, 40},
+		{SanFrancisco(), 117, 20, 40},
+	}
+	for _, c := range cases {
+		polys := c.spec.Generate()
+		if len(polys) != c.count {
+			t.Errorf("%s: %d polygons, want %d", c.spec.Name, len(polys), c.count)
+		}
+		if c.spec.NumPolygons() != c.count {
+			t.Errorf("%s: NumPolygons %d, want %d", c.spec.Name, c.spec.NumPolygons(), c.count)
+		}
+		avg := AvgVertices(polys)
+		if avg < c.minAvgV || avg > c.maxAvgV {
+			t.Errorf("%s: avg vertices %.1f outside [%v, %v]", c.spec.Name, avg, c.minAvgV, c.maxAvgV)
+		}
+		mbr := MBR(polys)
+		if !mbr.Intersects(c.spec.Bound) {
+			t.Errorf("%s: polygons outside the city bound", c.spec.Name)
+		}
+	}
+}
+
+func TestCensusPaperScaleCount(t *testing.T) {
+	s := NYCCensus(ScalePaper)
+	if got := s.NumPolygons(); got != 39184 {
+		t.Errorf("paper-scale census = %d polygons, want 39184 (Table 1)", got)
+	}
+}
+
+func TestUniformPoints(t *testing.T) {
+	pts := UniformPoints(nycBound, 5000, 1)
+	if len(pts) != 5000 {
+		t.Fatal("count")
+	}
+	for _, p := range pts {
+		if !nycBound.ContainsPoint(p) {
+			t.Fatalf("point %v outside bound", p)
+		}
+	}
+	// Rough uniformity: each quadrant holds 15-35%.
+	c := nycBound.Center()
+	quad := [4]int{}
+	for _, p := range pts {
+		i := 0
+		if p.X > c.X {
+			i |= 1
+		}
+		if p.Y > c.Y {
+			i |= 2
+		}
+		quad[i]++
+	}
+	for i, n := range quad {
+		f := float64(n) / 5000
+		if f < 0.15 || f > 0.35 {
+			t.Errorf("quadrant %d holds %.0f%%", i, f*100)
+		}
+	}
+}
+
+func TestTaxiPointsAreSkewed(t *testing.T) {
+	pts := TaxiPoints(nycBound, 20000, 2)
+	for _, p := range pts {
+		if !nycBound.ContainsPoint(p) {
+			t.Fatalf("point %v outside bound", p)
+		}
+	}
+	// The "Manhattan" band is around the middle-left; a small box around it
+	// must hold the majority of the points (paper: >90% in Manhattan).
+	manhattan := geom.Rect{
+		Lo: geom.Point{X: nycBound.Lo.X + 0.38*nycBound.Width(), Y: nycBound.Lo.Y + 0.45*nycBound.Height()},
+		Hi: geom.Point{X: nycBound.Lo.X + 0.62*nycBound.Width(), Y: nycBound.Lo.Y + 0.93*nycBound.Height()},
+	}
+	in := 0
+	for _, p := range pts {
+		if manhattan.ContainsPoint(p) {
+			in++
+		}
+	}
+	if f := float64(in) / float64(len(pts)); f < 0.6 {
+		t.Errorf("only %.0f%% of taxi points in the Manhattan band, want clustered majority", f*100)
+	}
+}
+
+func TestTwitterPointsClusteredButBroader(t *testing.T) {
+	taxi := TaxiPoints(nycBound, 20000, 3)
+	twitter := TwitterPoints(nycBound, 20000, 3)
+	// Dispersion: mean distance from centroid must be larger for Twitter.
+	disp := func(pts []geom.Point) float64 {
+		var cx, cy float64
+		for _, p := range pts {
+			cx += p.X
+			cy += p.Y
+		}
+		cx /= float64(len(pts))
+		cy /= float64(len(pts))
+		var d float64
+		for _, p := range pts {
+			d += math.Hypot(p.X-cx, p.Y-cy)
+		}
+		return d / float64(len(pts))
+	}
+	if disp(twitter) <= disp(taxi) {
+		t.Error("twitter points should be more dispersed than taxi points")
+	}
+}
+
+func TestClusteredPointsDeterminism(t *testing.T) {
+	a := TaxiPoints(nycBound, 1000, 42)
+	b := TaxiPoints(nycBound, 1000, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce points")
+		}
+	}
+}
+
+func TestToCellIDs(t *testing.T) {
+	pts := UniformPoints(nycBound, 100, 4)
+	cells := ToCellIDs(pts)
+	if len(cells) != len(pts) {
+		t.Fatal("length")
+	}
+	for i, c := range cells {
+		if !c.IsLeaf() {
+			t.Fatal("cells must be leaves")
+		}
+		if !c.Bound().ContainsPoint(pts[i]) {
+			t.Fatal("cell must contain its point")
+		}
+	}
+}
+
+func TestMeshPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("0x0 mesh must panic")
+		}
+	}()
+	Mesh(MeshOptions{Rows: 0, Cols: 5, Bound: nycBound})
+}
+
+func TestClusteredPointsNoHotspots(t *testing.T) {
+	pts := ClusteredPoints(nycBound, nil, 0, 100, 5)
+	for _, p := range pts {
+		if !nycBound.ContainsPoint(p) {
+			t.Fatal("fallback to uniform must stay in bound")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package dataset generates the synthetic stand-ins for the paper's
+// datasets (see DESIGN.md, substitution table): disjoint polygon tilings
+// with controlled polygon counts and vertex complexity standing in for NYC
+// boroughs / neighborhoods / census blocks and the Twitter cities, plus
+// clustered ("taxi", "twitter") and uniform point generators.
+//
+// All generators are deterministic given their seed.
+package dataset
+
+import (
+	"math/rand"
+
+	"actjoin/internal/geom"
+)
+
+// MeshOptions describe a jittered-mesh polygon tiling: a Rows x Cols grid
+// of quadrilateral-ish polygons whose shared corners are jittered and whose
+// shared edges are fractal polylines (midpoint displacement), generated
+// identically from both sides so the tiling stays exactly disjoint — the
+// paper's "largely disjoint, mostly static" polygon regime.
+type MeshOptions struct {
+	Rows, Cols int
+	Bound      geom.Rect
+	// EdgeSubdiv is the midpoint-displacement depth per shared edge: each
+	// edge becomes 2^EdgeSubdiv segments, so interior polygons have about
+	// 4*2^EdgeSubdiv vertices.
+	EdgeSubdiv int
+	// Jitter displaces interior grid corners by up to this fraction of the
+	// cell size.
+	Jitter float64
+	// Roughness is the midpoint displacement amplitude as a fraction of the
+	// edge length.
+	Roughness float64
+	Seed      int64
+}
+
+// Mesh generates the tiling. Polygons are emitted row-major.
+func Mesh(opt MeshOptions) []*geom.Polygon {
+	if opt.Rows < 1 || opt.Cols < 1 {
+		panic("dataset: mesh needs at least 1x1 cells")
+	}
+	cellW := opt.Bound.Width() / float64(opt.Cols)
+	cellH := opt.Bound.Height() / float64(opt.Rows)
+
+	// Jittered grid corners. Border vertices stay put so the tiling exactly
+	// fills the bound.
+	verts := make([][]geom.Point, opt.Rows+1)
+	vrng := rand.New(rand.NewSource(opt.Seed))
+	for r := 0; r <= opt.Rows; r++ {
+		verts[r] = make([]geom.Point, opt.Cols+1)
+		for c := 0; c <= opt.Cols; c++ {
+			p := geom.Point{
+				X: opt.Bound.Lo.X + float64(c)*cellW,
+				Y: opt.Bound.Lo.Y + float64(r)*cellH,
+			}
+			if r > 0 && r < opt.Rows && c > 0 && c < opt.Cols {
+				p.X += (vrng.Float64()*2 - 1) * opt.Jitter * cellW
+				p.Y += (vrng.Float64()*2 - 1) * opt.Jitter * cellH
+			}
+			verts[r][c] = p
+		}
+	}
+
+	// Shared edge polylines. Each edge is generated once with an rng seeded
+	// by its grid position, so both adjacent polygons see identical
+	// geometry. Border edges stay straight.
+	type edgeKey struct {
+		horizontal bool
+		r, c       int
+	}
+	edges := make(map[edgeKey][]geom.Point)
+	edgeLine := func(k edgeKey) []geom.Point {
+		if pl, ok := edges[k]; ok {
+			return pl
+		}
+		var a, b geom.Point
+		var border bool
+		if k.horizontal {
+			a, b = verts[k.r][k.c], verts[k.r][k.c+1]
+			border = k.r == 0 || k.r == opt.Rows
+		} else {
+			a, b = verts[k.r][k.c], verts[k.r+1][k.c]
+			border = k.c == 0 || k.c == opt.Cols
+		}
+		depth := opt.EdgeSubdiv
+		if border {
+			depth = 0
+		}
+		h := opt.Seed*1000003 + int64(k.r)*7919 + int64(k.c)*104729
+		if k.horizontal {
+			h += 31337
+		}
+		rng := rand.New(rand.NewSource(h))
+		pl := displace(a, b, depth, opt.Roughness, rng)
+		edges[k] = pl
+		return pl
+	}
+
+	polys := make([]*geom.Polygon, 0, opt.Rows*opt.Cols)
+	for r := 0; r < opt.Rows; r++ {
+		for c := 0; c < opt.Cols; c++ {
+			var ring geom.Ring
+			appendLine := func(pl []geom.Point, reverse bool) {
+				if reverse {
+					for i := len(pl) - 1; i > 0; i-- {
+						ring = append(ring, pl[i])
+					}
+				} else {
+					for i := 0; i < len(pl)-1; i++ {
+						ring = append(ring, pl[i])
+					}
+				}
+			}
+			appendLine(edgeLine(edgeKey{true, r, c}), false)      // bottom, left to right
+			appendLine(edgeLine(edgeKey{false, r, c + 1}), false) // right, bottom to top
+			appendLine(edgeLine(edgeKey{true, r + 1, c}), true)   // top, right to left
+			appendLine(edgeLine(edgeKey{false, r, c}), true)      // left, top to bottom
+			polys = append(polys, geom.MustPolygon(ring))
+		}
+	}
+	return polys
+}
+
+// displace returns the fractal polyline from a to b (inclusive).
+func displace(a, b geom.Point, depth int, roughness float64, rng *rand.Rand) []geom.Point {
+	if depth <= 0 {
+		return []geom.Point{a, b}
+	}
+	d := b.Sub(a)
+	length := d.Norm()
+	// Perpendicular displacement of the midpoint.
+	mid := a.Add(d.Mul(0.5))
+	perp := geom.Point{X: -d.Y, Y: d.X}
+	if length > 0 {
+		perp = perp.Mul(1 / length)
+	}
+	mid = mid.Add(perp.Mul((rng.Float64()*2 - 1) * roughness * length))
+	left := displace(a, mid, depth-1, roughness, rng)
+	right := displace(mid, b, depth-1, roughness, rng)
+	return append(left, right[1:]...)
+}
+
+// AvgVertices returns the mean vertex count of the polygons, the complexity
+// metric of Table 1.
+func AvgVertices(polys []*geom.Polygon) float64 {
+	if len(polys) == 0 {
+		return 0
+	}
+	var n int
+	for _, p := range polys {
+		n += p.NumVertices()
+	}
+	return float64(n) / float64(len(polys))
+}
+
+// TotalArea sums polygon areas (used by tiling sanity checks).
+func TotalArea(polys []*geom.Polygon) float64 {
+	var a float64
+	for _, p := range polys {
+		a += p.Area()
+	}
+	return a
+}
+
+// MBR returns the bound of a polygon set.
+func MBR(polys []*geom.Polygon) geom.Rect {
+	b := geom.EmptyRect()
+	for _, p := range polys {
+		b = b.Union(p.Bound())
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/geom"
+)
+
+// UniformPoints generates n points uniformly within bound — the paper's
+// synthetic workload (Figure 8).
+func UniformPoints(bound geom.Rect, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: bound.Lo.X + rng.Float64()*bound.Width(),
+			Y: bound.Lo.Y + rng.Float64()*bound.Height(),
+		}
+	}
+	return pts
+}
+
+// Hotspot is one Gaussian cluster of a clustered point distribution.
+type Hotspot struct {
+	Center geom.Point
+	Sigma  geom.Point // standard deviation per axis, in degrees
+	Weight float64
+}
+
+// ClusteredPoints draws points from a mixture of Gaussian hotspots plus a
+// uniform background over bound. Points are clamped into bound. uniformFrac
+// is the background mixture weight.
+func ClusteredPoints(bound geom.Rect, hotspots []Hotspot, uniformFrac float64, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	var totalW float64
+	for _, h := range hotspots {
+		totalW += h.Weight
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if rng.Float64() < uniformFrac || totalW == 0 {
+			pts[i] = geom.Point{
+				X: bound.Lo.X + rng.Float64()*bound.Width(),
+				Y: bound.Lo.Y + rng.Float64()*bound.Height(),
+			}
+			continue
+		}
+		// Pick a hotspot by weight.
+		w := rng.Float64() * totalW
+		var h Hotspot
+		for _, cand := range hotspots {
+			if w < cand.Weight {
+				h = cand
+				break
+			}
+			w -= cand.Weight
+		}
+		p := geom.Point{
+			X: h.Center.X + rng.NormFloat64()*h.Sigma.X,
+			Y: h.Center.Y + rng.NormFloat64()*h.Sigma.Y,
+		}
+		pts[i] = clampPoint(p, bound)
+	}
+	return pts
+}
+
+func clampPoint(p geom.Point, b geom.Rect) geom.Point {
+	if p.X < b.Lo.X {
+		p.X = b.Lo.X
+	} else if p.X > b.Hi.X {
+		p.X = b.Hi.X
+	}
+	if p.Y < b.Lo.Y {
+		p.Y = b.Lo.Y
+	} else if p.Y > b.Hi.Y {
+		p.Y = b.Hi.Y
+	}
+	return p
+}
+
+// TaxiHotspots models the NYC yellow-taxi pickup skew the paper describes:
+// ">90% of points in Manhattan and around the airports". The "Manhattan"
+// band is a chain of tight clusters along the upper-left diagonal of the
+// city bound, plus two airport hotspots.
+func TaxiHotspots(bound geom.Rect) []Hotspot {
+	at := func(fx, fy float64) geom.Point {
+		return geom.Point{
+			X: bound.Lo.X + fx*bound.Width(),
+			Y: bound.Lo.Y + fy*bound.Height(),
+		}
+	}
+	sx := bound.Width() * 0.012
+	sy := bound.Height() * 0.012
+	sigma := geom.Point{X: sx, Y: sy}
+	return []Hotspot{
+		// Manhattan band (dense, most weight).
+		{Center: at(0.46, 0.55), Sigma: sigma, Weight: 22},
+		{Center: at(0.48, 0.62), Sigma: sigma, Weight: 24},
+		{Center: at(0.50, 0.69), Sigma: sigma, Weight: 22},
+		{Center: at(0.52, 0.76), Sigma: sigma, Weight: 14},
+		{Center: at(0.54, 0.83), Sigma: sigma, Weight: 8},
+		// Airports (JFK-ish and LGA-ish positions).
+		{Center: at(0.74, 0.33), Sigma: geom.Point{X: sx * 0.7, Y: sy * 0.7}, Weight: 6},
+		{Center: at(0.62, 0.60), Sigma: geom.Point{X: sx * 0.7, Y: sy * 0.7}, Weight: 4},
+	}
+}
+
+// TaxiPoints generates the clustered taxi-pickup workload over the given
+// city bound: 95% hotspot traffic, 5% uniform background.
+func TaxiPoints(bound geom.Rect, n int, seed int64) []geom.Point {
+	return ClusteredPoints(bound, TaxiHotspots(bound), 0.05, n, seed)
+}
+
+// TwitterPoints generates geo-tagged-tweet-like points: clustered like taxi
+// data but with a heavier uniform background (tweets happen everywhere),
+// matching the paper's observation that "the tweets are clustered, with
+// certain areas having more tweeting activity than others".
+func TwitterPoints(bound geom.Rect, n int, seed int64) []geom.Point {
+	at := func(fx, fy float64) geom.Point {
+		return geom.Point{
+			X: bound.Lo.X + fx*bound.Width(),
+			Y: bound.Lo.Y + fy*bound.Height(),
+		}
+	}
+	sigma := geom.Point{X: bound.Width() * 0.03, Y: bound.Height() * 0.03}
+	hotspots := []Hotspot{
+		{Center: at(0.5, 0.5), Sigma: sigma, Weight: 30},
+		{Center: at(0.35, 0.6), Sigma: sigma, Weight: 15},
+		{Center: at(0.6, 0.4), Sigma: sigma, Weight: 15},
+		{Center: at(0.7, 0.7), Sigma: sigma, Weight: 10},
+		{Center: at(0.25, 0.3), Sigma: sigma, Weight: 10},
+	}
+	return ClusteredPoints(bound, hotspots, 0.20, n, seed)
+}
+
+// ToCellIDs converts points to their leaf cell ids — the precomputation the
+// paper performs once when loading the taxi data ("convert to an S2CellId
+// prior to performing any experiments").
+func ToCellIDs(pts []geom.Point) []cellid.CellID {
+	out := make([]cellid.CellID, len(pts))
+	for i, p := range pts {
+		out[i] = cellid.FromPoint(p)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRectVertices(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{2, 1}}
+	v := r.Vertices()
+	want := [4]Point{{0, 0}, {2, 0}, {2, 1}, {0, 1}}
+	if v != want {
+		t.Errorf("Vertices = %v, want %v", v, want)
+	}
+	// Counter-clockwise: the shoelace sum must be positive.
+	var area float64
+	for i := 0; i < 4; i++ {
+		area += v[i].Cross(v[(i+1)%4])
+	}
+	if area <= 0 {
+		t.Error("vertices must be counter-clockwise")
+	}
+}
+
+func TestRectDiagonal(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{3, 4}}
+	if got := r.Diagonal(); got != 5 {
+		t.Errorf("Diagonal = %v, want 5", got)
+	}
+}
+
+func TestRingEdgeWraps(t *testing.T) {
+	ring := Ring{{0, 0}, {1, 0}, {1, 1}}
+	last := ring.Edge(2)
+	if last.A != (Point{1, 1}) || last.B != (Point{0, 0}) {
+		t.Errorf("closing edge = %v", last)
+	}
+}
+
+func TestSpikePolygon(t *testing.T) {
+	// A polygon with a needle-thin spike; containment near the spike must
+	// stay consistent with the even-odd rule.
+	p := MustPolygon(Ring{
+		{0, 0}, {10, 0}, {10, 2}, {5.01, 2}, {5, 10}, {4.99, 2}, {0, 2},
+	})
+	if !p.ContainsPoint(Point{5, 1}) {
+		t.Error("base of spike must be inside")
+	}
+	if !p.ContainsPoint(Point{5, 5}) {
+		t.Error("inside the spike must be inside")
+	}
+	if p.ContainsPoint(Point{5.2, 5}) {
+		t.Error("beside the spike must be outside")
+	}
+	if p.ContainsPoint(Point{5, 10.1}) {
+		t.Error("above the spike must be outside")
+	}
+}
+
+func TestRelateRectRectContainsPolygonWithHole(t *testing.T) {
+	// A rect that fully contains a donut polygon is partial (the boundary
+	// passes through the rect).
+	donut := MustPolygon(
+		Ring{{2, 2}, {8, 2}, {8, 8}, {2, 8}},
+		Ring{{4, 4}, {6, 4}, {6, 6}, {4, 6}},
+	)
+	big := Rect{Point{0, 0}, Point{10, 10}}
+	if got := donut.RelateRect(big); got != RectPartial {
+		t.Errorf("rect containing donut = %v, want partial", got)
+	}
+	// A rect strictly inside the hole is disjoint.
+	inHole := Rect{Point{4.5, 4.5}, Point{5.5, 5.5}}
+	if got := donut.RelateRect(inHole); got != RectDisjoint {
+		t.Errorf("rect in hole = %v, want disjoint", got)
+	}
+}
+
+func TestDistanceMetersSymmetry(t *testing.T) {
+	a := Point{-74.0, 40.7}
+	b := Point{-73.9, 40.8}
+	if d1, d2 := DistanceMeters(a, b), DistanceMeters(b, a); math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("distance not symmetric: %v vs %v", d1, d2)
+	}
+	if DistanceMeters(a, a) != 0 {
+		t.Error("self distance must be zero")
+	}
+}
+
+func TestPolygonAreaMatchesRectArea(t *testing.T) {
+	p := MustPolygon(Ring{{1, 2}, {4, 2}, {4, 7}, {1, 7}})
+	if got, want := p.Area(), 15.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Area = %v, want %v", got, want)
+	}
+	b := p.Bound()
+	if math.Abs(b.Area()-15.0) > 1e-12 {
+		t.Errorf("Bound area = %v", b.Area())
+	}
+}
+
+func TestEmptyRectIntersectionStaysEmpty(t *testing.T) {
+	e := EmptyRect()
+	r := Rect{Point{0, 0}, Point{1, 1}}
+	if got := e.Intersection(r); !got.IsEmpty() {
+		t.Error("empty ∩ rect must be empty")
+	}
+	if got := r.Intersection(e); !got.IsEmpty() {
+		t.Error("rect ∩ empty must be empty")
+	}
+}

@@ -1,0 +1,367 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{2, 1}}
+	if got := r.Width(); got != 2 {
+		t.Errorf("Width = %v, want 2", got)
+	}
+	if got := r.Height(); got != 1 {
+		t.Errorf("Height = %v, want 1", got)
+	}
+	if got := r.Area(); got != 2 {
+		t.Errorf("Area = %v, want 2", got)
+	}
+	if got := r.Center(); got != (Point{1, 0.5}) {
+		t.Errorf("Center = %v, want (1, 0.5)", got)
+	}
+	if !r.ContainsPoint(Point{0, 0}) || !r.ContainsPoint(Point{2, 1}) {
+		t.Error("closed rect must contain its corners")
+	}
+	if r.ContainsPoint(Point{2.0001, 0.5}) {
+		t.Error("rect must not contain points outside")
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	if e.Area() != 0 {
+		t.Errorf("empty rect area = %v, want 0", e.Area())
+	}
+	r := Rect{Point{0, 0}, Point{1, 1}}
+	if e.Intersects(r) || r.Intersects(e) {
+		t.Error("empty rect must not intersect anything")
+	}
+	if got := e.Union(r); got != r {
+		t.Errorf("empty.Union(r) = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r.Union(empty) = %v, want %v", got, r)
+	}
+	if !r.ContainsRect(e) {
+		t.Error("any rect contains the empty rect")
+	}
+}
+
+func TestRectIntersection(t *testing.T) {
+	a := Rect{Point{0, 0}, Point{2, 2}}
+	b := Rect{Point{1, 1}, Point{3, 3}}
+	got := a.Intersection(b)
+	want := Rect{Point{1, 1}, Point{2, 2}}
+	if got != want {
+		t.Errorf("Intersection = %v, want %v", got, want)
+	}
+	c := Rect{Point{5, 5}, Point{6, 6}}
+	if !a.Intersection(c).IsEmpty() {
+		t.Error("disjoint rects must have empty intersection")
+	}
+	// Touching rects share a boundary point.
+	d := Rect{Point{2, 0}, Point{3, 2}}
+	if !a.Intersects(d) {
+		t.Error("touching rects intersect (closed semantics)")
+	}
+}
+
+func TestRectUnionContains(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		r1 := RectFromPoints(Point{ax, ay}, Point{bx, by})
+		r2 := RectFromPoints(Point{cx, cy}, Point{dx, dy})
+		u := r1.Union(r2)
+		return u.ContainsRect(r1) && u.ContainsRect(r2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, t Segment
+		want bool
+	}{
+		{Segment{Point{0, 0}, Point{2, 2}}, Segment{Point{0, 2}, Point{2, 0}}, true},   // proper cross
+		{Segment{Point{0, 0}, Point{1, 1}}, Segment{Point{2, 2}, Point{3, 3}}, false},  // collinear apart
+		{Segment{Point{0, 0}, Point{2, 2}}, Segment{Point{1, 1}, Point{3, 3}}, true},   // collinear overlap
+		{Segment{Point{0, 0}, Point{1, 0}}, Segment{Point{1, 0}, Point{2, 5}}, true},   // shared endpoint
+		{Segment{Point{0, 0}, Point{4, 0}}, Segment{Point{2, 0}, Point{2, 3}}, true},   // T junction
+		{Segment{Point{0, 0}, Point{4, 0}}, Segment{Point{2, 1}, Point{2, 3}}, false},  // above
+		{Segment{Point{0, 0}, Point{0, 1}}, Segment{Point{1, 0}, Point{1, 1}}, false},  // parallel vertical
+		{Segment{Point{0, 0}, Point{10, 1}}, Segment{Point{5, 0}, Point{5, 10}}, true}, // steep cross
+	}
+	for i, c := range cases {
+		if got := c.s.Intersects(c.t); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.t.Intersects(c.s); got != c.want {
+			t.Errorf("case %d (swapped): Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntersectsRect(t *testing.T) {
+	r := Rect{Point{0, 0}, Point{1, 1}}
+	cases := []struct {
+		s    Segment
+		want bool
+	}{
+		{Segment{Point{0.2, 0.2}, Point{0.8, 0.8}}, true},  // fully inside
+		{Segment{Point{-1, 0.5}, Point{2, 0.5}}, true},     // crosses through
+		{Segment{Point{-1, -1}, Point{-0.5, -0.5}}, false}, // fully outside
+		{Segment{Point{-1, 0}, Point{0, 0}}, true},         // touches corner
+		{Segment{Point{-1, 2}, Point{2, 2}}, false},        // passes above
+		{Segment{Point{0.5, -1}, Point{0.5, 2}}, true},     // vertical through
+		{Segment{Point{-1, 1.5}, Point{1.5, -1}}, true},    // clips corner region
+		{Segment{Point{-1, 2.01}, Point{2.01, -1}}, true},  // line y=1.01-x clips the square
+		{Segment{Point{-1, 3.5}, Point{3.5, -1}}, false},   // line y=2.5-x misses entirely
+		{Segment{Point{1, 0}, Point{2, 0}}, true},          // starts on boundary
+		{Segment{Point{-0.5, 0.5}, Point{0.5, 0.5}}, true}, // enters from left
+		{Segment{Point{1.1, 0.5}, Point{2.0, 0.5}}, false}, // right of rect
+	}
+	for i, c := range cases {
+		if got := c.s.IntersectsRect(r); got != c.want {
+			t.Errorf("case %d: IntersectsRect(%v) = %v, want %v", i, c.s, got, c.want)
+		}
+	}
+}
+
+func square(lo, hi float64) Ring {
+	return Ring{{lo, lo}, {hi, lo}, {hi, hi}, {lo, hi}}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	p := MustPolygon(square(0, 4))
+	if !p.ContainsPoint(Point{2, 2}) {
+		t.Error("center must be inside")
+	}
+	if p.ContainsPoint(Point{5, 2}) {
+		t.Error("outside point must not be inside")
+	}
+	// Concave polygon (C shape).
+	c := MustPolygon(Ring{{0, 0}, {4, 0}, {4, 1}, {1, 1}, {1, 3}, {4, 3}, {4, 4}, {0, 4}})
+	if !c.ContainsPoint(Point{0.5, 2}) {
+		t.Error("point in C spine must be inside")
+	}
+	if c.ContainsPoint(Point{2.5, 2}) {
+		t.Error("point in C notch must be outside")
+	}
+}
+
+func TestPolygonWithHole(t *testing.T) {
+	p := MustPolygon(square(0, 10), square(4, 6))
+	if !p.ContainsPoint(Point{1, 1}) {
+		t.Error("point between shell and hole must be inside")
+	}
+	if p.ContainsPoint(Point{5, 5}) {
+		t.Error("point in hole must be outside")
+	}
+	wantArea := 100.0 - 4.0
+	if got := p.Area(); math.Abs(got-wantArea) > 1e-9 {
+		t.Errorf("Area = %v, want %v", got, wantArea)
+	}
+}
+
+func TestNewPolygonErrors(t *testing.T) {
+	if _, err := NewPolygon(); err == nil {
+		t.Error("NewPolygon() with no rings must fail")
+	}
+	if _, err := NewPolygon(Ring{{0, 0}, {1, 1}}); err == nil {
+		t.Error("NewPolygon with 2-vertex ring must fail")
+	}
+	if _, err := NewPolygon(square(0, 1), Ring{{0, 0}}); err == nil {
+		t.Error("NewPolygon with bad hole must fail")
+	}
+}
+
+func TestPolygonEdgeIteration(t *testing.T) {
+	p := MustPolygon(square(0, 10), square(4, 6))
+	if got := p.NumEdges(); got != 8 {
+		t.Fatalf("NumEdges = %d, want 8", got)
+	}
+	// Every edge endpoint must be a vertex of some ring.
+	for i := 0; i < p.NumEdges(); i++ {
+		e := p.Edge(i)
+		if e.A == e.B {
+			t.Errorf("edge %d is degenerate", i)
+		}
+	}
+}
+
+func TestSignedArea(t *testing.T) {
+	ccw := Ring{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	if got := ccw.SignedArea(); got != 1 {
+		t.Errorf("ccw SignedArea = %v, want 1", got)
+	}
+	cw := Ring{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	if got := cw.SignedArea(); got != -1 {
+		t.Errorf("cw SignedArea = %v, want -1", got)
+	}
+}
+
+func TestRelateRect(t *testing.T) {
+	p := MustPolygon(square(0, 10))
+	cases := []struct {
+		r    Rect
+		want RectRelation
+	}{
+		{Rect{Point{2, 2}, Point{3, 3}}, RectInside},
+		{Rect{Point{-5, -5}, Point{-1, -1}}, RectDisjoint},
+		{Rect{Point{-1, -1}, Point{1, 1}}, RectPartial},   // corner overlap
+		{Rect{Point{-1, -1}, Point{11, 11}}, RectPartial}, // rect contains polygon
+		{Rect{Point{4, -1}, Point{6, 11}}, RectPartial},   // vertical band through
+		{Rect{Point{10, 10}, Point{12, 12}}, RectPartial}, // touches corner
+	}
+	for i, c := range cases {
+		if got := p.RelateRect(c.r); got != c.want {
+			t.Errorf("case %d: RelateRect(%v) = %v, want %v", i, c.r, got, c.want)
+		}
+	}
+}
+
+func TestRelateRectWithHole(t *testing.T) {
+	p := MustPolygon(square(0, 10), square(4, 6))
+	cases := []struct {
+		r    Rect
+		want RectRelation
+	}{
+		{Rect{Point{1, 1}, Point{2, 2}}, RectInside},           // between shell and hole
+		{Rect{Point{4.5, 4.5}, Point{5.5, 5.5}}, RectDisjoint}, // inside hole
+		{Rect{Point{3, 3}, Point{7, 7}}, RectPartial},          // spans hole boundary
+	}
+	for i, c := range cases {
+		if got := p.RelateRect(c.r); got != c.want {
+			t.Errorf("case %d: RelateRect(%v) = %v, want %v", i, c.r, got, c.want)
+		}
+	}
+}
+
+// Property: for random small rects, RelateRect agrees with a sampling-based
+// classification (all sampled points in/out).
+func TestRelateRectMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	poly := MustPolygon(Ring{{0, 0}, {10, 0}, {10, 4}, {6, 4}, {6, 8}, {10, 8}, {10, 12}, {0, 12}})
+	for iter := 0; iter < 500; iter++ {
+		cx := rng.Float64()*14 - 1
+		cy := rng.Float64()*14 - 1
+		w := rng.Float64()*2 + 0.05
+		r := Rect{Point{cx, cy}, Point{cx + w, cy + w}}
+		rel := poly.RelateRect(r)
+
+		// Sample a grid of interior points of r.
+		allIn, allOut := true, true
+		for i := 1; i < 6; i++ {
+			for j := 1; j < 6; j++ {
+				pt := Point{r.Lo.X + r.Width()*float64(i)/6, r.Lo.Y + r.Height()*float64(j)/6}
+				if poly.ContainsPoint(pt) {
+					allOut = false
+				} else {
+					allIn = false
+				}
+			}
+		}
+		switch rel {
+		case RectInside:
+			if !allIn {
+				t.Fatalf("iter %d: RectInside but sampled point outside; rect %v", iter, r)
+			}
+		case RectDisjoint:
+			if !allOut {
+				t.Fatalf("iter %d: RectDisjoint but sampled point inside; rect %v", iter, r)
+			}
+		}
+	}
+}
+
+func TestMetersHelpers(t *testing.T) {
+	if math.Abs(MetersPerDegreeLat-111195) > 100 {
+		t.Errorf("MetersPerDegreeLat = %v, want ~111195", MetersPerDegreeLat)
+	}
+	// At the equator, lon and lat degrees have equal length.
+	if math.Abs(MetersPerDegreeLon(0)-MetersPerDegreeLat) > 1e-6 {
+		t.Error("lon degree at equator must equal lat degree")
+	}
+	// At 60 degrees north, lon degrees are half as long.
+	if math.Abs(MetersPerDegreeLon(60)-MetersPerDegreeLat/2) > 1e-6 {
+		t.Error("lon degree at 60N must be half the lat degree")
+	}
+	// 0.01 degrees of latitude is ~1112m.
+	d := DistanceMeters(Point{-74, 40.7}, Point{-74, 40.71})
+	if math.Abs(d-1112) > 2 {
+		t.Errorf("DistanceMeters = %v, want ~1112", d)
+	}
+}
+
+func TestDistanceToPolygonMeters(t *testing.T) {
+	// 0.01 x 0.01 degree square near NYC latitude.
+	p := MustPolygon(Ring{{-74, 40.7}, {-73.99, 40.7}, {-73.99, 40.71}, {-74, 40.71}})
+	if got := DistanceToPolygonMeters(Point{-73.995, 40.705}, p); got != 0 {
+		t.Errorf("inside point distance = %v, want 0", got)
+	}
+	// A point 0.001 degrees latitude below the bottom edge: ~111m away.
+	d := DistanceToPolygonMeters(Point{-73.995, 40.699}, p)
+	if math.Abs(d-111.2) > 1 {
+		t.Errorf("distance = %v, want ~111.2", d)
+	}
+	// A point diagonal from the corner.
+	d = DistanceToPolygonMeters(Point{-74.001, 40.699}, p)
+	want := math.Hypot(0.001*MetersPerDegreeLon(40.6995), 0.001*MetersPerDegreeLat)
+	if math.Abs(d-want) > 1 {
+		t.Errorf("corner distance = %v, want ~%v", d, want)
+	}
+}
+
+func TestDistancePointSegmentClamping(t *testing.T) {
+	// Projection beyond segment end must clamp to the endpoint.
+	s := Segment{Point{0, 0}, Point{0.001, 0}}
+	d1 := distancePointSegmentMeters(Point{0.002, 0}, s)
+	d2 := DistanceMeters(Point{0.002, 0}, Point{0.001, 0})
+	if math.Abs(d1-d2) > 1e-6 {
+		t.Errorf("clamped distance = %v, want %v", d1, d2)
+	}
+}
+
+func TestCrossesVerticalHalfOpenRule(t *testing.T) {
+	// A ray through a shared vertex of two edges must count exactly once in
+	// total, so PIP at y equal to a vertex Y stays consistent.
+	up := Segment{Point{1, 0}, Point{1, 2}}
+	p := Point{0, 0} // ray along y=0 to the right
+	down := Segment{Point{1, -2}, Point{1, 0}}
+	n := 0
+	if up.CrossesVertical(p) {
+		n++
+	}
+	if down.CrossesVertical(p) {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("vertex crossing counted %d times, want exactly 1", n)
+	}
+}
+
+// Property: ContainsPoint is invariant under translating both polygon and
+// point by the same offset.
+func TestContainsPointTranslationInvariance(t *testing.T) {
+	base := Ring{{0, 0}, {4, 1}, {5, 4}, {2, 6}, {-1, 3}}
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		dx, dy := rng.Float64()*100-50, rng.Float64()*100-50
+		pt := Point{rng.Float64()*8 - 2, rng.Float64()*8 - 1}
+		moved := make(Ring, len(base))
+		for i, v := range base {
+			moved[i] = Point{v.X + dx, v.Y + dy}
+		}
+		p1 := MustPolygon(base)
+		p2 := MustPolygon(moved)
+		if p1.ContainsPoint(pt) != p2.ContainsPoint(Point{pt.X + dx, pt.Y + dy}) {
+			t.Fatalf("translation changed containment at %v offset (%v,%v)", pt, dx, dy)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package geom
+
+import "math"
+
+// Geographic metric helpers. The precision bound of the approximate join is
+// specified in meters; these convert between meters and planar degree
+// coordinates at a given reference latitude (spherical Earth model).
+
+// EarthRadiusMeters is the mean Earth radius.
+const EarthRadiusMeters = 6371008.8
+
+// MetersPerDegreeLat is the length of one degree of latitude.
+const MetersPerDegreeLat = 2 * math.Pi * EarthRadiusMeters / 360
+
+// MetersPerDegreeLon returns the length of one degree of longitude at the
+// given latitude (degrees).
+func MetersPerDegreeLon(latDeg float64) float64 {
+	return MetersPerDegreeLat * math.Cos(latDeg*math.Pi/180)
+}
+
+// DistanceMeters returns the approximate ground distance between two
+// lon/lat points using the local equirectangular approximation around their
+// mean latitude. Accurate to well under 1% at city scale, which is all the
+// precision-bound checks need.
+func DistanceMeters(a, b Point) float64 {
+	midLat := (a.Y + b.Y) / 2
+	dx := (a.X - b.X) * MetersPerDegreeLon(midLat)
+	dy := (a.Y - b.Y) * MetersPerDegreeLat
+	return math.Hypot(dx, dy)
+}
+
+// RectDiagonalMeters returns the ground length of the rect's diagonal,
+// evaluated at the rect's mean latitude.
+func RectDiagonalMeters(r Rect) float64 {
+	return DistanceMeters(r.Lo, r.Hi)
+}
+
+// DistanceToPolygonMeters returns the approximate ground distance from p to
+// the closest point of the polygon boundary, or 0 when the polygon contains
+// p. Used by tests to verify the approximate join's precision guarantee.
+func DistanceToPolygonMeters(p Point, poly *Polygon) float64 {
+	if poly.ContainsPoint(p) {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, ring := range poly.Rings {
+		for i := range ring {
+			e := ring.Edge(i)
+			d := distancePointSegmentMeters(p, e)
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func distancePointSegmentMeters(p Point, s Segment) float64 {
+	// Work in local meter coordinates around p's latitude so the metric is
+	// uniform for the projection step.
+	kx := MetersPerDegreeLon(p.Y)
+	ky := MetersPerDegreeLat
+	ax, ay := (s.A.X-p.X)*kx, (s.A.Y-p.Y)*ky
+	bx, by := (s.B.X-p.X)*kx, (s.B.Y-p.Y)*ky
+	dx, dy := bx-ax, by-ay
+	den := dx*dx + dy*dy
+	t := 0.0
+	if den > 0 {
+		t = -(ax*dx + ay*dy) / den
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	cx, cy := ax+t*dx, ay+t*dy
+	return math.Hypot(cx, cy)
+}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/dataset"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+// Precision is one precision-bound configuration of the approximate index.
+type Precision struct {
+	Meters float64
+	Label  string
+}
+
+// Precisions returns the paper's precision sweep (60m, 15m, 4m).
+func Precisions() []Precision {
+	return []Precision{{60, "60m"}, {15, "15m"}, {4, "4m"}}
+}
+
+// Encoded is a frozen, indexable super covering plus its build profile.
+type Encoded struct {
+	KVs      []cellindex.KeyEntry
+	Table    *refs.Table
+	NumCells int
+
+	CoveringTime time.Duration // individual coverings
+	MergeTime    time.Duration // Listing-1 merge
+	RefineTime   time.Duration // precision refinement (0 for accurate mode)
+	Stats        supercover.Stats
+}
+
+// PointSet is a probe workload: points plus precomputed leaf cell ids.
+type PointSet struct {
+	Points []geom.Point
+	Cells  []cellid.CellID
+}
+
+// Env caches polygons, coverings and point sets across experiments.
+type Env struct {
+	cfg Config
+
+	mu    sync.Mutex
+	polys map[string][]*geom.Polygon
+	specs map[string]dataset.Spec
+	enc   map[string]*Encoded
+	pts   map[string]*PointSet
+}
+
+// NewEnv creates a fresh environment.
+func NewEnv(cfg Config) *Env {
+	return &Env{
+		cfg:   cfg.withDefaults(),
+		polys: map[string][]*geom.Polygon{},
+		specs: map[string]dataset.Spec{},
+		enc:   map[string]*Encoded{},
+		pts:   map[string]*PointSet{},
+	}
+}
+
+// Config returns the effective configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// spec resolves a dataset name at the configured scale.
+func (e *Env) spec(name string) dataset.Spec {
+	switch name {
+	case "boroughs":
+		return dataset.NYCBoroughs(e.cfg.Scale)
+	case "neighborhoods":
+		return dataset.NYCNeighborhoods(e.cfg.Scale)
+	case "census":
+		return dataset.NYCCensus(e.cfg.Scale)
+	case "nyc":
+		return dataset.NYCTwitter(e.cfg.Scale)
+	case "bos":
+		return dataset.Boston()
+	case "la":
+		return dataset.LosAngeles()
+	case "sf":
+		return dataset.SanFrancisco()
+	}
+	panic(fmt.Sprintf("harness: unknown dataset %q", name))
+}
+
+// Polygons returns (and caches) a polygon dataset by name.
+func (e *Env) Polygons(name string) []*geom.Polygon {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.polys[name]; ok {
+		return p
+	}
+	s := e.spec(name)
+	p := s.Generate()
+	e.polys[name] = p
+	e.specs[name] = s
+	return p
+}
+
+// Bound returns the dataset's city bound.
+func (e *Env) Bound(name string) geom.Rect {
+	e.Polygons(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.specs[name].Bound
+}
+
+// precisionLevel maps a precision bound to the refinement level for the
+// dataset's latitude, honoring the test-only level cap.
+func (e *Env) precisionLevel(name string, meters float64) int {
+	lat := e.Bound(name).Center().Y
+	level := cellid.LevelForMaxDiagonalMeters(meters, lat)
+	if e.cfg.PrecisionLevelCap > 0 && level > e.cfg.PrecisionLevelCap {
+		level = e.cfg.PrecisionLevelCap
+	}
+	return level
+}
+
+// EncodedPrecision returns the precision-refined, frozen super covering for
+// a dataset (the approximate join's index input).
+func (e *Env) EncodedPrecision(name string, p Precision) *Encoded {
+	key := name + "/" + p.Label
+	e.mu.Lock()
+	if enc, ok := e.enc[key]; ok {
+		e.mu.Unlock()
+		return enc
+	}
+	e.mu.Unlock()
+
+	polys := e.Polygons(name)
+	sc, timing := supercover.BuildTimed(polys, supercover.DefaultOptions())
+	start := time.Now()
+	sc.RefineToPrecision(polys, e.precisionLevel(name, p.Meters))
+	refineTime := time.Since(start)
+	enc := freeze(sc, timing, refineTime)
+
+	e.mu.Lock()
+	e.enc[key] = enc
+	e.mu.Unlock()
+	return enc
+}
+
+// EncodedAccurate returns the default (coarse) super covering used by the
+// accurate join, without precision refinement.
+func (e *Env) EncodedAccurate(name string) *Encoded {
+	key := name + "/accurate"
+	e.mu.Lock()
+	if enc, ok := e.enc[key]; ok {
+		e.mu.Unlock()
+		return enc
+	}
+	e.mu.Unlock()
+
+	polys := e.Polygons(name)
+	sc, timing := supercover.BuildTimed(polys, supercover.DefaultOptions())
+	enc := freeze(sc, timing, 0)
+
+	e.mu.Lock()
+	e.enc[key] = enc
+	e.mu.Unlock()
+	return enc
+}
+
+// EncodedTrained builds an accurate covering trained with n historical
+// points (not cached: training sizes vary per experiment row).
+func (e *Env) EncodedTrained(name string, n int) *Encoded {
+	polys := e.Polygons(name)
+	sc, timing := supercover.BuildTimed(polys, supercover.DefaultOptions())
+	train := e.TrainingPoints(name, n)
+	start := time.Now()
+	sc.Train(polys, train.Cells, 0)
+	trainTime := time.Since(start)
+	return freeze(sc, timing, trainTime)
+}
+
+func freeze(sc *supercover.SuperCovering, timing supercover.BuildTiming, refine time.Duration) *Encoded {
+	cells := sc.Cells()
+	kvs, table := cellindex.Encode(cells)
+	return &Encoded{
+		KVs:          kvs,
+		Table:        table,
+		NumCells:     len(cells),
+		CoveringTime: timing.IndividualCoverings,
+		MergeTime:    timing.SuperCovering,
+		RefineTime:   refine,
+		Stats:        sc.ComputeStats(),
+	}
+}
+
+// TaxiPoints returns the clustered probe workload for a dataset.
+func (e *Env) TaxiPoints(name string) *PointSet {
+	return e.pointSet("taxi/"+name, func() []geom.Point {
+		return dataset.TaxiPoints(e.Bound(name), e.cfg.Points, e.cfg.Seed)
+	})
+}
+
+// UniformPoints returns the uniform probe workload for a dataset.
+func (e *Env) UniformPoints(name string) *PointSet {
+	return e.pointSet("uniform/"+name, func() []geom.Point {
+		return dataset.UniformPoints(e.Bound(name), e.cfg.Points, e.cfg.Seed+1)
+	})
+}
+
+// TwitterPoints returns the tweet-like probe workload for a city.
+func (e *Env) TwitterPoints(name string, n int) *PointSet {
+	return e.pointSet(fmt.Sprintf("twitter/%s/%d", name, n), func() []geom.Point {
+		return dataset.TwitterPoints(e.Bound(name), n, e.cfg.Seed+2)
+	})
+}
+
+// TrainingPoints returns a training sample disjoint from the probe
+// workloads (a different seed stands in for "the previous year").
+func (e *Env) TrainingPoints(name string, n int) *PointSet {
+	return e.pointSet(fmt.Sprintf("train/%s/%d", name, n), func() []geom.Point {
+		return dataset.TaxiPoints(e.Bound(name), n, e.cfg.Seed+3)
+	})
+}
+
+func (e *Env) pointSet(key string, gen func() []geom.Point) *PointSet {
+	e.mu.Lock()
+	if ps, ok := e.pts[key]; ok {
+		e.mu.Unlock()
+		return ps
+	}
+	e.mu.Unlock()
+
+	points := gen()
+	ps := &PointSet{Points: points, Cells: dataset.ToCellIDs(points)}
+
+	e.mu.Lock()
+	e.pts[key] = ps
+	e.mu.Unlock()
+	return ps
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"time"
+
+	"actjoin/internal/act"
+	"actjoin/internal/btree"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/join"
+	"actjoin/internal/sortedvec"
+)
+
+// cellDatasets are the NYC polygon datasets of Table 1 in paper order.
+var cellDatasets = []string{"boroughs", "neighborhoods", "census"}
+
+// structNames are the physical representations of Section 4.1 in paper
+// order.
+var structNames = []string{"ACT1", "ACT2", "ACT4", "GBT", "LB"}
+
+// buildStructure constructs one physical index over an encoded covering and
+// reports its build time.
+func buildStructure(name string, enc *Encoded) (cellindex.Index, time.Duration) {
+	start := time.Now()
+	var idx cellindex.Index
+	switch name {
+	case "ACT1":
+		idx = act.Build(enc.KVs, act.Delta1)
+	case "ACT2":
+		idx = act.Build(enc.KVs, act.Delta2)
+	case "ACT4":
+		idx = act.Build(enc.KVs, act.Delta4)
+	case "GBT":
+		idx = btree.Build(enc.KVs, 0)
+	case "LB":
+		idx = sortedvec.Build(enc.KVs)
+	default:
+		panic("harness: unknown structure " + name)
+	}
+	return idx, time.Since(start)
+}
+
+// measureRepeats is how often each timed join runs; the fastest repeat is
+// reported, the standard way to strip scheduler noise from throughput
+// measurements on a shared host.
+const measureRepeats = 3
+
+// bestOf runs the measurement repeatedly and returns the fastest result.
+func bestOf(run func() join.Result) join.Result {
+	best := run()
+	for i := 1; i < measureRepeats; i++ {
+		if r := run(); r.Duration < best.Duration {
+			best = r
+		}
+	}
+	return best
+}
+
+// approxJoin runs the approximate join (fastest of measureRepeats).
+func (e *Env) approxJoin(idx cellindex.Index, enc *Encoded, name string, ps *PointSet, threads int) join.Result {
+	return bestOf(func() join.Result {
+		return join.Run(idx, enc.Table, ps.Points, ps.Cells, e.Polygons(name), join.Options{
+			Mode:    join.Approximate,
+			Threads: threads,
+		})
+	})
+}
+
+// exactJoin runs the exact join (fastest of measureRepeats).
+func (e *Env) exactJoin(idx cellindex.Index, enc *Encoded, name string, ps *PointSet, threads int) join.Result {
+	return bestOf(func() join.Result {
+		return join.Run(idx, enc.Table, ps.Points, ps.Cells, e.Polygons(name), join.Options{
+			Mode:    join.Exact,
+			Threads: threads,
+		})
+	})
+}
+
+// approxThroughputs measures single-threaded approximate throughput for
+// every structure over the given datasets at one precision. Used by Figure
+// 7 (left) and Table 3.
+func (e *Env) approxThroughputs(datasets []string, p Precision, uniform bool) map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for _, ds := range datasets {
+		enc := e.EncodedPrecision(ds, p)
+		var ps *PointSet
+		if uniform {
+			ps = e.UniformPoints(ds)
+		} else {
+			ps = e.TaxiPoints(ds)
+		}
+		out[ds] = map[string]float64{}
+		for _, sn := range structNames {
+			idx, _ := buildStructure(sn, enc)
+			res := e.approxJoin(idx, enc, ds, ps, 1)
+			out[ds][sn] = res.ThroughputMpts()
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// table is a tiny helper for aligned text tables.
+type table struct {
+	tw *tabwriter.Writer
+}
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+func (t *table) rule(n int) {
+	cells := make([]string, n)
+	for i := range cells {
+		cells[i] = "----"
+	}
+	t.row(cells...)
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// fmtMillions renders a cell count like the paper's "[M]" columns.
+func fmtMillions(n int) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1f", float64(n)/1e6)
+	case n >= 100_000:
+		return fmt.Sprintf("%.2f", float64(n)/1e6)
+	default:
+		return fmt.Sprintf("%.4f", float64(n)/1e6)
+	}
+}
+
+// fmtMiB renders a byte size in MiB.
+func fmtMiB(bytes int) string {
+	return fmt.Sprintf("%.2f", float64(bytes)/(1<<20))
+}
+
+// fmtSecs renders a duration in seconds like the paper's build times.
+func fmtSecs(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// fmtMpts renders a throughput in million points per second.
+func fmtMpts(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// fmtSpeedup renders a ratio like the paper's "2.63x".
+func fmtSpeedup(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// fmtPct renders a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f", v) }

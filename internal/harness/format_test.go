@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := newTable(&buf)
+	tbl.row("a", "bb", "ccc")
+	tbl.rule(3)
+	tbl.row("xxxx", "y", "z")
+	tbl.flush()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Columns must be aligned: the second column starts at the same offset
+	// in every row.
+	col2 := strings.Index(lines[0], "bb")
+	if strings.Index(lines[2], "y") != col2 {
+		t.Errorf("columns not aligned:\n%s", buf.String())
+	}
+}
+
+func TestFmtMillions(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{42, "0.0000"},
+		{123_456, "0.12"},
+		{1_234_567, "1.23"},
+		{39_800_000, "39.8"},
+	}
+	for _, c := range cases {
+		if got := fmtMillions(c.n); got != c.want {
+			t.Errorf("fmtMillions(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFmtMiB(t *testing.T) {
+	if got := fmtMiB(1 << 20); got != "1.00" {
+		t.Errorf("fmtMiB(1MiB) = %q", got)
+	}
+	if got := fmtMiB(304 << 20); got != "304.00" {
+		t.Errorf("fmtMiB(304MiB) = %q", got)
+	}
+}
+
+func TestFmtSecs(t *testing.T) {
+	if got := fmtSecs(1500 * time.Millisecond); got != "1.50" {
+		t.Errorf("fmtSecs = %q", got)
+	}
+}
+
+func TestFmtMpts(t *testing.T) {
+	if got := fmtMpts(53.64); got != "53.64" {
+		t.Errorf("fmtMpts = %q", got)
+	}
+	if got := fmtMpts(1500); got != "1500" {
+		t.Errorf("fmtMpts large = %q", got)
+	}
+}
+
+func TestFmtSpeedupAndPct(t *testing.T) {
+	if got := fmtSpeedup(2.18); got != "2.18x" {
+		t.Errorf("fmtSpeedup = %q", got)
+	}
+	if got := fmtPct(97.7); got != "97.7" {
+		t.Errorf("fmtPct = %q", got)
+	}
+}

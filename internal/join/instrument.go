@@ -1,0 +1,89 @@
+package join
+
+import (
+	"actjoin/internal/act"
+	"actjoin/internal/btree"
+	"actjoin/internal/cellid"
+	"actjoin/internal/sortedvec"
+)
+
+// DepthHistogram probes every point cell against an ACT and tallies the
+// tree traversal depth distribution (Table 4 of the paper). Index 0 counts
+// probes answered at the first node access, and so on; probes rejected by
+// the root prefix check count as depth 0... they are recorded in the first
+// bucket alongside single-access probes, matching the paper's presentation
+// of "tree level" reached.
+func DepthHistogram(tr *act.Tree, cells []cellid.CellID) []int64 {
+	maxDepth := cellid.MaxLevel/tr.Delta() + 2
+	hist := make([]int64, maxDepth)
+	for _, c := range cells {
+		_, d := tr.FindDepth(c)
+		if d >= maxDepth {
+			d = maxDepth - 1
+		}
+		hist[d]++
+	}
+	// Trim trailing zeros.
+	end := len(hist)
+	for end > 1 && hist[end-1] == 0 {
+		end--
+	}
+	return hist[:end]
+}
+
+// ProbeCounters aggregates the structural per-point costs that substitute
+// for the paper's hardware counters (Table 5): node accesses for tree
+// structures and key comparisons for search structures.
+type ProbeCounters struct {
+	Points       int
+	NodeAccesses float64 // mean per point
+	Comparisons  float64 // mean per point (0 for ACT: no key comparisons)
+}
+
+// CountACT measures mean node accesses per probe for an ACT.
+func CountACT(tr *act.Tree, cells []cellid.CellID) ProbeCounters {
+	var nodes int64
+	for _, c := range cells {
+		_, d := tr.FindDepth(c)
+		nodes += int64(d)
+	}
+	return ProbeCounters{
+		Points:       len(cells),
+		NodeAccesses: mean(nodes, len(cells)),
+	}
+}
+
+// CountBTree measures mean node accesses and comparisons for the B-tree.
+func CountBTree(tr *btree.Tree, cells []cellid.CellID) ProbeCounters {
+	var nodes, cmps int64
+	for _, c := range cells {
+		_, cmp, nd := tr.FindCount(c)
+		nodes += int64(nd)
+		cmps += int64(cmp)
+	}
+	return ProbeCounters{
+		Points:       len(cells),
+		NodeAccesses: mean(nodes, len(cells)),
+		Comparisons:  mean(cmps, len(cells)),
+	}
+}
+
+// CountSortedVec measures mean comparisons for the binary search.
+func CountSortedVec(v *sortedvec.Vector, cells []cellid.CellID) ProbeCounters {
+	var cmps int64
+	for _, c := range cells {
+		_, cmp := v.FindCount(c)
+		cmps += int64(cmp)
+	}
+	return ProbeCounters{
+		Points:      len(cells),
+		Comparisons: mean(cmps, len(cells)),
+	}
+}
+
+func mean(sum int64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

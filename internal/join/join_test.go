@@ -1,0 +1,246 @@
+package join
+
+import (
+	"testing"
+
+	"actjoin/internal/act"
+	"actjoin/internal/btree"
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/dataset"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+	"actjoin/internal/rtree"
+	"actjoin/internal/shapeindex"
+	"actjoin/internal/sortedvec"
+	"actjoin/internal/supercover"
+)
+
+// fixture bundles a small city: polygons, indexes and points.
+type fixture struct {
+	polys  []*geom.Polygon
+	table  *refs.Table
+	actT   *act.Tree
+	gbt    *btree.Tree
+	lb     *sortedvec.Vector
+	pts    []geom.Point
+	cells  []cellid.CellID
+	oracle []int64
+}
+
+func newFixture(t testing.TB, refined bool, numPoints int) *fixture {
+	t.Helper()
+	spec := dataset.Spec{
+		Name:  "mini",
+		Bound: geom.Rect{Lo: geom.Point{X: -74.05, Y: 40.65}, Hi: geom.Point{X: -73.85, Y: 40.85}},
+		Rows:  4, Cols: 4,
+		EdgeSubdiv: 2,
+		Seed:       11,
+	}
+	polys := spec.Generate()
+	sc := supercover.Build(polys, supercover.DefaultOptions())
+	if refined {
+		sc.RefineToPrecision(polys, 16)
+	}
+	kvs, table := cellindex.Encode(sc.Cells())
+	pts := dataset.TaxiPoints(spec.Bound, numPoints, 12)
+	f := &fixture{
+		polys:  polys,
+		table:  table,
+		actT:   act.Build(kvs, act.Delta4),
+		gbt:    btree.Build(kvs, 0),
+		lb:     sortedvec.Build(kvs),
+		pts:    pts,
+		cells:  dataset.ToCellIDs(pts),
+		oracle: BruteForce(pts, polys),
+	}
+	return f
+}
+
+func sum(counts []int64) int64 {
+	var s int64
+	for _, c := range counts {
+		s += c
+	}
+	return s
+}
+
+func TestExactJoinMatchesBruteForce(t *testing.T) {
+	f := newFixture(t, false, 20000)
+	for name, idx := range map[string]cellindex.Index{"act": f.actT, "gbt": f.gbt, "lb": f.lb} {
+		res := Run(idx, f.table, f.pts, f.cells, f.polys, Options{Mode: Exact})
+		for pid := range f.polys {
+			if res.Counts[pid] != f.oracle[pid] {
+				t.Errorf("%s: polygon %d count %d, oracle %d", name, pid, res.Counts[pid], f.oracle[pid])
+			}
+		}
+		if res.Points != len(f.pts) {
+			t.Errorf("%s: Points = %d", name, res.Points)
+		}
+		if res.PIPTests == 0 {
+			t.Errorf("%s: exact join on unrefined covering must need PIP tests", name)
+		}
+	}
+}
+
+func TestApproximateJoinBounded(t *testing.T) {
+	f := newFixture(t, true, 20000)
+	res := Run(f.actT, f.table, f.pts, f.cells, f.polys, Options{Mode: Approximate})
+	if res.PIPTests != 0 {
+		t.Fatal("approximate join must not perform PIP tests")
+	}
+	// No false negatives; false positives bounded by the level-16
+	// refinement diagonal.
+	bound := cellid.FromPoint(f.pts[0]).Parent(16).DiagonalMeters() * 1.05
+	for pid := range f.polys {
+		if res.Counts[pid] < f.oracle[pid] {
+			t.Errorf("polygon %d: approx count %d below exact %d", pid, res.Counts[pid], f.oracle[pid])
+		}
+	}
+	// Spot-check individual false positives via a manual probe.
+	checked := 0
+	for i, p := range f.pts {
+		if checked > 300 {
+			break
+		}
+		entry := f.actT.Find(f.cells[i])
+		f.table.Visit(entry, func(r refs.Ref) {
+			pid := r.PolygonID()
+			if !r.Interior() && !f.polys[pid].ContainsPoint(p) {
+				checked++
+				if d := geom.DistanceToPolygonMeters(p, f.polys[pid]); d > bound {
+					t.Fatalf("false positive %.1fm from polygon, bound %.1fm", d, bound)
+				}
+			}
+		})
+	}
+}
+
+func TestExactJoinOnRefinedIndexFewerPIPTests(t *testing.T) {
+	coarse := newFixture(t, false, 20000)
+	fine := newFixture(t, true, 20000)
+	rc := Run(coarse.actT, coarse.table, coarse.pts, coarse.cells, coarse.polys, Options{Mode: Exact})
+	rf := Run(fine.actT, fine.table, fine.pts, fine.cells, fine.polys, Options{Mode: Exact})
+	if rf.PIPTests >= rc.PIPTests {
+		t.Errorf("refined index should need fewer PIP tests: %d vs %d", rf.PIPTests, rc.PIPTests)
+	}
+	if rf.STHPercent() <= rc.STHPercent() {
+		t.Errorf("refined index should raise STH: %.1f%% vs %.1f%%", rf.STHPercent(), rc.STHPercent())
+	}
+}
+
+func TestParallelMatchesSingleThreaded(t *testing.T) {
+	f := newFixture(t, false, 30000)
+	single := Run(f.actT, f.table, f.pts, f.cells, f.polys, Options{Mode: Exact, Threads: 1})
+	for _, threads := range []int{2, 4, 8} {
+		multi := Run(f.actT, f.table, f.pts, f.cells, f.polys, Options{Mode: Exact, Threads: threads})
+		for pid := range f.polys {
+			if single.Counts[pid] != multi.Counts[pid] {
+				t.Fatalf("threads=%d: polygon %d count %d != %d", threads, pid, multi.Counts[pid], single.Counts[pid])
+			}
+		}
+		if single.PIPTests != multi.PIPTests {
+			t.Errorf("threads=%d: PIP tests differ: %d vs %d", threads, multi.PIPTests, single.PIPTests)
+		}
+		if single.SolelyTrueHits != multi.SolelyTrueHits {
+			t.Errorf("threads=%d: STH differ", threads)
+		}
+	}
+}
+
+func TestRTreeJoinMatchesBruteForce(t *testing.T) {
+	f := newFixture(t, false, 15000)
+	rt := rtree.BuildFromPolygons(f.polys, 0, rtree.SplitRStar)
+	res := RunRTree(rt, f.pts, f.polys, Options{})
+	for pid := range f.polys {
+		if res.Counts[pid] != f.oracle[pid] {
+			t.Errorf("rtree polygon %d: %d, want %d", pid, res.Counts[pid], f.oracle[pid])
+		}
+	}
+	if res.PIPTests < res.Matched {
+		t.Error("rtree must PIP-test every candidate")
+	}
+}
+
+func TestShapeIndexJoinMatchesBruteForce(t *testing.T) {
+	f := newFixture(t, false, 15000)
+	for _, opt := range []shapeindex.Options{shapeindex.DefaultOptions(), shapeindex.FinestOptions()} {
+		si := shapeindex.Build(f.polys, opt)
+		res := RunShapeIndex(si, f.pts, f.cells, f.polys, Options{})
+		for pid := range f.polys {
+			if res.Counts[pid] != f.oracle[pid] {
+				t.Errorf("si(%d) polygon %d: %d, want %d", opt.MaxEdgesPerCell, pid, res.Counts[pid], f.oracle[pid])
+			}
+		}
+	}
+}
+
+func TestJoinResultMetrics(t *testing.T) {
+	f := newFixture(t, false, 5000)
+	res := Run(f.actT, f.table, f.pts, f.cells, f.polys, Options{Mode: Exact})
+	if res.Duration <= 0 {
+		t.Error("duration must be measured")
+	}
+	if res.ThroughputMpts() <= 0 {
+		t.Error("throughput must be positive")
+	}
+	if res.Matched == 0 {
+		t.Error("taxi points inside the city must match polygons")
+	}
+	if res.STHPercent() < 0 || res.STHPercent() > 100 {
+		t.Errorf("STH%% = %v", res.STHPercent())
+	}
+	if sum(res.Counts) < res.Matched {
+		t.Error("total count must be at least the matched points")
+	}
+}
+
+func TestDepthHistogram(t *testing.T) {
+	f := newFixture(t, false, 10000)
+	hist := DepthHistogram(f.actT, f.cells)
+	var total int64
+	for _, h := range hist {
+		total += h
+	}
+	if total != int64(len(f.cells)) {
+		t.Errorf("histogram sums to %d, want %d", total, len(f.cells))
+	}
+	if len(hist) > 28/4+2 {
+		t.Errorf("histogram too deep for ACT4: %d", len(hist))
+	}
+}
+
+func TestProbeCounters(t *testing.T) {
+	f := newFixture(t, false, 10000)
+	ca := CountACT(f.actT, f.cells)
+	cb := CountBTree(f.gbt, f.cells)
+	cl := CountSortedVec(f.lb, f.cells)
+	if ca.NodeAccesses <= 0 || ca.NodeAccesses > 8 {
+		t.Errorf("ACT node accesses = %v", ca.NodeAccesses)
+	}
+	if cb.Comparisons <= 0 || cl.Comparisons <= 0 {
+		t.Error("comparison counters must be positive")
+	}
+	// The binary search must compare more than the B-tree descends.
+	if cl.Comparisons < float64(cb.NodeAccesses) {
+		t.Errorf("LB comparisons %v suspiciously low", cl.Comparisons)
+	}
+}
+
+func TestEmptyJoin(t *testing.T) {
+	f := newFixture(t, false, 100)
+	res := Run(f.actT, f.table, nil, nil, f.polys, Options{Mode: Exact})
+	if res.Points != 0 || sum(res.Counts) != 0 {
+		t.Error("empty point set must produce empty result")
+	}
+}
+
+func TestBruteForceSelfConsistent(t *testing.T) {
+	f := newFixture(t, false, 1000)
+	// Points deliberately outside every polygon.
+	far := []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 50}}
+	counts := BruteForce(far, f.polys)
+	if sum(counts) != 0 {
+		t.Error("far points must not join")
+	}
+}

@@ -1,0 +1,76 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"actjoin/internal/act"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/dataset"
+	"actjoin/internal/geom"
+	"actjoin/internal/supercover"
+)
+
+// A polygon dataset straddling a face boundary exercises the paper's "up to
+// six radix trees, the first three bits select the tree" machinery end to
+// end (Section 3.4, Face Nodes).
+func TestJoinAcrossFaceBoundary(t *testing.T) {
+	// The lon = -60 meridian separates two faces; build a small city on it.
+	bound := geom.Rect{
+		Lo: geom.Point{X: -60.1, Y: 10.0},
+		Hi: geom.Point{X: -59.9, Y: 10.2},
+	}
+	polys := dataset.Mesh(dataset.MeshOptions{
+		Rows: 4, Cols: 4, Bound: bound, EdgeSubdiv: 2,
+		Jitter: 0.2, Roughness: 0.1, Seed: 5,
+	})
+
+	sc := supercover.Build(polys, supercover.DefaultOptions())
+	kvs, table := cellindex.Encode(sc.Cells())
+
+	// Cells must actually land on two faces for the test to be meaningful.
+	faces := map[int]bool{}
+	for _, kv := range kvs {
+		faces[kv.Key.Face()] = true
+	}
+	if len(faces) < 2 {
+		t.Fatalf("expected cells on 2 faces, got %v", faces)
+	}
+
+	pts := dataset.UniformPoints(bound, 20000, 6)
+	cells := dataset.ToCellIDs(pts)
+	oracle := BruteForce(pts, polys)
+
+	for _, delta := range []int{1, 2, 4} {
+		tree := act.Build(kvs, delta)
+		res := Run(tree, table, pts, cells, polys, Options{Mode: Exact})
+		for pid := range polys {
+			if res.Counts[pid] != oracle[pid] {
+				t.Errorf("delta %d: polygon %d count %d, oracle %d", delta, pid, res.Counts[pid], oracle[pid])
+			}
+		}
+	}
+}
+
+// Points far outside the polygon universe must all be cheap false hits in
+// every structure.
+func TestJoinAllMisses(t *testing.T) {
+	spec := dataset.NYCNeighborhoods(dataset.ScaleTiny)
+	polys := spec.Generate()
+	sc := supercover.Build(polys, supercover.DefaultOptions())
+	kvs, table := cellindex.Encode(sc.Cells())
+	tree := act.Build(kvs, act.Delta4)
+
+	rng := rand.New(rand.NewSource(7))
+	var pts []geom.Point
+	for i := 0; i < 5000; i++ {
+		pts = append(pts, geom.Point{X: 100 + rng.Float64()*10, Y: -40 + rng.Float64()*10})
+	}
+	res := Run(tree, table, pts, dataset.ToCellIDs(pts), polys, Options{Mode: Exact})
+	if res.Matched != 0 || res.PIPTests != 0 {
+		t.Errorf("far points: matched %d, PIP %d", res.Matched, res.PIPTests)
+	}
+	if res.SolelyTrueHits != int64(len(pts)) {
+		t.Errorf("all misses skip refinement: STH %d of %d", res.SolelyTrueHits, len(pts))
+	}
+}

@@ -1,0 +1,257 @@
+package rasterjoin
+
+import (
+	"math"
+
+	"actjoin/internal/geom"
+)
+
+// tileRaster is a reusable per-worker pixel buffer emulating one render
+// target. Each pixel holds the head of a linked list of (polygon, boundary)
+// entries in the arena, or -1 when empty.
+type tileRaster struct {
+	size   int // allocated edge length
+	w, h   int // active tile resolution
+	rect   geom.Rect
+	pxW    float64
+	pxH    float64
+	pixels []int32
+	arena  []pixEntry
+}
+
+func newTileRaster(maxSize int) *tileRaster {
+	return &tileRaster{
+		size:   maxSize,
+		pixels: make([]int32, maxSize*maxSize),
+	}
+}
+
+// reset prepares the raster for a new tile ("clearing the render target").
+func (r *tileRaster) reset(rect geom.Rect, w, h int, pxW, pxH float64) {
+	r.rect = rect
+	r.w, r.h = w, h
+	r.pxW, r.pxH = pxW, pxH
+	for i := 0; i < w*h; i++ {
+		r.pixels[i] = -1
+	}
+	r.arena = r.arena[:0]
+}
+
+// mark paints one pixel for a polygon. Boundary marks dominate interior
+// marks for the same polygon.
+func (r *tileRaster) mark(ix, iy int, polyID uint32, boundary bool) {
+	if ix < 0 || iy < 0 || ix >= r.w || iy >= r.h {
+		return
+	}
+	pi := iy*r.w + ix
+	for ei := r.pixels[pi]; ei >= 0; ei = r.arena[ei].next {
+		if r.arena[ei].polyID == polyID {
+			if boundary {
+				r.arena[ei].boundary = true
+			}
+			return
+		}
+	}
+	r.arena = append(r.arena, pixEntry{polyID: polyID, boundary: boundary, next: r.pixels[pi]})
+	r.pixels[pi] = int32(len(r.arena) - 1)
+}
+
+// rasterize paints one polygon onto the tile: scanline fill for interior
+// pixels, then a conservative grid walk along every edge for boundary
+// pixels (the fragment-shader equivalent).
+func (r *tileRaster) rasterize(polyID uint32, poly *geom.Polygon) {
+	pb := poly.Bound()
+
+	// Scanline fill over the rows the polygon can touch.
+	rowLo := int(math.Floor((math.Max(pb.Lo.Y, r.rect.Lo.Y) - r.rect.Lo.Y) / r.pxH))
+	rowHi := int(math.Ceil((math.Min(pb.Hi.Y, r.rect.Hi.Y) - r.rect.Lo.Y) / r.pxH))
+	if rowLo < 0 {
+		rowLo = 0
+	}
+	if rowHi > r.h {
+		rowHi = r.h
+	}
+	var xs []float64
+	for row := rowLo; row < rowHi; row++ {
+		yc := r.rect.Lo.Y + (float64(row)+0.5)*r.pxH
+		xs = xs[:0]
+		for _, ring := range poly.Rings {
+			n := len(ring)
+			for i := 0; i < n; i++ {
+				a, b := ring[i], ring[(i+1)%n]
+				if (a.Y > yc) == (b.Y > yc) {
+					continue
+				}
+				xs = append(xs, a.X+(yc-a.Y)/(b.Y-a.Y)*(b.X-a.X))
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		sortFloats(xs)
+		for k := 0; k+1 < len(xs); k += 2 {
+			xa, xb := xs[k], xs[k+1]
+			i0 := int(math.Ceil((xa-r.rect.Lo.X)/r.pxW - 0.5))
+			i1 := int(math.Floor((xb-r.rect.Lo.X)/r.pxW - 0.5))
+			if i0 < 0 {
+				i0 = 0
+			}
+			if i1 >= r.w {
+				i1 = r.w - 1
+			}
+			for i := i0; i <= i1; i++ {
+				r.mark(i, row, polyID, false)
+			}
+		}
+	}
+
+	// Boundary pass: walk every edge across the pixel grid.
+	for _, ring := range poly.Rings {
+		n := len(ring)
+		for i := 0; i < n; i++ {
+			r.walkEdge(ring[i], ring[(i+1)%n], polyID)
+		}
+	}
+}
+
+// walkEdge marks every pixel the segment passes through (Amanatides-Woo
+// grid traversal), clipped to the tile.
+func (r *tileRaster) walkEdge(a, b geom.Point, polyID uint32) {
+	// Clip to the tile rect (Liang-Barsky).
+	t0, t1 := 0.0, 1.0
+	dx, dy := b.X-a.X, b.Y-a.Y
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0
+		}
+		t := q / p
+		if p < 0 {
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else {
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+	if !clip(-dx, a.X-r.rect.Lo.X) || !clip(dx, r.rect.Hi.X-a.X) ||
+		!clip(-dy, a.Y-r.rect.Lo.Y) || !clip(dy, r.rect.Hi.Y-a.Y) {
+		return
+	}
+	x0 := (a.X + t0*dx - r.rect.Lo.X) / r.pxW
+	y0 := (a.Y + t0*dy - r.rect.Lo.Y) / r.pxH
+	x1 := (a.X + t1*dx - r.rect.Lo.X) / r.pxW
+	y1 := (a.Y + t1*dy - r.rect.Lo.Y) / r.pxH
+
+	ix, iy := int(x0), int(y0)
+	ex, ey := int(x1), int(y1)
+	clampi := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= hi {
+			return hi - 1
+		}
+		return v
+	}
+	ix, iy = clampi(ix, r.w), clampi(iy, r.h)
+	ex, ey = clampi(ex, r.w), clampi(ey, r.h)
+
+	r.mark(ix, iy, polyID, true)
+	stepX, stepY := 0, 0
+	tMaxX, tMaxY := math.Inf(1), math.Inf(1)
+	tDeltaX, tDeltaY := math.Inf(1), math.Inf(1)
+	ddx, ddy := x1-x0, y1-y0
+	if ddx > 0 {
+		stepX = 1
+		tMaxX = (float64(ix+1) - x0) / ddx
+		tDeltaX = 1 / ddx
+	} else if ddx < 0 {
+		stepX = -1
+		tMaxX = (float64(ix) - x0) / ddx
+		tDeltaX = -1 / ddx
+	}
+	if ddy > 0 {
+		stepY = 1
+		tMaxY = (float64(iy+1) - y0) / ddy
+		tDeltaY = 1 / ddy
+	} else if ddy < 0 {
+		stepY = -1
+		tMaxY = (float64(iy) - y0) / ddy
+		tDeltaY = -1 / ddy
+	}
+	// The walk is bounded by the pixel distance; +4 covers rounding at the
+	// endpoints.
+	maxSteps := abs(ex-ix) + abs(ey-iy) + 4
+	for s := 0; s < maxSteps; s++ {
+		if ix == ex && iy == ey {
+			break
+		}
+		if tMaxX < tMaxY {
+			tMaxX += tDeltaX
+			ix += stepX
+		} else {
+			tMaxY += tDeltaY
+			iy += stepY
+		}
+		if ix < 0 || iy < 0 || ix >= r.w || iy >= r.h {
+			break
+		}
+		r.mark(ix, iy, polyID, true)
+	}
+}
+
+// probe resolves one point against the painted tile.
+func (r *tileRaster) probe(pi int32, p geom.Point, polys []*geom.Polygon, exact bool, counts []int64, pipTests *int64, collect bool, pairs *[]Pair) {
+	ix := int((p.X - r.rect.Lo.X) / r.pxW)
+	iy := int((p.Y - r.rect.Lo.Y) / r.pxH)
+	if ix < 0 || iy < 0 || ix >= r.w || iy >= r.h {
+		return
+	}
+	emit := func(polyID uint32) {
+		counts[polyID]++
+		if collect {
+			*pairs = append(*pairs, Pair{PointIdx: pi, PolyID: polyID})
+		}
+	}
+	for ei := r.pixels[iy*r.w+ix]; ei >= 0; ei = r.arena[ei].next {
+		e := &r.arena[ei]
+		if !e.boundary {
+			emit(e.polyID) // interior pixel: certain hit
+			continue
+		}
+		if !exact {
+			emit(e.polyID) // BRJ: bounded false positive
+			continue
+		}
+		*pipTests++
+		if polys[e.polyID].ContainsPoint(p) {
+			emit(e.polyID)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// sortFloats is a small insertion sort: crossing lists per scanline are
+// tiny (typically 2-6 entries), where this beats the generic sort.
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

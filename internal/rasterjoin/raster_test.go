@@ -1,0 +1,105 @@
+package rasterjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"actjoin/internal/geom"
+)
+
+// The grid walk must mark every pixel a segment passes through: sample many
+// parameter values along random segments and confirm the pixel under each
+// sample is boundary-marked.
+func TestWalkEdgeConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rect := geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 1, Y: 1}}
+	const n = 64
+	r := newTileRaster(n)
+
+	for iter := 0; iter < 300; iter++ {
+		r.reset(rect, n, n, rect.Width()/n, rect.Height()/n)
+		a := geom.Point{X: rng.Float64()*1.4 - 0.2, Y: rng.Float64()*1.4 - 0.2}
+		b := geom.Point{X: rng.Float64()*1.4 - 0.2, Y: rng.Float64()*1.4 - 0.2}
+		r.walkEdge(a, b, 0)
+
+		for s := 0; s <= 200; s++ {
+			f := float64(s) / 200
+			p := geom.Point{X: a.X + f*(b.X-a.X), Y: a.Y + f*(b.Y-a.Y)}
+			if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+				continue
+			}
+			ix := int(p.X / r.pxW)
+			iy := int(p.Y / r.pxH)
+			// Allow one pixel of slack at exact grid lines, where the
+			// sample rounds to a neighbor of the traversed cell.
+			if r.marked(ix, iy) {
+				continue
+			}
+			onGridX := p.X/r.pxW-float64(ix) < 1e-9
+			onGridY := p.Y/r.pxH-float64(iy) < 1e-9
+			if (onGridX && ix > 0 && r.marked(ix-1, iy)) ||
+				(onGridY && iy > 0 && r.marked(ix, iy-1)) ||
+				(onGridX && onGridY && ix > 0 && iy > 0 && r.marked(ix-1, iy-1)) {
+				continue
+			}
+			t.Fatalf("iter %d: pixel (%d,%d) under segment %v-%v not marked", iter, ix, iy, a, b)
+		}
+	}
+}
+
+// marked reports whether the pixel has any entry.
+func (r *tileRaster) marked(ix, iy int) bool {
+	if ix < 0 || iy < 0 || ix >= r.w || iy >= r.h {
+		return false
+	}
+	return r.pixels[iy*r.w+ix] >= 0
+}
+
+func TestMarkDedupesPerPolygon(t *testing.T) {
+	rect := geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 1, Y: 1}}
+	r := newTileRaster(4)
+	r.reset(rect, 4, 4, 0.25, 0.25)
+	r.mark(1, 1, 7, false)
+	r.mark(1, 1, 7, true) // boundary upgrade, no duplicate entry
+	r.mark(1, 1, 8, false)
+	count := 0
+	boundary7 := false
+	for ei := r.pixels[1*4+1]; ei >= 0; ei = r.arena[ei].next {
+		count++
+		if r.arena[ei].polyID == 7 && r.arena[ei].boundary {
+			boundary7 = true
+		}
+	}
+	if count != 2 {
+		t.Errorf("entries = %d, want 2", count)
+	}
+	if !boundary7 {
+		t.Error("boundary flag upgrade lost")
+	}
+}
+
+func TestScanlineFillsConvexShape(t *testing.T) {
+	rect := geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 1, Y: 1}}
+	const n = 32
+	r := newTileRaster(n)
+	r.reset(rect, n, n, 1.0/n, 1.0/n)
+	poly := geom.MustPolygon(geom.Ring{{X: 0.25, Y: 0.25}, {X: 0.75, Y: 0.25}, {X: 0.75, Y: 0.75}, {X: 0.25, Y: 0.75}})
+	r.rasterize(0, poly)
+
+	// Pixel centers strictly inside must all be marked; pixels well outside
+	// must not be.
+	for iy := 0; iy < n; iy++ {
+		for ix := 0; ix < n; ix++ {
+			cx := (float64(ix) + 0.5) / n
+			cy := (float64(iy) + 0.5) / n
+			inside := cx > 0.27 && cx < 0.73 && cy > 0.27 && cy < 0.73
+			outside := cx < 0.22 || cx > 0.78 || cy < 0.22 || cy > 0.78
+			if inside && !r.marked(ix, iy) {
+				t.Fatalf("interior pixel (%d,%d) not filled", ix, iy)
+			}
+			if outside && r.marked(ix, iy) {
+				t.Fatalf("exterior pixel (%d,%d) wrongly filled", ix, iy)
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package rtree implements the paper's filter-and-refine competitor "RT":
+// an R-tree over polygon minimum bounding rectangles. The paper uses the
+// boost R-tree with the rstar splitting strategy and at most 8 elements per
+// node; this implementation provides an R*-style split (axis chosen by
+// minimum margin sum, distribution by minimum overlap) plus Guttman's
+// quadratic split, which doubles as the GiST/PostGIS stand-in ("PG").
+//
+// A point query returns the ids of all polygons whose MBR contains the
+// point — the candidate set that the join then refines with exact PIP tests.
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"actjoin/internal/geom"
+)
+
+// SplitStrategy selects the node splitting algorithm.
+type SplitStrategy int
+
+const (
+	// SplitRStar is the R*-style topological split (the paper's RT config).
+	SplitRStar SplitStrategy = iota
+	// SplitQuadratic is Guttman's quadratic split (the PG stand-in).
+	SplitQuadratic
+)
+
+// DefaultMaxEntries matches the paper's best-performing boost configuration.
+const DefaultMaxEntries = 8
+
+type item struct {
+	mbr   geom.Rect
+	child *node // nil in leaves
+	id    uint32
+}
+
+type node struct {
+	items []item
+	leaf  bool
+}
+
+func (n *node) bound() geom.Rect {
+	b := geom.EmptyRect()
+	for i := range n.items {
+		b = b.Union(n.items[i].mbr)
+	}
+	return b
+}
+
+// Tree is an insertion-built R-tree.
+type Tree struct {
+	root       *node
+	maxEntries int
+	minEntries int
+	split      SplitStrategy
+	numItems   int
+	numNodes   int
+	height     int
+}
+
+// New returns an empty tree. maxEntries <= 0 selects DefaultMaxEntries.
+func New(maxEntries int, split SplitStrategy) *Tree {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	min := maxEntries * 2 / 5 // R* recommends m = 40% of M
+	if min < 1 {
+		min = 1
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: min,
+		split:      split,
+		numNodes:   1,
+		height:     1,
+	}
+}
+
+// BuildFromPolygons inserts every polygon's MBR keyed by its index.
+func BuildFromPolygons(polys []*geom.Polygon, maxEntries int, split SplitStrategy) *Tree {
+	t := New(maxEntries, split)
+	for i, p := range polys {
+		t.Insert(p.Bound(), uint32(i))
+	}
+	return t
+}
+
+// Len returns the number of stored rectangles.
+func (t *Tree) Len() int { return t.numItems }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return t.numNodes }
+
+// SizeBytes estimates the in-memory footprint: 40 bytes per item (4 float64
+// MBR + pointer/id) plus per-node slice headers.
+func (t *Tree) SizeBytes() int {
+	var items int
+	var walk func(n *node)
+	walk = func(n *node) {
+		items += len(n.items)
+		if !n.leaf {
+			for i := range n.items {
+				walk(n.items[i].child)
+			}
+		}
+	}
+	walk(t.root)
+	return items*40 + t.numNodes*24
+}
+
+// Insert adds a rectangle with an id.
+func (t *Tree) Insert(mbr geom.Rect, id uint32) {
+	t.numItems++
+	sibling := t.insert(t.root, item{mbr: mbr, id: id}, t.height)
+	if sibling != nil {
+		// Root split: grow the tree.
+		newRoot := &node{
+			leaf: false,
+			items: []item{
+				{mbr: t.root.bound(), child: t.root},
+				{mbr: sibling.bound(), child: sibling},
+			},
+		}
+		t.root = newRoot
+		t.numNodes++
+		t.height++
+	}
+}
+
+// insert descends to a leaf, adds the item, and returns a split sibling to
+// the caller when the node overflowed.
+func (t *Tree) insert(n *node, it item, level int) *node {
+	if n.leaf {
+		n.items = append(n.items, it)
+		if len(n.items) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	best := t.chooseSubtree(n, it.mbr)
+	sibling := t.insert(n.items[best].child, it, level-1)
+	n.items[best].mbr = n.items[best].child.bound()
+	if sibling != nil {
+		n.items = append(n.items, item{mbr: sibling.bound(), child: sibling})
+		if len(n.items) > t.maxEntries {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child needing the least area enlargement (ties
+// broken by smaller area), Guttman's ChooseLeaf criterion.
+func (t *Tree) chooseSubtree(n *node, mbr geom.Rect) int {
+	best := 0
+	bestEnlarge := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range n.items {
+		cur := n.items[i].mbr
+		area := cur.Area()
+		enlarged := cur.Union(mbr).Area() - area
+		if enlarged < bestEnlarge || (enlarged == bestEnlarge && area < bestArea) {
+			best, bestEnlarge, bestArea = i, enlarged, area
+		}
+	}
+	return best
+}
+
+// splitNode distributes n's items between n and a new sibling.
+func (t *Tree) splitNode(n *node) *node {
+	var left, right []item
+	if t.split == SplitQuadratic {
+		left, right = quadraticSplit(n.items, t.minEntries)
+	} else {
+		left, right = rstarSplit(n.items, t.minEntries)
+	}
+	n.items = left
+	sib := &node{leaf: n.leaf, items: right}
+	t.numNodes++
+	return sib
+}
+
+// rstarSplit chooses the split axis by minimum margin (perimeter) sum over
+// all candidate distributions, then the distribution with minimum overlap
+// (ties by minimum combined area).
+func rstarSplit(items []item, minEntries int) (left, right []item) {
+	type distribution struct {
+		axis    int // 0 = X, 1 = Y
+		lower   bool
+		splitAt int
+	}
+	n := len(items)
+	sortBy := func(axis int, lower bool) []item {
+		s := make([]item, n)
+		copy(s, items)
+		sort.Slice(s, func(i, j int) bool {
+			var a, b float64
+			switch {
+			case axis == 0 && lower:
+				a, b = s[i].mbr.Lo.X, s[j].mbr.Lo.X
+			case axis == 0:
+				a, b = s[i].mbr.Hi.X, s[j].mbr.Hi.X
+			case lower:
+				a, b = s[i].mbr.Lo.Y, s[j].mbr.Lo.Y
+			default:
+				a, b = s[i].mbr.Hi.Y, s[j].mbr.Hi.Y
+			}
+			return a < b
+		})
+		return s
+	}
+	margin := func(r geom.Rect) float64 { return 2 * (r.Width() + r.Height()) }
+	boundOf := func(its []item) geom.Rect {
+		b := geom.EmptyRect()
+		for i := range its {
+			b = b.Union(its[i].mbr)
+		}
+		return b
+	}
+
+	bestAxisMargin := math.Inf(1)
+	var bestSorted []item
+	for axis := 0; axis < 2; axis++ {
+		for _, lower := range []bool{true, false} {
+			s := sortBy(axis, lower)
+			var marginSum float64
+			for k := minEntries; k <= n-minEntries; k++ {
+				marginSum += margin(boundOf(s[:k])) + margin(boundOf(s[k:]))
+			}
+			if marginSum < bestAxisMargin {
+				bestAxisMargin = marginSum
+				bestSorted = s
+			}
+		}
+	}
+
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	bestK := minEntries
+	for k := minEntries; k <= n-minEntries; k++ {
+		lb := boundOf(bestSorted[:k])
+		rb := boundOf(bestSorted[k:])
+		overlap := lb.Intersection(rb).Area()
+		area := lb.Area() + rb.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestOverlap, bestArea, bestK = overlap, area, k
+		}
+	}
+	left = append([]item{}, bestSorted[:bestK]...)
+	right = append([]item{}, bestSorted[bestK:]...)
+	return left, right
+}
+
+// quadraticSplit is Guttman's quadratic algorithm: seed with the pair
+// wasting the most area, then greedily assign by strongest preference.
+func quadraticSplit(items []item, minEntries int) (left, right []item) {
+	n := len(items)
+	// Pick seeds.
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := items[i].mbr.Union(items[j].mbr).Area() - items[i].mbr.Area() - items[j].mbr.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	left = []item{items[s1]}
+	right = []item{items[s2]}
+	lb, rb := items[s1].mbr, items[s2].mbr
+
+	remaining := make([]item, 0, n-2)
+	for i := range items {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, items[i])
+		}
+	}
+	for len(remaining) > 0 {
+		// Force assignment when one side must take everything left to
+		// reach minEntries.
+		if len(left)+len(remaining) == minEntries {
+			left = append(left, remaining...)
+			break
+		}
+		if len(right)+len(remaining) == minEntries {
+			right = append(right, remaining...)
+			break
+		}
+		// Pick the item with the strongest preference.
+		bestIdx, bestDiff := 0, -1.0
+		var bestToLeft bool
+		for i, it := range remaining {
+			dl := lb.Union(it.mbr).Area() - lb.Area()
+			dr := rb.Union(it.mbr).Area() - rb.Area()
+			diff := math.Abs(dl - dr)
+			if diff > bestDiff {
+				bestDiff, bestIdx = diff, i
+				bestToLeft = dl < dr
+			}
+		}
+		it := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if bestToLeft {
+			left = append(left, it)
+			lb = lb.Union(it.mbr)
+		} else {
+			right = append(right, it)
+			rb = rb.Union(it.mbr)
+		}
+	}
+	return left, right
+}
+
+// SearchPoint calls fn with the id of every stored rectangle containing p.
+func (t *Tree) SearchPoint(p geom.Point, fn func(id uint32)) {
+	searchPoint(t.root, p, fn)
+}
+
+func searchPoint(n *node, p geom.Point, fn func(id uint32)) {
+	for i := range n.items {
+		if !n.items[i].mbr.ContainsPoint(p) {
+			continue
+		}
+		if n.leaf {
+			fn(n.items[i].id)
+		} else {
+			searchPoint(n.items[i].child, p, fn)
+		}
+	}
+}
+
+// SearchPointCount is SearchPoint plus the number of node accesses, the
+// structural cost counter used by the experiment harness.
+func (t *Tree) SearchPointCount(p geom.Point, fn func(id uint32)) int {
+	return searchPointCount(t.root, p, fn)
+}
+
+func searchPointCount(n *node, p geom.Point, fn func(id uint32)) int {
+	nodes := 1
+	for i := range n.items {
+		if !n.items[i].mbr.ContainsPoint(p) {
+			continue
+		}
+		if n.leaf {
+			fn(n.items[i].id)
+		} else {
+			nodes += searchPointCount(n.items[i].child, p, fn)
+		}
+	}
+	return nodes
+}

@@ -1,0 +1,195 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"actjoin/internal/geom"
+)
+
+func randRect(rng *rand.Rand) geom.Rect {
+	x := rng.Float64() * 100
+	y := rng.Float64() * 100
+	w := rng.Float64() * 5
+	h := rng.Float64() * 5
+	return geom.Rect{Lo: geom.Point{X: x, Y: y}, Hi: geom.Point{X: x + w, Y: y + h}}
+}
+
+func collect(t *Tree, p geom.Point) []uint32 {
+	var ids []uint32
+	t.SearchPoint(p, func(id uint32) { ids = append(ids, id) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func bruteCollect(rects []geom.Rect, p geom.Point) []uint32 {
+	var ids []uint32
+	for i, r := range rects {
+		if r.ContainsPoint(p) {
+			ids = append(ids, uint32(i))
+		}
+	}
+	return ids
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8, SplitRStar)
+	if got := collect(tr, geom.Point{X: 1, Y: 1}); len(got) != 0 {
+		t.Error("empty tree must return nothing")
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Error("empty tree shape")
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	for _, split := range []SplitStrategy{SplitRStar, SplitQuadratic} {
+		rng := rand.New(rand.NewSource(1))
+		tr := New(8, split)
+		var rects []geom.Rect
+		for i := 0; i < 500; i++ {
+			r := randRect(rng)
+			rects = append(rects, r)
+			tr.Insert(r, uint32(i))
+		}
+		if tr.Len() != 500 {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		for iter := 0; iter < 2000; iter++ {
+			p := geom.Point{X: rng.Float64() * 105, Y: rng.Float64() * 105}
+			got := collect(tr, p)
+			want := bruteCollect(rects, p)
+			if !equalIDs(got, want) {
+				t.Fatalf("split %v: SearchPoint(%v) = %v, want %v", split, p, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeGrowsInHeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(4, SplitRStar)
+	for i := 0; i < 300; i++ {
+		tr.Insert(randRect(rng), uint32(i))
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, want >= 3 with 300 items and M=4", tr.Height())
+	}
+	if tr.NumNodes() < 75 {
+		t.Errorf("numNodes = %d suspiciously low", tr.NumNodes())
+	}
+}
+
+func TestNodeCapacityInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New(8, SplitRStar)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(randRect(rng), uint32(i))
+	}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if len(n.items) > tr.maxEntries {
+			t.Fatalf("node with %d items exceeds max %d", len(n.items), tr.maxEntries)
+		}
+		if !n.leaf {
+			for i := range n.items {
+				// Parent MBR must cover the child bound.
+				if !n.items[i].mbr.ContainsRect(n.items[i].child.bound()) {
+					t.Fatal("parent MBR does not cover child")
+				}
+				walk(n.items[i].child, depth+1)
+			}
+		}
+	}
+	walk(tr.root, 0)
+}
+
+func TestAllLeavesAtSameDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, split := range []SplitStrategy{SplitRStar, SplitQuadratic} {
+		tr := New(6, split)
+		for i := 0; i < 400; i++ {
+			tr.Insert(randRect(rng), uint32(i))
+		}
+		depths := map[int]bool{}
+		var walk func(n *node, d int)
+		walk = func(n *node, d int) {
+			if n.leaf {
+				depths[d] = true
+				return
+			}
+			for i := range n.items {
+				walk(n.items[i].child, d+1)
+			}
+		}
+		walk(tr.root, 0)
+		if len(depths) != 1 {
+			t.Errorf("split %v: leaves at multiple depths %v", split, depths)
+		}
+	}
+}
+
+func TestBuildFromPolygons(t *testing.T) {
+	polys := []*geom.Polygon{
+		geom.MustPolygon(geom.Ring{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 2}, {X: 0, Y: 2}}),
+		geom.MustPolygon(geom.Ring{{X: 3, Y: 3}, {X: 5, Y: 3}, {X: 5, Y: 5}, {X: 3, Y: 5}}),
+		geom.MustPolygon(geom.Ring{{X: 1, Y: 1}, {X: 4, Y: 1}, {X: 4, Y: 4}, {X: 1, Y: 4}}),
+	}
+	tr := BuildFromPolygons(polys, 0, SplitRStar)
+	got := collect(tr, geom.Point{X: 1.5, Y: 1.5})
+	if !equalIDs(got, []uint32{0, 2}) {
+		t.Errorf("candidates = %v, want [0 2]", got)
+	}
+	got = collect(tr, geom.Point{X: 10, Y: 10})
+	if len(got) != 0 {
+		t.Errorf("far point candidates = %v", got)
+	}
+}
+
+func TestDuplicateRects(t *testing.T) {
+	tr := New(4, SplitQuadratic)
+	r := geom.Rect{Lo: geom.Point{X: 0, Y: 0}, Hi: geom.Point{X: 1, Y: 1}}
+	for i := 0; i < 50; i++ {
+		tr.Insert(r, uint32(i))
+	}
+	got := collect(tr, geom.Point{X: 0.5, Y: 0.5})
+	if len(got) != 50 {
+		t.Errorf("got %d ids, want all 50 duplicates", len(got))
+	}
+}
+
+func TestSearchPointCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := New(8, SplitRStar)
+	for i := 0; i < 500; i++ {
+		tr.Insert(randRect(rng), uint32(i))
+	}
+	n := tr.SearchPointCount(geom.Point{X: 50, Y: 50}, func(uint32) {})
+	if n < 1 || n > tr.NumNodes() {
+		t.Errorf("node accesses = %d out of range", n)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := New(8, SplitRStar)
+	for i := 0; i < 200; i++ {
+		tr.Insert(randRect(rng), uint32(i))
+	}
+	if tr.SizeBytes() < 200*40 {
+		t.Error("size must count all items")
+	}
+}

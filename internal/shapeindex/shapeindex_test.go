@@ -1,0 +1,214 @@
+package shapeindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/geom"
+)
+
+func testPolys() []*geom.Polygon {
+	return []*geom.Polygon{
+		geom.MustPolygon(geom.Ring{
+			{X: -74.00, Y: 40.70}, {X: -73.97, Y: 40.70}, {X: -73.97, Y: 40.73}, {X: -74.00, Y: 40.73},
+		}),
+		geom.MustPolygon(geom.Ring{
+			{X: -73.97, Y: 40.70}, {X: -73.94, Y: 40.70}, {X: -73.94, Y: 40.73}, {X: -73.97, Y: 40.73},
+		}),
+		// Concave polygon overlapping the first two.
+		geom.MustPolygon(geom.Ring{
+			{X: -73.99, Y: 40.715}, {X: -73.95, Y: 40.715}, {X: -73.95, Y: 40.745},
+			{X: -73.97, Y: 40.745}, {X: -73.97, Y: 40.73}, {X: -73.99, Y: 40.73},
+		}),
+	}
+}
+
+func queryIDs(x *Index, p geom.Point) []uint32 {
+	var ids []uint32
+	x.Query(cellid.FromPoint(p), p, func(id uint32) { ids = append(ids, id) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func bruteIDs(polys []*geom.Polygon, p geom.Point) []uint32 {
+	var ids []uint32
+	for i, poly := range polys {
+		if poly.ContainsPoint(p) {
+			ids = append(ids, uint32(i))
+		}
+	}
+	return ids
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	polys := testPolys()
+	for _, opt := range []Options{DefaultOptions(), FinestOptions()} {
+		x := Build(polys, opt)
+		rng := rand.New(rand.NewSource(1))
+		for iter := 0; iter < 4000; iter++ {
+			p := geom.Point{X: -74.02 + rng.Float64()*0.12, Y: 40.68 + rng.Float64()*0.09}
+			got := queryIDs(x, p)
+			want := bruteIDs(polys, p)
+			if !equalIDs(got, want) {
+				t.Fatalf("maxEdges %d: Query(%v) = %v, want %v", opt.MaxEdgesPerCell, p, got, want)
+			}
+		}
+	}
+}
+
+func TestFinerIndexHasMoreCells(t *testing.T) {
+	polys := testPolys()
+	si10 := Build(polys, DefaultOptions())
+	si1 := Build(polys, FinestOptions())
+	if si1.NumCells() <= si10.NumCells() {
+		t.Errorf("SI1 cells %d must exceed SI10 cells %d", si1.NumCells(), si10.NumCells())
+	}
+	if si1.SizeBytes() <= si10.SizeBytes() {
+		t.Errorf("SI1 size %d must exceed SI10 size %d", si1.SizeBytes(), si10.SizeBytes())
+	}
+}
+
+func TestEdgeBudgetRespected(t *testing.T) {
+	polys := testPolys()
+	for _, maxEdges := range []int{1, 4, 10, 50} {
+		opt := Options{MaxEdgesPerCell: maxEdges, MaxLevel: 18}
+		x := Build(polys, opt)
+		for i := range x.records {
+			n := 0
+			for j := range x.records[i].polys {
+				n += len(x.records[i].polys[j].edges)
+			}
+			// The budget may only be exceeded where the level cap stopped
+			// subdivision (coincident shared borders can never separate).
+			if n > maxEdges && x.records[i].level < opt.MaxLevel {
+				t.Fatalf("maxEdges %d: cell at level %d stores %d edges",
+					maxEdges, x.records[i].level, n)
+			}
+		}
+	}
+}
+
+// circlePolygon returns an n-gon approximating a circle; many edges force
+// the shape index to develop pure-interior cells.
+func circlePolygon(cx, cy, r float64, n int) *geom.Polygon {
+	ring := make(geom.Ring, n)
+	for i := 0; i < n; i++ {
+		a := 2 * 3.141592653589793 * float64(i) / float64(n)
+		ring[i] = geom.Point{X: cx + r*cosApprox(a), Y: cy + r*sinApprox(a)}
+	}
+	return geom.MustPolygon(ring)
+}
+
+func cosApprox(a float64) float64 { return sinApprox(a + 3.141592653589793/2) }
+
+func sinApprox(a float64) float64 {
+	// Small local sine to avoid importing math for two calls; accurate
+	// enough for constructing a test polygon.
+	for a > 3.141592653589793 {
+		a -= 2 * 3.141592653589793
+	}
+	for a < -3.141592653589793 {
+		a += 2 * 3.141592653589793
+	}
+	x := a
+	x3 := x * x * x
+	x5 := x3 * x * x
+	x7 := x5 * x * x
+	return x - x3/6 + x5/120 - x7/5040
+}
+
+func TestTrueHitFiltering(t *testing.T) {
+	// A 64-gon has enough edges that SI10 subdivides it and produces pure
+	// interior cells (S2's own true hit filtering, Section 4.2).
+	polys := []*geom.Polygon{circlePolygon(-73.97, 40.72, 0.02, 64)}
+	x := Build(polys, DefaultOptions())
+	rng := rand.New(rand.NewSource(2))
+	trueHits, total := 0, 0
+	for iter := 0; iter < 2000; iter++ {
+		// Sample well inside the circle (radius < 0.6r).
+		q := geom.Point{
+			X: -73.97 + (rng.Float64()-0.5)*0.016,
+			Y: 40.72 + (rng.Float64()-0.5)*0.016,
+		}
+		tests, to := x.Query(cellid.FromPoint(q), q, func(uint32) {})
+		if tests < 0 {
+			t.Fatal("negative edge tests")
+		}
+		total++
+		if to {
+			trueHits++
+		}
+	}
+	if float64(trueHits)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d interior queries skipped edge tests", trueHits, total)
+	}
+}
+
+func TestMissOutsideEverything(t *testing.T) {
+	polys := testPolys()
+	x := Build(polys, DefaultOptions())
+	p := geom.Point{X: 10, Y: 10}
+	tests, trueOnly := x.Query(cellid.FromPoint(p), p, func(uint32) {
+		t.Fatal("far point must match nothing")
+	})
+	if tests != 0 || !trueOnly {
+		t.Errorf("miss should cost nothing: %d %v", tests, trueOnly)
+	}
+}
+
+func TestPolygonWithHole(t *testing.T) {
+	outer := geom.Ring{{X: -74, Y: 40.7}, {X: -73.9, Y: 40.7}, {X: -73.9, Y: 40.8}, {X: -74, Y: 40.8}}
+	hole := geom.Ring{{X: -73.97, Y: 40.73}, {X: -73.93, Y: 40.73}, {X: -73.93, Y: 40.77}, {X: -73.97, Y: 40.77}}
+	polys := []*geom.Polygon{geom.MustPolygon(outer, hole)}
+	x := Build(polys, DefaultOptions())
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 3000; iter++ {
+		p := geom.Point{X: -74.01 + rng.Float64()*0.12, Y: 40.69 + rng.Float64()*0.12}
+		got := queryIDs(x, p)
+		want := bruteIDs(polys, p)
+		if !equalIDs(got, want) {
+			t.Fatalf("hole polygon: Query(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	x := Build(nil, DefaultOptions())
+	p := geom.Point{X: 0, Y: 0}
+	x.Query(cellid.FromPoint(p), p, func(uint32) {
+		t.Fatal("empty index must match nothing")
+	})
+	if x.NumCells() != 0 {
+		t.Error("empty index has cells")
+	}
+}
+
+func BenchmarkQuerySI10(b *testing.B) {
+	polys := testPolys()
+	x := Build(polys, DefaultOptions())
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]geom.Point, 1024)
+	leaves := make([]cellid.CellID, 1024)
+	for i := range pts {
+		pts[i] = geom.Point{X: -74.02 + rng.Float64()*0.12, Y: 40.68 + rng.Float64()*0.09}
+		leaves[i] = cellid.FromPoint(pts[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Query(leaves[i&1023], pts[i&1023], func(uint32) {})
+	}
+}

@@ -1,0 +1,91 @@
+// Package sortedvec implements the paper's "LB" baseline: binary search
+// (std::lower_bound) over a sorted vector of (cell id, tagged entry) pairs.
+//
+// Because the super covering is normalized (disjoint, duplicate-free), a
+// query leaf is contained by at most one cell, found by inspecting the
+// lower-bound position and its predecessor (the standard S2 cell-union
+// containment check).
+package sortedvec
+
+import (
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/refs"
+)
+
+// Vector is the sorted-pair index. Build once, probe concurrently.
+type Vector struct {
+	keys []cellid.CellID
+	vals []refs.Entry
+}
+
+// Build creates the vector from sorted, disjoint pairs. The input order is
+// trusted (supercover output is already sorted); a violated order panics
+// because every probe afterwards would silently return wrong results.
+func Build(kvs []cellindex.KeyEntry) *Vector {
+	v := &Vector{
+		keys: make([]cellid.CellID, len(kvs)),
+		vals: make([]refs.Entry, len(kvs)),
+	}
+	for i, kv := range kvs {
+		if i > 0 && kv.Key <= v.keys[i-1] {
+			panic("sortedvec: input not strictly sorted")
+		}
+		v.keys[i] = kv.Key
+		v.vals[i] = kv.Entry
+	}
+	return v
+}
+
+// Len returns the number of indexed cells.
+func (v *Vector) Len() int { return len(v.keys) }
+
+// SizeBytes returns the memory footprint: 16 bytes per pair, as in the
+// paper's accounting ("the vector stores pairs of cell ids and tagged
+// entries").
+func (v *Vector) SizeBytes() int { return 16 * len(v.keys) }
+
+// Find locates the cell containing the query leaf via binary search.
+func (v *Vector) Find(leaf cellid.CellID) refs.Entry {
+	e, _ := v.find(leaf)
+	return e
+}
+
+// FindCount is Find plus the number of key comparisons performed, the
+// structural counter substituting for the paper's hardware counters
+// (Table 5).
+func (v *Vector) FindCount(leaf cellid.CellID) (refs.Entry, int) {
+	return v.find(leaf)
+}
+
+func (v *Vector) find(leaf cellid.CellID) (refs.Entry, int) {
+	// lower_bound: first index with keys[i] >= leaf.
+	lo, hi := 0, len(v.keys)
+	cmps := 0
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		cmps++
+		if v.keys[mid] < leaf {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Either the cell at lo is an ancestor (its range starts at or before
+	// the leaf) or the predecessor's range still spans the leaf.
+	if lo < len(v.keys) {
+		cmps++
+		if v.keys[lo].RangeMin() <= leaf {
+			return v.vals[lo], cmps
+		}
+	}
+	if lo > 0 {
+		cmps++
+		if v.keys[lo-1].RangeMax() >= leaf {
+			return v.vals[lo-1], cmps
+		}
+	}
+	return refs.FalseHit, cmps
+}
+
+var _ cellindex.Index = (*Vector)(nil)

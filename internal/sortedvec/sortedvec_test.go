@@ -1,0 +1,140 @@
+package sortedvec
+
+import (
+	"math/rand"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+func entryFor(id uint32) refs.Entry {
+	return refs.Entry(uint64(refs.MakeRef(id, true))<<2 | refs.TagOneRef)
+}
+
+func TestEmptyVector(t *testing.T) {
+	v := Build(nil)
+	if got := v.Find(cellid.FromPoint(geom.Point{X: 1, Y: 1})); !got.IsFalseHit() {
+		t.Error("empty vector must miss")
+	}
+	if v.Len() != 0 || v.SizeBytes() != 0 {
+		t.Error("empty vector size")
+	}
+}
+
+func TestFindSingleCell(t *testing.T) {
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	cell := leaf.Parent(12)
+	v := Build([]cellindex.KeyEntry{{Key: cell, Entry: entryFor(7)}})
+	if got := v.Find(leaf); got != entryFor(7) {
+		t.Errorf("Find = %#x", got)
+	}
+	if got := v.Find(cell.RangeMin()); got != entryFor(7) {
+		t.Error("RangeMin must hit")
+	}
+	if got := v.Find(cell.RangeMax()); got != entryFor(7) {
+		t.Error("RangeMax must hit")
+	}
+	outside := cellid.FromPoint(geom.Point{X: 10, Y: 10})
+	if got := v.Find(outside); !got.IsFalseHit() {
+		t.Error("outside leaf must miss")
+	}
+}
+
+func TestFindNeighborCells(t *testing.T) {
+	// Adjacent same-level cells: each leaf must resolve to its own cell.
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	parent := leaf.Parent(10)
+	kids := parent.Children()
+	kvs := make([]cellindex.KeyEntry, 4)
+	for i, k := range kids {
+		kvs[i] = cellindex.KeyEntry{Key: k, Entry: entryFor(uint32(i))}
+	}
+	v := Build(kvs)
+	for i, k := range kids {
+		if got := v.Find(k.RangeMin()); got != entryFor(uint32(i)) {
+			t.Errorf("child %d RangeMin resolved to %#x", i, got)
+		}
+		if got := v.Find(k.RangeMax()); got != entryFor(uint32(i)) {
+			t.Errorf("child %d RangeMax resolved to %#x", i, got)
+		}
+	}
+}
+
+func TestBuildPanicsOnUnsorted(t *testing.T) {
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	a := leaf.Parent(10)
+	b := cellid.FromPoint(geom.Point{X: -73.5, Y: 40.9}).Parent(10)
+	if a < b {
+		a, b = b, a
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted input must panic")
+		}
+	}()
+	Build([]cellindex.KeyEntry{{Key: a, Entry: entryFor(1)}, {Key: b, Entry: entryFor(2)}})
+}
+
+func TestFindMatchesBruteForceOnRealCovering(t *testing.T) {
+	polys := []*geom.Polygon{
+		geom.MustPolygon(geom.Ring{
+			{X: -74.00, Y: 40.70}, {X: -73.96, Y: 40.705}, {X: -73.95, Y: 40.74}, {X: -73.99, Y: 40.735},
+		}),
+		geom.MustPolygon(geom.Ring{
+			{X: -73.95, Y: 40.69}, {X: -73.92, Y: 40.69}, {X: -73.92, Y: 40.72}, {X: -73.95, Y: 40.72},
+		}),
+	}
+	sc := supercover.Build(polys, supercover.DefaultOptions())
+	kvs, _ := cellindex.Encode(sc.Cells())
+	v := Build(kvs)
+	if v.Len() != len(kvs) {
+		t.Fatalf("Len = %d", v.Len())
+	}
+
+	brute := func(leaf cellid.CellID) refs.Entry {
+		for _, kv := range kvs {
+			if kv.Key.Contains(leaf) {
+				return kv.Entry
+			}
+		}
+		return refs.FalseHit
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 5000; iter++ {
+		p := geom.Point{X: -74.02 + rng.Float64()*0.12, Y: 40.68 + rng.Float64()*0.08}
+		leaf := cellid.FromPoint(p)
+		if got, want := v.Find(leaf), brute(leaf); got != want {
+			t.Fatalf("Find(%v) = %#x, want %#x", leaf, got, want)
+		}
+	}
+}
+
+func TestFindCountLogarithmic(t *testing.T) {
+	// Comparison counts must stay O(log n).
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	var kvs []cellindex.KeyEntry
+	parent := leaf.Parent(8)
+	// Generate many disjoint cells: all level-14 descendants of parent.
+	var gen func(c cellid.CellID)
+	gen = func(c cellid.CellID) {
+		if c.Level() == 14 {
+			kvs = append(kvs, cellindex.KeyEntry{Key: c, Entry: entryFor(1)})
+			return
+		}
+		for _, k := range c.Children() {
+			gen(k)
+		}
+	}
+	gen(parent)
+	v := Build(kvs)
+	_, cmps := v.FindCount(leaf)
+	n := len(kvs)    // 4096
+	if cmps > 2*16 { // 2*log2(4096)+slack
+		t.Errorf("comparisons = %d for n = %d, want O(log n)", cmps, n)
+	}
+}

@@ -1,0 +1,161 @@
+package supercover
+
+import (
+	"actjoin/internal/cellid"
+	"actjoin/internal/cover"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+)
+
+// RefineToPrecision implements the approximate join's precision bound
+// (Section 3.2): every cell carrying a candidate (boundary) reference and
+// coarser than minLevel is replaced by descendant cells. Each descendant is
+// classified against the referenced polygons: descendants that no longer
+// intersect a polygon drop its reference, descendants fully inside are
+// promoted to true hits, and intersecting descendants stay candidates and
+// are subdivided further until minLevel.
+//
+// After refinement, every remaining candidate cell has level >= minLevel, so
+// any false positive of the approximate join is within the diagonal of a
+// minLevel cell of the polygon (the sqrt(2)*side bound of Section 3.2).
+//
+// Descendants that become pure true hits stop subdividing early: shattering
+// them further to exactly minLevel would change nothing the index can
+// observe (every point in them is a true hit either way) and only multiply
+// the cell count.
+func (sc *SuperCovering) RefineToPrecision(polys []*geom.Polygon, minLevel int) {
+	if minLevel > cover.MaxSupportedLevel {
+		minLevel = cover.MaxSupportedLevel
+	}
+	edgeCache := make(map[uint32][]geom.Segment)
+	edgesOf := func(id uint32) []geom.Segment {
+		e, ok := edgeCache[id]
+		if !ok {
+			e = cover.Edges(polys[id])
+			edgeCache[id] = e
+		}
+		return e
+	}
+
+	for f := 0; f < cellid.NumFaces; f++ {
+		if sc.roots[f] != nil {
+			sc.refineNode(sc.roots[f], cellid.FaceCell(f), minLevel, polys, edgesOf)
+		}
+	}
+}
+
+// boundaryCtx tracks one candidate reference during refinement descent: the
+// polygon and the subset of its edges that can still intersect the current
+// cell.
+type boundaryCtx struct {
+	ref   refs.Ref
+	poly  *geom.Polygon
+	edges []geom.Segment
+}
+
+func (sc *SuperCovering) refineNode(n *node, id cellid.CellID, minLevel int, polys []*geom.Polygon, edgesOf func(uint32) []geom.Segment) {
+	if !n.hasCell {
+		for i := 0; i < 4; i++ {
+			if n.children[i] != nil {
+				sc.refineNode(n.children[i], id.Child(i), minLevel, polys, edgesOf)
+			}
+		}
+		return
+	}
+
+	// Classify this cell's references. Conflict-resolution difference cells
+	// inherit references wholesale, so a candidate reference here may
+	// actually be disjoint from or fully inside its polygon. Reclassifying
+	// every boundary cell — even those already at minLevel or deeper — is
+	// required for the precision guarantee: a stale candidate reference on
+	// a deep cell could otherwise point at a polygon arbitrarily far away.
+	var interior []refs.Ref
+	var boundary []boundaryCtx
+	bound := id.Bound()
+	for _, r := range n.refs {
+		if r.Interior() {
+			interior = append(interior, r)
+			continue
+		}
+		poly := polys[r.PolygonID()]
+		rel, clipped := cover.ClippedRelate(poly, bound, edgesOf(r.PolygonID()))
+		switch rel {
+		case geom.RectInside:
+			interior = append(interior, refs.MakeRef(r.PolygonID(), true))
+		case geom.RectPartial:
+			boundary = append(boundary, boundaryCtx{ref: r, poly: poly, edges: clipped})
+		}
+		// Disjoint references are dropped.
+	}
+
+	if len(boundary) == 0 {
+		// Nothing left to refine: either drop the cell or keep it as a
+		// (possibly promoted) pure true-hit cell.
+		if len(interior) == 0 {
+			n.hasCell = false
+			n.refs = nil
+			sc.numCells--
+		} else {
+			n.refs = refs.Normalize(interior)
+		}
+		return
+	}
+	if id.Level() >= minLevel {
+		// Deep enough already: keep the cell, but with the cleaned-up
+		// reference set.
+		all := interior
+		for _, bc := range boundary {
+			all = append(all, bc.ref)
+		}
+		n.refs = refs.Normalize(all)
+		return
+	}
+
+	// Replace the boundary cell with classified descendants.
+	n.hasCell = false
+	n.refs = nil
+	sc.numCells--
+	sc.splitBoundary(n, id, interior, boundary, minLevel)
+}
+
+// splitBoundary recursively subdivides a boundary region down to minLevel.
+// interior references apply to the whole subtree; boundary contexts are
+// reclassified per child with shrinking clipped edge sets.
+func (sc *SuperCovering) splitBoundary(n *node, id cellid.CellID, interior []refs.Ref, boundary []boundaryCtx, minLevel int) {
+	for i := 0; i < 4; i++ {
+		childID := id.Child(i)
+		childBound := childID.Bound()
+
+		childInterior := append([]refs.Ref{}, interior...)
+		var childBoundary []boundaryCtx
+		for _, bc := range boundary {
+			rel, clipped := cover.ClippedRelate(bc.poly, childBound, bc.edges)
+			switch rel {
+			case geom.RectInside:
+				childInterior = append(childInterior, refs.MakeRef(bc.ref.PolygonID(), true))
+			case geom.RectPartial:
+				childBoundary = append(childBoundary, boundaryCtx{ref: bc.ref, poly: bc.poly, edges: clipped})
+			}
+		}
+
+		if len(childBoundary) == 0 && len(childInterior) == 0 {
+			continue // child is outside every referenced polygon
+		}
+
+		child := &node{}
+		n.children[i] = child
+
+		if len(childBoundary) == 0 || childID.Level() >= minLevel {
+			// Terminal: pure true-hit cell, or precision bound reached.
+			all := childInterior
+			for _, bc := range childBoundary {
+				all = append(all, bc.ref)
+			}
+			child.hasCell = true
+			child.refs = refs.Normalize(all)
+			sc.numCells++
+			continue
+		}
+		sc.splitBoundary(child, childID, childInterior, childBoundary, minLevel)
+	}
+}

@@ -1,0 +1,84 @@
+package supercover
+
+// RemovePolygon deletes every reference to the polygon from the covering
+// and drops cells that end up with no references, pruning emptied subtrees.
+// It returns the number of cells that still referenced the polygon.
+//
+// This implements the update path the paper sketches as future work
+// ("removing polygons would follow the same logic [as inserting], with the
+// only difference being that we may want to periodically reorganize the
+// lookup table" — our lookup table is rebuilt on every freeze, so no
+// compaction step is needed).
+func (sc *SuperCovering) RemovePolygon(id uint32) int {
+	touched := 0
+	for f := range sc.roots {
+		if sc.roots[f] == nil {
+			continue
+		}
+		sc.removeFromNode(sc.roots[f], id, &touched)
+		if !sc.roots[f].hasCell && !sc.roots[f].hasChildren() {
+			sc.roots[f] = nil
+		}
+	}
+	return touched
+}
+
+// removeFromNode filters the subtree and reports whether the node is now
+// completely empty (no cell, no children).
+func (sc *SuperCovering) removeFromNode(n *node, id uint32, touched *int) bool {
+	if n.hasCell {
+		kept := n.refs[:0]
+		found := false
+		for _, r := range n.refs {
+			if r.PolygonID() == id {
+				found = true
+				continue
+			}
+			kept = append(kept, r)
+		}
+		if found {
+			*touched++
+			n.refs = kept
+			if len(kept) == 0 {
+				n.hasCell = false
+				n.refs = nil
+				sc.numCells--
+			}
+		}
+		return !n.hasCell
+	}
+	empty := true
+	for i := 0; i < 4; i++ {
+		if n.children[i] == nil {
+			continue
+		}
+		if sc.removeFromNode(n.children[i], id, touched) {
+			n.children[i] = nil
+		} else {
+			empty = false
+		}
+	}
+	return empty
+}
+
+// ReferencedPolygons returns the set of polygon ids still referenced
+// anywhere in the covering (used by tests and the update API).
+func (sc *SuperCovering) ReferencedPolygons() map[uint32]bool {
+	out := map[uint32]bool{}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		for _, r := range n.refs {
+			out[r.PolygonID()] = true
+		}
+		for i := 0; i < 4; i++ {
+			walk(n.children[i])
+		}
+	}
+	for f := range sc.roots {
+		walk(sc.roots[f])
+	}
+	return out
+}

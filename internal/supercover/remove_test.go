@@ -1,0 +1,88 @@
+package supercover
+
+import (
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/refs"
+)
+
+func TestRemovePolygonFiltersRefs(t *testing.T) {
+	sc := New()
+	leaf := leafAt(-73.98, 40.71)
+	shared := leaf.Parent(10)
+	only2 := leafAt(-73.5, 40.9).Parent(10)
+	sc.Insert(shared, []refs.Ref{refs.MakeRef(1, false), refs.MakeRef(2, true)})
+	sc.Insert(only2, []refs.Ref{refs.MakeRef(2, false)})
+
+	touched := sc.RemovePolygon(2)
+	if touched != 2 {
+		t.Errorf("touched = %d, want 2", touched)
+	}
+	// The shared cell keeps polygon 1; the exclusive cell is gone.
+	if sc.NumCells() != 1 {
+		t.Errorf("NumCells = %d, want 1", sc.NumCells())
+	}
+	cell, ok := sc.Lookup(leaf)
+	if !ok || len(cell.Refs) != 1 || cell.Refs[0].PolygonID() != 1 {
+		t.Errorf("shared cell refs = %v", cell.Refs)
+	}
+	if _, ok := sc.Lookup(leafAt(-73.5, 40.9)); ok {
+		t.Error("exclusive cell must be dropped")
+	}
+	if got := sc.ReferencedPolygons(); len(got) != 1 || !got[1] {
+		t.Errorf("ReferencedPolygons = %v", got)
+	}
+}
+
+func TestRemovePolygonPrunesSubtrees(t *testing.T) {
+	sc := New()
+	deep := leafAt(-73.98, 40.71).Parent(20)
+	sc.Insert(deep, []refs.Ref{refs.MakeRef(7, true)})
+	sc.RemovePolygon(7)
+	if sc.NumCells() != 0 {
+		t.Errorf("NumCells = %d", sc.NumCells())
+	}
+	// The whole face subtree must be pruned (roots nilled), so emission
+	// yields nothing and lookups miss cleanly.
+	if got := sc.Cells(); len(got) != 0 {
+		t.Errorf("Cells after removal: %v", got)
+	}
+	if _, ok := sc.Lookup(leafAt(-73.98, 40.71)); ok {
+		t.Error("lookup must miss after removal")
+	}
+}
+
+func TestRemoveNonexistentPolygon(t *testing.T) {
+	sc := Build(testPolys(), DefaultOptions())
+	before := sc.NumCells()
+	if touched := sc.RemovePolygon(999); touched != 0 {
+		t.Errorf("touched = %d for unknown polygon", touched)
+	}
+	if sc.NumCells() != before {
+		t.Error("removal of unknown polygon changed the covering")
+	}
+}
+
+func TestRemoveThenReinsert(t *testing.T) {
+	polys := testPolys()
+	sc := Build(polys, DefaultOptions())
+	sc.RemovePolygon(0)
+	// Re-inserting cells for a new polygon into the holes left behind must
+	// work via the normal conflict resolution.
+	id := leafAt(-73.99, 40.71).Parent(12)
+	sc.Insert(id, []refs.Ref{refs.MakeRef(5, true)})
+	cell, ok := sc.Lookup(cellid.FromPoint(id.Bound().Center()))
+	if !ok {
+		t.Fatal("reinserted cell not found")
+	}
+	found := false
+	for _, r := range cell.Refs {
+		if r.PolygonID() == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reinserted ref missing: %v", cell.Refs)
+	}
+}

@@ -1,0 +1,337 @@
+// Package supercover builds the paper's super covering (Section 3.1.1): a
+// single set of disjoint multi-resolution grid cells approximating an entire
+// set of polygons, where each cell carries the references of every polygon
+// whose covering or interior covering contributed it.
+//
+// The construction follows Listing 1 of the paper, including the
+// precision-preserving conflict resolution of Figure 4: when an inserted
+// cell conflicts with an existing one (one contains the other), the coarser
+// cell c1 is replaced by the finer cell c2 plus the difference d = c1 - c2,
+// with c1's references copied to both. The result is a set of cells in which
+// every point of space is covered by at most one cell, so an index lookup
+// returns at most one cell.
+//
+// The package also implements the two adaptation mechanisms that make the
+// index "adaptive":
+//
+//   - RefineToPrecision (Section 3.2): boundary cells are replaced by
+//     descendants at the level that guarantees a user-defined distance bound,
+//     enabling the approximate join to skip refinement entirely.
+//   - Train (Section 3.3.1): cells that would trigger PIP tests are split one
+//     level per training-point hit, concentrating precision where the
+//     expected query distribution needs it.
+//
+// Internally the super covering is a mutable pointer quadtree per face; it
+// is frozen into a sorted (cell id, references) list for indexing. The
+// invariant maintained throughout: a node holding a cell has no ancestor and
+// no descendant holding a cell.
+package supercover
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cover"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+)
+
+// Cell is one entry of the frozen super covering.
+type Cell struct {
+	ID   cellid.CellID
+	Refs []refs.Ref
+}
+
+// node is a quadrant of the mutable quadtree.
+type node struct {
+	children [4]*node
+	refs     []refs.Ref
+	hasCell  bool
+}
+
+func (n *node) hasChildren() bool {
+	return n.children[0] != nil || n.children[1] != nil || n.children[2] != nil || n.children[3] != nil
+}
+
+// SuperCovering is the mutable holistic polygon approximation.
+type SuperCovering struct {
+	roots    [cellid.NumFaces]*node
+	numCells int
+}
+
+// New returns an empty super covering.
+func New() *SuperCovering { return &SuperCovering{} }
+
+// NumCells returns the current number of cells.
+func (sc *SuperCovering) NumCells() int { return sc.numCells }
+
+// Insert adds a cell with the given references, applying the
+// precision-preserving conflict resolution of Listing 1 when the cell
+// duplicates or conflicts with existing cells.
+func (sc *SuperCovering) Insert(id cellid.CellID, rs []refs.Ref) {
+	face := id.Face()
+	if sc.roots[face] == nil {
+		sc.roots[face] = &node{}
+	}
+	cur := sc.roots[face]
+	level := id.Level()
+
+	for l := 1; l <= level; l++ {
+		if cur.hasCell {
+			// Conflict: an existing ancestor cell c1 contains the new cell
+			// c2. Replace c1 with c2 plus the difference d (three sibling
+			// cells per level between them), copying c1's references to
+			// every piece (Figure 4).
+			oldRefs := cur.refs
+			cur.hasCell = false
+			cur.refs = nil
+			sc.numCells--
+			for m := l; m <= level; m++ {
+				pos := id.ChildPosition(m)
+				for i := 0; i < 4; i++ {
+					if i == pos {
+						continue
+					}
+					cur.children[i] = &node{hasCell: true, refs: copyRefs(oldRefs)}
+					sc.numCells++
+				}
+				next := &node{}
+				cur.children[pos] = next
+				cur = next
+			}
+			cur.hasCell = true
+			cur.refs = refs.Normalize(append(copyRefs(oldRefs), rs...))
+			sc.numCells++
+			return
+		}
+		pos := id.ChildPosition(l)
+		if cur.children[pos] == nil {
+			cur.children[pos] = &node{}
+		}
+		cur = cur.children[pos]
+	}
+
+	switch {
+	case cur.hasCell:
+		// Duplicate cell: merge the reference lists.
+		cur.refs = refs.Normalize(append(cur.refs, rs...))
+	case cur.hasChildren():
+		// Conflict: the new cell c1 is an ancestor of existing cells.
+		// Distribute c1's references into the subtree, turning uncovered
+		// gaps into difference cells.
+		sc.distribute(cur, rs)
+	default:
+		cur.hasCell = true
+		cur.refs = copyRefs(rs)
+		sc.numCells++
+	}
+}
+
+func (sc *SuperCovering) distribute(n *node, rs []refs.Ref) {
+	if n.hasCell {
+		n.refs = refs.Normalize(append(n.refs, rs...))
+		return
+	}
+	if !n.hasChildren() {
+		n.hasCell = true
+		n.refs = copyRefs(rs)
+		sc.numCells++
+		return
+	}
+	for i := 0; i < 4; i++ {
+		if n.children[i] == nil {
+			n.children[i] = &node{hasCell: true, refs: copyRefs(rs)}
+			sc.numCells++
+		} else {
+			sc.distribute(n.children[i], rs)
+		}
+	}
+}
+
+func copyRefs(rs []refs.Ref) []refs.Ref {
+	out := make([]refs.Ref, len(rs))
+	copy(out, rs)
+	return out
+}
+
+// Options bundle the per-polygon covering configurations used by Build.
+type Options struct {
+	Covering cover.Options
+	Interior cover.Options
+}
+
+// DefaultOptions returns the paper's default configuration.
+func DefaultOptions() Options {
+	return Options{
+		Covering: cover.DefaultCoveringOptions(),
+		Interior: cover.DefaultInteriorOptions(),
+	}
+}
+
+// BuildTiming reports the phase breakdown of a timed build, matching the
+// two build-time rows of Table 1.
+type BuildTiming struct {
+	IndividualCoverings time.Duration
+	SuperCovering       time.Duration
+}
+
+// BuildTimed is Build with the phase timing the paper reports separately
+// ("build individual coverings" vs "build super covering").
+func BuildTimed(polys []*geom.Polygon, opt Options) (*SuperCovering, BuildTiming) {
+	var t BuildTiming
+	start := time.Now()
+	coverings, interiors := computeCoverings(polys, opt)
+	t.IndividualCoverings = time.Since(start)
+
+	start = time.Now()
+	sc := merge(polys, coverings, interiors)
+	t.SuperCovering = time.Since(start)
+	return sc, t
+}
+
+// Build computes individual coverings and interior coverings for every
+// polygon (in parallel, as in the paper) and merges them serially into a
+// super covering per Listing 1: coverings first with candidate references,
+// then interior coverings with true-hit references.
+func Build(polys []*geom.Polygon, opt Options) *SuperCovering {
+	coverings, interiors := computeCoverings(polys, opt)
+	return merge(polys, coverings, interiors)
+}
+
+// computeCoverings runs the per-polygon coverers in parallel.
+func computeCoverings(polys []*geom.Polygon, opt Options) (coverings, interiors [][]cellid.CellID) {
+	coverings = make([][]cellid.CellID, len(polys))
+	interiors = make([][]cellid.CellID, len(polys))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(polys) {
+		workers = len(polys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				coverings[i] = cover.Covering(polys[i], opt.Covering)
+				interiors[i] = cover.InteriorCovering(polys[i], opt.Interior)
+			}
+		}()
+	}
+	for i := range polys {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return coverings, interiors
+}
+
+// merge is the serial Listing-1 merge.
+func merge(polys []*geom.Polygon, coverings, interiors [][]cellid.CellID) *SuperCovering {
+	sc := New()
+	for i := range polys {
+		r := []refs.Ref{refs.MakeRef(uint32(i), false)}
+		for _, c := range coverings[i] {
+			sc.Insert(c, r)
+		}
+	}
+	for i := range polys {
+		r := []refs.Ref{refs.MakeRef(uint32(i), true)}
+		for _, c := range interiors[i] {
+			sc.Insert(c, r)
+		}
+	}
+	return sc
+}
+
+// Cells freezes the super covering into a sorted, disjoint list of cells
+// with normalized reference lists.
+func (sc *SuperCovering) Cells() []Cell {
+	out := make([]Cell, 0, sc.numCells)
+	for f := 0; f < cellid.NumFaces; f++ {
+		if sc.roots[f] != nil {
+			emit(sc.roots[f], cellid.FaceCell(f), &out)
+		}
+	}
+	return out
+}
+
+func emit(n *node, id cellid.CellID, out *[]Cell) {
+	if n.hasCell {
+		*out = append(*out, Cell{ID: id, Refs: refs.Normalize(n.refs)})
+		return
+	}
+	for i := 0; i < 4; i++ {
+		if n.children[i] != nil {
+			emit(n.children[i], id.Child(i), out)
+		}
+	}
+}
+
+// Lookup walks the tree toward the leaf cell and returns the unique cell
+// containing it, if any. Used by training and tests; the production probe
+// path is ACT.
+func (sc *SuperCovering) Lookup(leaf cellid.CellID) (Cell, bool) {
+	cur := sc.roots[leaf.Face()]
+	id := cellid.FaceCell(leaf.Face())
+	for l := 1; cur != nil; l++ {
+		if cur.hasCell {
+			return Cell{ID: id, Refs: cur.refs}, true
+		}
+		if l > cellid.MaxLevel {
+			break
+		}
+		pos := leaf.ChildPosition(l)
+		cur = cur.children[pos]
+		id = id.Child(pos)
+	}
+	return Cell{}, false
+}
+
+// Stats summarizes the structure of the super covering.
+type Stats struct {
+	NumCells      int
+	BoundaryCells int // cells with at least one candidate reference
+	InteriorCells int // cells with only true-hit references
+	MinLevel      int
+	MaxLevel      int
+	LevelCounts   [cellid.MaxLevel + 1]int
+}
+
+// ComputeStats walks the covering and tallies cell statistics.
+func (sc *SuperCovering) ComputeStats() Stats {
+	st := Stats{MinLevel: cellid.MaxLevel}
+	for _, c := range sc.Cells() {
+		st.NumCells++
+		l := c.ID.Level()
+		st.LevelCounts[l]++
+		if l < st.MinLevel {
+			st.MinLevel = l
+		}
+		if l > st.MaxLevel {
+			st.MaxLevel = l
+		}
+		expensive := false
+		for _, r := range c.Refs {
+			if !r.Interior() {
+				expensive = true
+				break
+			}
+		}
+		if expensive {
+			st.BoundaryCells++
+		} else {
+			st.InteriorCells++
+		}
+	}
+	if st.NumCells == 0 {
+		st.MinLevel = 0
+	}
+	return st
+}

@@ -1,0 +1,113 @@
+package supercover
+
+import (
+	"actjoin/internal/cellid"
+	"actjoin/internal/cover"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+)
+
+// TrainResult reports what a training pass did.
+type TrainResult struct {
+	PointsSeen    int // training points processed
+	ExpensiveHits int // points that hit a cell with candidate references
+	Splits        int // cells replaced by their children
+	BudgetReached bool
+}
+
+// Train adapts the index to an expected point distribution (Section 3.3.1):
+// for every training point that hits an "expensive" cell — one whose
+// reference set contains at least one candidate hit — the cell is replaced
+// by its (up to) four direct children, each reclassified against the
+// referenced polygons. Popular areas therefore end up with a finer grid.
+//
+// Cells are only ever split one level per hit, which the paper chose for
+// robustness against outliers. maxCells bounds the memory growth: once the
+// covering holds that many cells, training stops (the paper's "stop refining
+// once a user-defined memory budget is exhausted"). A maxCells of 0 means no
+// budget.
+func (sc *SuperCovering) Train(polys []*geom.Polygon, points []cellid.CellID, maxCells int) TrainResult {
+	var res TrainResult
+	for _, leaf := range points {
+		res.PointsSeen++
+		if maxCells > 0 && sc.numCells >= maxCells {
+			res.BudgetReached = true
+			break
+		}
+		n, id := sc.lookupNode(leaf)
+		if n == nil {
+			continue
+		}
+		if !hasCandidate(n.refs) {
+			continue
+		}
+		res.ExpensiveHits++
+		if id.Level() >= cover.MaxSupportedLevel {
+			continue
+		}
+		sc.splitCellOnce(n, id, polys)
+		res.Splits++
+	}
+	return res
+}
+
+func hasCandidate(rs []refs.Ref) bool {
+	for _, r := range rs {
+		if !r.Interior() {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupNode returns the tree node holding the cell that contains leaf,
+// along with that cell's id.
+func (sc *SuperCovering) lookupNode(leaf cellid.CellID) (*node, cellid.CellID) {
+	cur := sc.roots[leaf.Face()]
+	id := cellid.FaceCell(leaf.Face())
+	for l := 1; cur != nil; l++ {
+		if cur.hasCell {
+			return cur, id
+		}
+		if l > cellid.MaxLevel {
+			break
+		}
+		pos := leaf.ChildPosition(l)
+		cur = cur.children[pos]
+		id = id.Child(pos)
+	}
+	return nil, 0
+}
+
+// splitCellOnce replaces the cell held by n with its four children, each
+// carrying the reclassified reference set. Children outside every referenced
+// polygon are dropped entirely (they become false hits).
+func (sc *SuperCovering) splitCellOnce(n *node, id cellid.CellID, polys []*geom.Polygon) {
+	oldRefs := n.refs
+	n.hasCell = false
+	n.refs = nil
+	sc.numCells--
+
+	for i := 0; i < 4; i++ {
+		childID := id.Child(i)
+		childBound := childID.Bound()
+		var childRefs []refs.Ref
+		for _, r := range oldRefs {
+			if r.Interior() {
+				childRefs = append(childRefs, r)
+				continue
+			}
+			switch polys[r.PolygonID()].RelateRect(childBound) {
+			case geom.RectInside:
+				childRefs = append(childRefs, refs.MakeRef(r.PolygonID(), true))
+			case geom.RectPartial:
+				childRefs = append(childRefs, r)
+			}
+		}
+		if len(childRefs) == 0 {
+			continue
+		}
+		n.children[i] = &node{hasCell: true, refs: refs.Normalize(childRefs)}
+		sc.numCells++
+	}
+}

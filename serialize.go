@@ -1,0 +1,218 @@
+package actjoin
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+// Index serialization. The on-disk format stores the polygons and the
+// frozen super covering — the two inputs every in-memory structure derives
+// from — so a loaded index is bit-identical in behaviour to the saved one
+// (including training effects, which live in the super covering). The trie
+// is rebuilt on load, which keeps the format independent of arena layout.
+//
+// Layout (little-endian):
+//
+//	magic "ACTJ" | version u32 | crc32 u32 of everything after the header |
+//	delta u32 | precisionMeters f64 | precisionLevel u32 |
+//	numPolys u32 { numRings u32 { numVerts u32 { lon f64, lat f64 } } } |
+//	numCells u64 { cellID u64, numRefs u32 { ref u32 } }
+
+const (
+	indexMagic   = "ACTJ"
+	indexVersion = 1
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, uint32(ix.opt.delta))
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(ix.opt.precisionMeters))
+	body = binary.LittleEndian.AppendUint32(body, uint32(ix.precisionLevel))
+
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(ix.polys)))
+	for _, p := range ix.polys {
+		if p == nil {
+			// Tombstone of a removed polygon: zero rings.
+			body = binary.LittleEndian.AppendUint32(body, 0)
+			continue
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(p.Rings)))
+		for _, ring := range p.Rings {
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(ring)))
+			for _, v := range ring {
+				body = binary.LittleEndian.AppendUint64(body, math.Float64bits(v.X))
+				body = binary.LittleEndian.AppendUint64(body, math.Float64bits(v.Y))
+			}
+		}
+	}
+
+	cells := ix.sc.Cells()
+	body = binary.LittleEndian.AppendUint64(body, uint64(len(cells)))
+	for _, c := range cells {
+		body = binary.LittleEndian.AppendUint64(body, uint64(c.ID))
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(c.Refs)))
+		for _, r := range c.Refs {
+			body = binary.LittleEndian.AppendUint32(body, uint32(r))
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(b []byte) error {
+		m, err := bw.Write(b)
+		n += int64(m)
+		return err
+	}
+	if err := write([]byte(indexMagic)); err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], indexVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	if err := write(hdr[:]); err != nil {
+		return n, err
+	}
+	if err := write(body); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadIndexFrom deserializes an index written by WriteTo.
+func ReadIndexFrom(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("actjoin: reading header: %w", err)
+	}
+	if string(head[:4]) != indexMagic {
+		return nil, errors.New("actjoin: not an index file (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != indexVersion {
+		return nil, fmt.Errorf("actjoin: unsupported index version %d", v)
+	}
+	wantCRC := binary.LittleEndian.Uint32(head[8:])
+
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("actjoin: reading body: %w", err)
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, errors.New("actjoin: index file corrupted (crc mismatch)")
+	}
+
+	d := &decoder{buf: body}
+	delta := int(d.u32())
+	precision := math.Float64frombits(d.u64())
+	precisionLevel := int(d.u32())
+
+	numPolys := int(d.u32())
+	if d.err != nil || numPolys < 0 || numPolys > MaxPolygons {
+		return nil, fmt.Errorf("actjoin: corrupt polygon count")
+	}
+	polys := make([]*geom.Polygon, 0, numPolys)
+	for i := 0; i < numPolys; i++ {
+		numRings := int(d.u32())
+		if d.err != nil || numRings < 0 || numRings > 1<<20 {
+			return nil, fmt.Errorf("actjoin: polygon %d: corrupt ring count", i)
+		}
+		if numRings == 0 {
+			polys = append(polys, nil) // tombstone of a removed polygon
+			continue
+		}
+		rings := make([]geom.Ring, 0, numRings)
+		for ri := 0; ri < numRings; ri++ {
+			numVerts := int(d.u32())
+			if d.err != nil || numVerts < 3 || numVerts > 1<<26 {
+				return nil, fmt.Errorf("actjoin: polygon %d ring %d: corrupt vertex count", i, ri)
+			}
+			ring := make(geom.Ring, numVerts)
+			for vi := 0; vi < numVerts; vi++ {
+				ring[vi] = geom.Point{
+					X: math.Float64frombits(d.u64()),
+					Y: math.Float64frombits(d.u64()),
+				}
+			}
+			rings = append(rings, ring)
+		}
+		p, err := geom.NewPolygon(rings...)
+		if err != nil {
+			return nil, fmt.Errorf("actjoin: polygon %d: %w", i, err)
+		}
+		polys = append(polys, p)
+	}
+
+	numCells := int(d.u64())
+	sc := supercover.New()
+	rbuf := make([]refs.Ref, 0, 8)
+	for i := 0; i < numCells; i++ {
+		id := cellid.CellID(d.u64())
+		numRefs := int(d.u32())
+		if d.err != nil || numRefs <= 0 || numRefs > 1<<24 {
+			return nil, fmt.Errorf("actjoin: cell %d: corrupt ref count", i)
+		}
+		if !id.IsValid() {
+			return nil, fmt.Errorf("actjoin: cell %d: invalid cell id", i)
+		}
+		rbuf = rbuf[:0]
+		for ri := 0; ri < numRefs; ri++ {
+			rbuf = append(rbuf, refs.Ref(d.u32()))
+		}
+		sc.Insert(id, rbuf)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("actjoin: truncated index file")
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("actjoin: %d trailing bytes in index file", len(d.buf))
+	}
+
+	ix := &Index{
+		polys:          polys,
+		sc:             sc,
+		opt:            options{delta: delta, precisionMeters: precision, coveringCells: 128, interiorCells: 256},
+		precisionLevel: precisionLevel,
+	}
+	if delta != 1 && delta != 2 && delta != 4 {
+		return nil, fmt.Errorf("actjoin: corrupt granularity %d", delta)
+	}
+	ix.freeze()
+	return ix, nil
+}
+
+// decoder is a bounds-checked little-endian reader over a byte slice.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.buf) < 8 {
+		d.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}

@@ -1,0 +1,124 @@
+package actjoin
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	orig, err := NewIndex(testPolygons(), WithPrecision(30), WithGranularity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := orig.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, wrote %d", n, buf.Len())
+	}
+
+	loaded, err := ReadIndexFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Precision() != 30 || loaded.Stats().Granularity != 2 {
+		t.Errorf("options lost: %v %d", loaded.Precision(), loaded.Stats().Granularity)
+	}
+	if loaded.Stats().NumCells != orig.Stats().NumCells {
+		t.Errorf("cells: %d vs %d", loaded.Stats().NumCells, orig.Stats().NumCells)
+	}
+
+	// Behavioural equality on random probes.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		p := Point{Lon: -74.01 + rng.Float64()*0.09, Lat: 40.69 + rng.Float64()*0.11}
+		a := orig.Covers(p)
+		b := loaded.Covers(p)
+		if len(a) != len(b) {
+			t.Fatalf("Covers mismatch at %v: %v vs %v", p, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("Covers mismatch at %v: %v vs %v", p, a, b)
+			}
+		}
+		aa := orig.CoversApprox(p)
+		bb := loaded.CoversApprox(p)
+		if len(aa) != len(bb) {
+			t.Fatalf("CoversApprox mismatch at %v", p)
+		}
+	}
+}
+
+func TestSerializePreservesTraining(t *testing.T) {
+	orig, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var train []Point
+	for i := 0; i < 3000; i++ {
+		train = append(train, Point{Lon: -73.97 + (rng.Float64()-0.5)*0.002, Lat: 40.70 + rng.Float64()*0.03})
+	}
+	st := orig.Train(train, 0)
+	if st.CellsSplit == 0 {
+		t.Fatal("training did nothing")
+	}
+
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndexFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats().NumCells != orig.Stats().NumCells {
+		t.Errorf("training lost: %d vs %d cells", loaded.Stats().NumCells, orig.Stats().NumCells)
+	}
+}
+
+func TestReadIndexFromRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("ACTJ\x01\x00\x00\x00"), // truncated
+		[]byte("NOPE\x01\x00\x00\x00\x00\x00\x00\x00"), // bad magic
+	}
+	for i, c := range cases {
+		if _, err := ReadIndexFrom(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadIndexFromDetectsCorruption(t *testing.T) {
+	orig, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte in the body.
+	data[len(data)/2] ^= 0xFF
+	if _, err := ReadIndexFrom(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted body accepted")
+	}
+	// Bad version.
+	data = append([]byte{}, buf.Bytes()...)
+	data[4] = 99
+	if _, err := ReadIndexFrom(bytes.NewReader(data)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncation.
+	data = buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadIndexFrom(bytes.NewReader(data)); err == nil {
+		t.Error("truncated file accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package actjoin
+
+import (
+	"errors"
+	"fmt"
+
+	"actjoin/internal/cover"
+	"actjoin/internal/refs"
+)
+
+// Runtime polygon updates — the extension the paper sketches in Section
+// 3.1.2: "In the build phase, cells of individual polygons are inserted
+// one-by-one into ACT. The same procedure could be used to add new polygons
+// at runtime … Code for removing polygons would follow the same logic."
+//
+// Adds and removes mutate the super covering (with the same
+// conflict-resolution machinery as the initial build) and then rebuild the
+// frozen trie — the synchronization point the paper leaves to the caller.
+// Neither operation is safe to run concurrently with queries on the same
+// Index.
+
+// ErrRemoved is returned when operating on a polygon id that was removed.
+var ErrRemoved = errors.New("actjoin: polygon already removed")
+
+// Add indexes one more polygon at runtime and returns its id. The new
+// polygon's cells go through the usual covering, conflict resolution and —
+// when the index has a precision bound — boundary refinement, so queries
+// keep their exactness and precision guarantees.
+func (ix *Index) Add(p Polygon) (PolygonID, error) {
+	if len(ix.polys) >= MaxPolygons {
+		return 0, fmt.Errorf("actjoin: polygon limit %d reached", MaxPolygons)
+	}
+	gp, err := toGeom(p)
+	if err != nil {
+		return 0, fmt.Errorf("actjoin: add: %w", err)
+	}
+	id := PolygonID(len(ix.polys))
+	ix.polys = append(ix.polys, gp)
+
+	covering := cover.Covering(gp, cover.Options{MaxCells: ix.opt.coveringCells})
+	interior := cover.InteriorCovering(gp, cover.Options{MaxCells: ix.opt.interiorCells, MaxLevel: 20})
+	for _, c := range covering {
+		ix.sc.Insert(c, []refs.Ref{refs.MakeRef(id, false)})
+	}
+	for _, c := range interior {
+		ix.sc.Insert(c, []refs.Ref{refs.MakeRef(id, true)})
+	}
+	if ix.precisionLevel > 0 {
+		// Only cells carrying candidate references coarser than the
+		// precision level exist around the new polygon; refinement is a
+		// no-op elsewhere.
+		ix.sc.RefineToPrecision(ix.polys, ix.precisionLevel)
+	}
+	ix.freeze()
+	return id, nil
+}
+
+// Remove deletes a polygon from the index. Its id is never reused; Covers
+// and Join never report it again. Counts slices from Join keep their length
+// (the removed id's slot stays zero).
+func (ix *Index) Remove(id PolygonID) error {
+	if int(id) >= len(ix.polys) {
+		return fmt.Errorf("actjoin: unknown polygon id %d", id)
+	}
+	if ix.polys[id] == nil {
+		return ErrRemoved
+	}
+	ix.sc.RemovePolygon(id)
+	ix.polys[id] = nil // tombstone: ids stay stable
+	ix.freeze()
+	return nil
+}
+
+// Removed reports whether the id was removed.
+func (ix *Index) Removed(id PolygonID) bool {
+	return int(id) < len(ix.polys) && ix.polys[id] == nil
+}

@@ -1,0 +1,201 @@
+package actjoin
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestAddPolygonAtRuntime(t *testing.T) {
+	idx, err := NewIndex(testPolygons()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{Lon: -73.96, Lat: 40.75}
+	if got := idx.Covers(p); len(got) != 0 {
+		t.Fatalf("point should match nothing yet: %v", got)
+	}
+
+	id, err := idx.Add(testPolygons()[2]) // the hole polygon covering p
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("new id = %d, want 2", id)
+	}
+	if got := idx.Covers(p); len(got) != 1 || got[0] != id {
+		t.Errorf("Covers after Add = %v, want [%d]", got, id)
+	}
+	// The hole must still be excluded.
+	if got := idx.Covers(Point{Lon: -73.965, Lat: 40.765}); len(got) != 0 {
+		t.Errorf("hole matched after Add: %v", got)
+	}
+	// Old polygons unaffected.
+	if got := idx.Covers(Point{Lon: -73.985, Lat: 40.715}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("polygon 0 lost after Add: %v", got)
+	}
+}
+
+func TestAddWithPrecisionKeepsBound(t *testing.T) {
+	idx, err := NewIndex(testPolygons()[:1], WithPrecision(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := idx.Add(square(-73.95, 40.75, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approximate matches for the new polygon must respect the bound:
+	// sample points near (but outside) the new polygon.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		p := Point{Lon: -73.96 + rng.Float64()*0.04, Lat: 40.74 + rng.Float64()*0.04}
+		for _, got := range idx.CoversApprox(p) {
+			if got != id {
+				continue
+			}
+			// Approximate hit: must be inside or within ~30m. A 30m bound
+			// at this latitude is ~0.00036 degrees; use a loose envelope.
+			inside := p.Lon >= -73.9505 && p.Lon <= -73.9295 && p.Lat >= 40.7495 && p.Lat <= 40.7705
+			if !inside {
+				t.Fatalf("approx match %v far outside the added polygon", p)
+			}
+		}
+	}
+}
+
+func TestRemovePolygon(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPoly1 := Point{Lon: -73.955, Lat: 40.715}
+	if got := idx.Covers(inPoly1); len(got) != 1 || got[0] != 1 {
+		t.Fatal("setup: point must be in polygon 1")
+	}
+	if err := idx.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Covers(inPoly1); len(got) != 0 {
+		t.Errorf("removed polygon still matches: %v", got)
+	}
+	if !idx.Removed(1) {
+		t.Error("Removed(1) = false")
+	}
+	// Other polygons unaffected.
+	if got := idx.Covers(Point{Lon: -73.985, Lat: 40.715}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("polygon 0 lost after Remove: %v", got)
+	}
+	// Joins keep the counts slice length; the removed slot stays zero.
+	res := idx.Join([]Point{inPoly1, {Lon: -73.985, Lat: 40.715}}, true, 1)
+	if len(res.Counts) != 3 {
+		t.Fatalf("counts length = %d", len(res.Counts))
+	}
+	if res.Counts[1] != 0 || res.Counts[0] != 1 {
+		t.Errorf("counts after remove = %v", res.Counts)
+	}
+}
+
+func TestRemoveErrors(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(99); err == nil {
+		t.Error("unknown id must fail")
+	}
+	if err := idx.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(0); err != ErrRemoved {
+		t.Errorf("double remove = %v, want ErrRemoved", err)
+	}
+}
+
+func TestAddRemoveAddCycle(t *testing.T) {
+	idx, err := NewIndex(testPolygons()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a polygon, remove it, add another in the same place: the new id
+	// must differ and queries must only see the latest.
+	sq := square(-73.90, 40.60, 0.02)
+	id1, err := idx.Add(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(id1); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := idx.Add(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id1 {
+		t.Error("removed ids must not be reused")
+	}
+	p := Point{Lon: -73.89, Lat: 40.61}
+	got := idx.Covers(p)
+	if len(got) != 1 || got[0] != id2 {
+		t.Errorf("Covers = %v, want [%d]", got, id2)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	idx, err := NewIndex(testPolygons()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Add(Polygon{Exterior: Ring{{0, 0}, {1, 1}}}); err == nil {
+		t.Error("degenerate polygon must be rejected")
+	}
+	if _, err := idx.Add(square(999, 0, 1)); err == nil {
+		t.Error("out-of-range polygon must be rejected")
+	}
+	// Failed adds must not leak a polygon slot.
+	if got := idx.Stats().NumPolygons; got != 1 {
+		t.Errorf("failed Add leaked a slot: %d polygons", got)
+	}
+}
+
+func TestSerializeAfterUpdates(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Add(square(-73.90, 40.60, 0.02)); err != nil {
+		t.Fatal(err)
+	}
+	// Tombstones round-trip as zero-ring polygons.
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo after updates: %v", err)
+	}
+	loaded, err := ReadIndexFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Removed(1) {
+		t.Error("tombstone lost in round trip")
+	}
+	// The loaded index answers like the original.
+	pts := []Point{
+		{Lon: -73.955, Lat: 40.715}, // was polygon 1, removed
+		{Lon: -73.985, Lat: 40.715}, // polygon 0
+		{Lon: -73.89, Lat: 40.61},   // the added square
+	}
+	for _, p := range pts {
+		a, b := idx.Covers(p), loaded.Covers(p)
+		if len(a) != len(b) {
+			t.Fatalf("loaded Covers(%v) = %v, want %v", p, b, a)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("loaded Covers(%v) = %v, want %v", p, b, a)
+			}
+		}
+	}
+}
