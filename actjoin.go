@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"actjoin/internal/act"
@@ -277,6 +279,9 @@ type JoinResult struct {
 	// STHPercent is the share of points answered without any candidate hit
 	// (the paper's "solely true hits" metric).
 	STHPercent float64
+	// CacheHits is the number of probes answered from the batch pipeline's
+	// last-cell cache without a trie walk (0 on the per-point path).
+	CacheHits int64
 	// Duration is the probe-phase wall time.
 	Duration time.Duration
 	// ThroughputMpts is points per second in millions.
@@ -285,23 +290,147 @@ type JoinResult struct {
 
 // Join counts points per polygon — the paper's evaluation workload. exact
 // selects the accurate join; threads > 1 parallelizes the probe phase with
-// the paper's batched atomic cursor.
+// the paper's batched atomic cursor. JoinCount is the batch-pipeline
+// successor with sorted probing and last-cell caching.
 func (ix *Index) Join(points []Point, exact bool, threads int) JoinResult {
-	pts := make([]geom.Point, len(points))
-	cells := make([]cellid.CellID, len(points))
-	for i, p := range points {
-		pts[i] = geom.Point{X: p.Lon, Y: p.Lat}
-		cells[i] = cellid.FromPoint(pts[i])
-	}
+	pts, cells, release := toProbeParallel(points, threads, true)
 	mode := join.Approximate
 	if exact {
 		mode = join.Exact
 	}
 	res := join.Run(ix.tree, ix.table, pts, cells, ix.polys, join.Options{Mode: mode, Threads: threads})
+	release()
+	return toJoinResult(res)
+}
+
+// BatchOptions configure the bulk query methods CoversBatch and JoinCount.
+// The zero value is a sensible default: approximate mode, input order, all
+// CPUs.
+type BatchOptions struct {
+	// Exact refines candidate hits with PIP tests; batch results then match
+	// Covers. When false, results match CoversApprox.
+	Exact bool
+	// Sorted probes the points in cell-id order internally, so runs of
+	// nearby points share trie paths and the last-cell cache. Results are
+	// always reported in input order.
+	Sorted bool
+	// Threads is the number of probe workers; 0 uses all CPUs, 1 runs
+	// single-threaded.
+	Threads int
+}
+
+func (o BatchOptions) internal() join.BatchOptions {
+	mode := join.Approximate
+	if o.Exact {
+		mode = join.Exact
+	}
+	return join.BatchOptions{Mode: mode, Sorted: o.Sorted, Threads: o.Threads}
+}
+
+// CoversBatch answers many point queries in one call: out[i] holds the ids
+// of the polygons covering points[i] (nil when none), identical to calling
+// Covers (with opt.Exact) or CoversApprox per point, but through the batch
+// probe pipeline — optionally cell-id-sorted, last-cell-cached, and
+// parallelized with the paper's atomic-counter batching.
+func (ix *Index) CoversBatch(points []Point, opt BatchOptions) [][]PolygonID {
+	pts, cells, release := toProbeParallel(points, opt.Threads, opt.Exact)
+	out, _ := join.RunBatchCollect(ix.tree, ix.table, pts, cells, ix.polys, opt.internal())
+	release()
+	return out
+}
+
+// JoinCount counts points per polygon through the batch probe pipeline. It
+// computes the same counts as Join but honors BatchOptions (sorted probing,
+// last-cell caching); the returned CacheHits reports how many probes skipped
+// the trie walk.
+func (ix *Index) JoinCount(points []Point, opt BatchOptions) JoinResult {
+	pts, cells, release := toProbeParallel(points, opt.Threads, opt.Exact)
+	res := join.RunBatchCount(ix.tree, ix.table, pts, cells, ix.polys, opt.internal())
+	release()
+	return toJoinResult(res)
+}
+
+// probeBufs recycles the per-call conversion arrays. They live only for the
+// duration of one batch call (join results never reference them), and at
+// high call rates their allocation volume alone would drive the GC mark
+// frequency up.
+type probeBufs struct {
+	pts   []geom.Point
+	cells []cellid.CellID
+}
+
+var probeBufPool sync.Pool
+
+// toProbeParallel is toProbe chunked across workers — the cell conversion is
+// a pure per-point Hilbert encoding and dominates batch latency at high
+// point counts. Approximate-mode joins never touch the geometry, so the
+// internal point array is skipped entirely (needPts false). release returns
+// the buffers to the pool; call it once no join is using them.
+func toProbeParallel(points []Point, threads int, needPts bool) ([]geom.Point, []cellid.CellID, func()) {
+	n := len(points)
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if chunks := n / 4096; threads > chunks {
+		threads = chunks // conversion is ~100ns/point; don't spawn for less
+	}
+	bufs, _ := probeBufPool.Get().(*probeBufs)
+	if bufs == nil {
+		bufs = &probeBufs{}
+	}
+	var pts []geom.Point
+	if needPts {
+		if cap(bufs.pts) >= n {
+			pts = bufs.pts[:n]
+		} else {
+			pts = make([]geom.Point, n)
+			bufs.pts = pts
+		}
+	}
+	var cells []cellid.CellID
+	if cap(bufs.cells) >= n {
+		cells = bufs.cells[:n]
+	} else {
+		cells = make([]cellid.CellID, n)
+		bufs.cells = cells
+	}
+	release := func() { probeBufPool.Put(bufs) }
+	convert := func(begin, end int) {
+		for i := begin; i < end; i++ {
+			gp := geom.Point{X: points[i].Lon, Y: points[i].Lat}
+			if needPts {
+				pts[i] = gp
+			}
+			cells[i] = cellid.FromPoint(gp)
+		}
+	}
+	if threads <= 1 {
+		convert(0, n)
+		return pts, cells, release
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for begin := 0; begin < n; begin += chunk {
+		end := begin + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(b, e int) {
+			defer wg.Done()
+			convert(b, e)
+		}(begin, end)
+	}
+	wg.Wait()
+	return pts, cells, release
+}
+
+func toJoinResult(res join.Result) JoinResult {
 	return JoinResult{
 		Counts:         res.Counts,
 		PIPTests:       res.PIPTests,
 		STHPercent:     res.STHPercent(),
+		CacheHits:      res.CacheHits,
 		Duration:       res.Duration,
 		ThroughputMpts: res.ThroughputMpts(),
 	}

@@ -235,3 +235,108 @@ func TestCoveringBudgetOption(t *testing.T) {
 			small.Stats().NumCells, large.Stats().NumCells)
 	}
 }
+
+// batchTestPoints draws a mix of clustered and uniform points over the test
+// polygon area, including points outside every polygon.
+func batchTestPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		if i%3 == 0 { // clustered runs near a polygon corner
+			pts[i] = Point{-73.985 + rng.Float64()*0.002, 40.712 + rng.Float64()*0.002}
+		} else {
+			pts[i] = Point{-74.02 + rng.Float64()*0.12, 40.68 + rng.Float64()*0.13}
+		}
+	}
+	return pts
+}
+
+func TestCoversBatchMatchesPerPointLoop(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"exact-only", nil},
+		{"precision", []Option{WithPrecision(30)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			idx, err := NewIndex(testPolygons(), tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pts := batchTestPoints(20000, 7)
+			for _, opt := range []BatchOptions{
+				{},
+				{Sorted: true},
+				{Exact: true, Sorted: true},
+				{Exact: true, Threads: 1},
+				{Sorted: true, Threads: 3},
+			} {
+				got := idx.CoversBatch(pts, opt)
+				if len(got) != len(pts) {
+					t.Fatalf("%+v: %d results for %d points", opt, len(got), len(pts))
+				}
+				for i, p := range pts {
+					var want []PolygonID
+					if opt.Exact {
+						want = idx.Covers(p)
+					} else {
+						want = idx.CoversApprox(p)
+					}
+					if len(got[i]) != len(want) {
+						t.Fatalf("%+v: point %d: got %v, want %v", opt, i, got[i], want)
+					}
+					for k := range want {
+						if got[i][k] != want[k] {
+							t.Fatalf("%+v: point %d: got %v, want %v", opt, i, got[i], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestJoinCountMatchesJoin(t *testing.T) {
+	idx, err := NewIndex(testPolygons(), WithPrecision(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := batchTestPoints(20000, 8)
+	for _, exact := range []bool{false, true} {
+		want := idx.Join(pts, exact, 1)
+		for _, opt := range []BatchOptions{
+			{Exact: exact},
+			{Exact: exact, Sorted: true},
+			{Exact: exact, Sorted: true, Threads: 4},
+		} {
+			got := idx.JoinCount(pts, opt)
+			for i := range want.Counts {
+				if got.Counts[i] != want.Counts[i] {
+					t.Errorf("exact=%v %+v: polygon %d count %d, want %d",
+						exact, opt, i, got.Counts[i], want.Counts[i])
+				}
+			}
+			if got.Duration <= 0 || got.ThroughputMpts <= 0 {
+				t.Errorf("exact=%v %+v: metrics must be populated", exact, opt)
+			}
+			if opt.Sorted && got.CacheHits == 0 {
+				t.Errorf("exact=%v %+v: sorted batch reported no cache hits", exact, opt)
+			}
+		}
+	}
+}
+
+func TestCoversBatchEmpty(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := idx.CoversBatch(nil, BatchOptions{Sorted: true}); len(out) != 0 {
+		t.Errorf("empty batch returned %d results", len(out))
+	}
+	res := idx.JoinCount(nil, BatchOptions{})
+	if len(res.Counts) != len(testPolygons()) {
+		t.Errorf("empty join counts sized %d", len(res.Counts))
+	}
+}

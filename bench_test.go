@@ -429,6 +429,154 @@ func BenchmarkAblationInlineRefsVsTable(b *testing.B) {
 	}
 }
 
+// --- JoinBatch family: per-point loop vs the batch pipeline ---
+//
+// The acceptance workload of the batch engine: 100k clustered (taxi) and
+// uniform points over the neighborhoods mesh, queried through the public
+// API. The per-point loop is the baseline every batch variant is measured
+// against; BENCH_joinbatch.json records the reference numbers.
+
+type batchFixture struct {
+	idx      *Index
+	taxi     []Point
+	uni      []Point
+	taxiPool []Point
+	uniPool  []Point
+}
+
+var (
+	batchOnce sync.Once
+	batchFix  *batchFixture
+)
+
+func joinBatchFixture(b *testing.B) *batchFixture {
+	b.Helper()
+	batchOnce.Do(func() {
+		spec := dataset.NYCNeighborhoods(dataset.ScaleTiny)
+		toRing := func(r geom.Ring) Ring {
+			out := make(Ring, len(r))
+			for i, v := range r {
+				out[i] = Point{Lon: v.X, Lat: v.Y}
+			}
+			return out
+		}
+		var polys []Polygon
+		for _, gp := range spec.Generate() {
+			p := Polygon{Exterior: toRing(gp.Rings[0])}
+			for _, h := range gp.Rings[1:] {
+				p.Holes = append(p.Holes, toRing(h))
+			}
+			polys = append(polys, p)
+		}
+		// The paper's headline 4m bound: a level-22 index far larger than
+		// the CPU caches — the regime where sorted, cache-reusing batch
+		// probing pays off over independent per-point walks.
+		idx, err := NewIndex(polys, WithPrecision(4))
+		if err != nil {
+			panic(err)
+		}
+		toPts := func(gpts []geom.Point) []Point {
+			out := make([]Point, len(gpts))
+			for i, p := range gpts {
+				out[i] = Point{Lon: p.X, Lat: p.Y}
+			}
+			return out
+		}
+		batchFix = &batchFixture{
+			idx:      idx,
+			taxi:     toPts(dataset.TaxiPoints(spec.Bound, 100_000, 21)),
+			uni:      toPts(dataset.UniformPoints(spec.Bound, 100_000, 22)),
+			taxiPool: toPts(dataset.TaxiPoints(spec.Bound, 2_000_000, 23)),
+			uniPool:  toPts(dataset.UniformPoints(spec.Bound, 2_000_000, 24)),
+		}
+	})
+	return batchFix
+}
+
+func reportBatchMpts(b *testing.B, points int) {
+	b.ReportMetric(float64(points)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
+}
+
+// benchCoversLoop is the per-point baseline: one CoversApprox call per
+// point, materializing the same [][]PolygonID a CoversBatch call returns.
+func benchCoversLoop(b *testing.B, pts []Point) {
+	f := joinBatchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([][]PolygonID, len(pts))
+		for j, p := range pts {
+			out[j] = f.idx.CoversApprox(p)
+		}
+		if len(out) != len(pts) {
+			b.Fatal("bad loop")
+		}
+	}
+	reportBatchMpts(b, len(pts))
+}
+
+// benchCoversBatch measures one CoversBatch configuration.
+func benchCoversBatch(b *testing.B, pts []Point, opt BatchOptions) {
+	f := joinBatchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := f.idx.CoversBatch(pts, opt)
+		if len(out) != len(pts) {
+			b.Fatal("bad batch")
+		}
+	}
+	reportBatchMpts(b, len(pts))
+}
+
+func BenchmarkJoinBatchPerPointLoop(b *testing.B) {
+	benchCoversLoop(b, joinBatchFixture(b).taxi)
+}
+
+func BenchmarkJoinBatchUnsorted(b *testing.B) {
+	benchCoversBatch(b, joinBatchFixture(b).taxi, BatchOptions{Threads: 1})
+}
+
+func BenchmarkJoinBatchSorted(b *testing.B) {
+	benchCoversBatch(b, joinBatchFixture(b).taxi, BatchOptions{Sorted: true, Threads: 1})
+}
+
+func BenchmarkJoinBatchSortedParallel(b *testing.B) {
+	benchCoversBatch(b, joinBatchFixture(b).taxi, BatchOptions{Sorted: true})
+}
+
+func BenchmarkJoinBatchUniformPerPointLoop(b *testing.B) {
+	benchCoversLoop(b, joinBatchFixture(b).uni)
+}
+
+func BenchmarkJoinBatchUniformSorted(b *testing.B) {
+	benchCoversBatch(b, joinBatchFixture(b).uni, BatchOptions{Sorted: true, Threads: 1})
+}
+
+func BenchmarkJoinBatchCountPerPoint(b *testing.B) {
+	f := joinBatchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := f.idx.Join(f.taxi, false, 1)
+		if res.Counts == nil {
+			b.Fatal("bad join")
+		}
+	}
+	reportBatchMpts(b, len(f.taxi))
+}
+
+func BenchmarkJoinBatchCountSorted(b *testing.B) {
+	f := joinBatchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := f.idx.JoinCount(f.taxi, BatchOptions{Sorted: true, Threads: 1})
+		if res.Counts == nil {
+			b.Fatal("bad join")
+		}
+	}
+	reportBatchMpts(b, len(f.taxi))
+}
+
 // --- Public API benchmarks ---
 
 func BenchmarkPublicAPICovers(b *testing.B) {
@@ -443,4 +591,70 @@ func BenchmarkPublicAPICovers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = idx.CoversApprox(p)
 	}
+}
+
+// --- JoinBatch streaming variant: fresh 100k-point windows per iteration ---
+//
+// Reusing one point set across b.N iterations lets every trie path go warm,
+// which understates what batching buys a server that sees new points in
+// every request. These variants slide a 100k window over a 2M-point pool so
+// each iteration probes fresh data.
+
+func slideWindow(pool []Point, i int) []Point {
+	const w = 100_000
+	nwin := len(pool)/w - 1
+	off := (i % nwin) * w
+	return pool[off : off+w]
+}
+
+func benchStreamLoop(b *testing.B, pool []Point) {
+	f := joinBatchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := slideWindow(pool, i)
+		out := make([][]PolygonID, len(pts))
+		for j, p := range pts {
+			out[j] = f.idx.CoversApprox(p)
+		}
+		if len(out) != len(pts) {
+			b.Fatal("bad loop")
+		}
+	}
+	reportBatchMpts(b, 100_000)
+}
+
+func benchStreamBatch(b *testing.B, pool []Point, opt BatchOptions) {
+	f := joinBatchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := f.idx.CoversBatch(slideWindow(pool, i), opt)
+		if len(out) != 100_000 {
+			b.Fatal("bad batch")
+		}
+	}
+	reportBatchMpts(b, 100_000)
+}
+
+func BenchmarkJoinBatchStreamLoopTaxi(b *testing.B) {
+	benchStreamLoop(b, joinBatchFixture(b).taxiPool)
+}
+
+func BenchmarkJoinBatchStreamUnsortedTaxi(b *testing.B) {
+	benchStreamBatch(b, joinBatchFixture(b).taxiPool, BatchOptions{Threads: 1})
+}
+
+func BenchmarkJoinBatchStreamSortedTaxi(b *testing.B) {
+	benchStreamBatch(b, joinBatchFixture(b).taxiPool, BatchOptions{Sorted: true, Threads: 1})
+}
+
+func BenchmarkJoinBatchStreamLoopUniform(b *testing.B) {
+	benchStreamLoop(b, joinBatchFixture(b).uniPool)
+}
+
+func BenchmarkJoinBatchStreamUnsortedUniform(b *testing.B) {
+	benchStreamBatch(b, joinBatchFixture(b).uniPool, BatchOptions{Threads: 1})
+}
+
+func BenchmarkJoinBatchStreamSortedUniform(b *testing.B) {
+	benchStreamBatch(b, joinBatchFixture(b).uniPool, BatchOptions{Sorted: true, Threads: 1})
 }

@@ -2,11 +2,16 @@
 // Main-Memory Indexing for High-Performance Point-Polygon Joins" (EDBT
 // 2020) against the synthetic datasets of this reproduction.
 //
+// Beyond the paper's tables and figures, `-exp batch` measures the batch
+// probe pipeline behind the public CoversBatch/JoinCount API: per-point vs
+// batch probing, sorted vs unsorted, with cache-hit rates.
+//
 // Usage:
 //
 //	actbench -list
 //	actbench -exp table1
 //	actbench -exp fig7left,fig7mid -scale small -points 2000000
+//	actbench -exp batch -scale small
 //	actbench -exp all -scale small | tee results.txt
 //
 // Scales: tiny (seconds, for smoke tests), small (minutes, the default),

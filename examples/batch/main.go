@@ -1,0 +1,101 @@
+// Batch: query many points in one call with CoversBatch and JoinCount, and
+// compare the batch pipeline against a per-point query loop.
+//
+// The batch path converts, optionally sorts the probe stream by cell id,
+// and answers runs of points falling into the same index cell with a single
+// trie walk — the difference shows up as the cache-hit rate and in
+// throughput, especially for clustered ("taxi-like") streams.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"actjoin"
+)
+
+func main() {
+	// A city grid: 12x12 square zones.
+	const gridN = 12
+	lon0, lat0, size := -74.05, 40.60, 0.025
+	var zones []actjoin.Polygon
+	for r := 0; r < gridN; r++ {
+		for c := 0; c < gridN; c++ {
+			x := lon0 + float64(c)*size
+			y := lat0 + float64(r)*size
+			zones = append(zones, actjoin.Polygon{Exterior: actjoin.Ring{
+				{Lon: x, Lat: y}, {Lon: x + size, Lat: y},
+				{Lon: x + size, Lat: y + size}, {Lon: x, Lat: y + size},
+			}})
+		}
+	}
+	idx, err := actjoin.NewIndex(zones, actjoin.WithPrecision(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := idx.Stats()
+	fmt.Printf("index: %d zones, %d cells, %.1f MiB\n",
+		st.NumPolygons, st.NumCells,
+		float64(st.TrieSizeBytes+st.TableSizeBytes)/(1<<20))
+
+	// A clustered point stream: most traffic hits a few hotspots, as in the
+	// paper's taxi workload.
+	const n = 500_000
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]actjoin.Point, n)
+	for i := range pts {
+		if rng.Float64() < 0.9 { // hotspot
+			h := rng.Intn(4)
+			pts[i] = actjoin.Point{
+				Lon: lon0 + float64(2+3*h)*size + rng.NormFloat64()*0.004,
+				Lat: lat0 + float64(3+2*h)*size + rng.NormFloat64()*0.004,
+			}
+		} else { // background
+			pts[i] = actjoin.Point{
+				Lon: lon0 + rng.Float64()*gridN*size,
+				Lat: lat0 + rng.Float64()*gridN*size,
+			}
+		}
+	}
+
+	// Per-point loop vs the batch API. Results are identical; only the cost
+	// differs.
+	start := time.Now()
+	loop := make([][]actjoin.PolygonID, n)
+	for i, p := range pts {
+		loop[i] = idx.CoversApprox(p)
+	}
+	loopDur := time.Since(start)
+
+	start = time.Now()
+	batch := idx.CoversBatch(pts, actjoin.BatchOptions{Sorted: true})
+	batchDur := time.Since(start)
+
+	for i := range loop {
+		if len(loop[i]) != len(batch[i]) {
+			log.Fatalf("point %d: per-point %v != batch %v", i, loop[i], batch[i])
+		}
+	}
+	fmt.Printf("per-point loop:  %d points in %v (%.1f M points/s)\n",
+		n, loopDur.Round(time.Microsecond), float64(n)/loopDur.Seconds()/1e6)
+	fmt.Printf("CoversBatch:     %d points in %v (%.1f M points/s), identical results\n",
+		n, batchDur.Round(time.Microsecond), float64(n)/batchDur.Seconds()/1e6)
+
+	// Counting joins: JoinCount reports the probe-cache hit rate.
+	for _, opt := range []actjoin.BatchOptions{
+		{Threads: 1},
+		{Sorted: true, Threads: 1},
+		{Sorted: true}, // all CPUs
+	} {
+		res := idx.JoinCount(pts, opt)
+		var total int64
+		for _, c := range res.Counts {
+			total += c
+		}
+		fmt.Printf("JoinCount sorted=%-5v threads=%d: %6.1f M points/s, %d matches, cache hits %.1f%%\n",
+			opt.Sorted, opt.Threads, res.ThroughputMpts, total,
+			100*float64(res.CacheHits)/float64(n))
+	}
+}

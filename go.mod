@@ -1,0 +1,3 @@
+module actjoin
+
+go 1.21

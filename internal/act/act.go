@@ -75,8 +75,9 @@ type Tree struct {
 	numNodes int
 	faces    [cellid.NumFaces]faceTree
 
-	numCells    int // indexed super-covering cells (before key extension)
-	numExtended int // value slots written (after key extension)
+	numCells     int // indexed super-covering cells (before key extension)
+	numExtended  int // value slots written (after key extension)
+	maxCellLevel int // deepest indexed cell level across faces
 
 	// Ablation switches (see BuildOptions).
 	disablePrefix    bool
@@ -154,6 +155,9 @@ func (t *Tree) buildFace(face int, kvs []cellindex.KeyEntry) {
 	offset := maxLevel % t.delta
 	if t.disableAnchoring {
 		offset = 0
+	}
+	if maxLevel > t.maxCellLevel {
+		t.maxCellLevel = maxLevel
 	}
 	minExt := maxIndexLevel + t.delta
 	for _, kv := range kvs {
@@ -292,6 +296,47 @@ func (t *Tree) Find(leaf cellid.CellID) refs.Entry {
 	}
 }
 
+// FindRange is the probe-with-hint entry point for batch joins: it returns
+// Find(leaf) together with the inclusive leaf-id range [lo, hi] containing
+// leaf over which that answer stays valid. The range is the extent of the
+// cell whose slot terminated the walk — a value slot (the indexed
+// super-covering cell after key extension) or a sentinel slot (a false-hit
+// gap at that band). Callers probing a cell-id-sorted point stream can skip
+// the tree walk entirely while successive leaves stay inside [lo, hi].
+func (t *Tree) FindRange(leaf cellid.CellID) (refs.Entry, cellid.CellID, cellid.CellID) {
+	face := int(uint64(leaf) >> 61)
+	ft := &t.faces[face]
+	if ft.root < 0 {
+		fc := cellid.FaceCell(face)
+		return refs.FalseHit, fc.RangeMin(), fc.RangeMax()
+	}
+	path := uint64(leaf) << 3
+	if ft.prefixLevels > 0 {
+		if path>>(64-uint(2*ft.prefixLevels)) != ft.prefixBits {
+			// Every leaf sharing this level-prefixLevels ancestor mismatches
+			// the stored prefix the same way.
+			anc := leaf.Parent(ft.prefixLevels)
+			return refs.FalseHit, anc.RangeMin(), anc.RangeMax()
+		}
+	}
+	shift := ft.firstShift
+	mask := ft.firstMask
+	fullMask := uint64(t.fanout - 1)
+	cur := int(ft.root)
+	level := ft.prefixLevels + ft.rootSpan
+	for {
+		e := t.entries[cur*t.fanout+int((path>>shift)&mask)]
+		if e&3 != 0 || e == 0 {
+			anc := leaf.Parent(level)
+			return refs.Entry(e), anc.RangeMin(), anc.RangeMax()
+		}
+		cur = int(e>>2) - 1
+		shift -= t.span
+		mask = fullMask
+		level += t.delta
+	}
+}
+
 // FindDepth is Find with instrumentation: it also returns the number of
 // node accesses performed (the tree traversal depth of Table 4).
 func (t *Tree) FindDepth(leaf cellid.CellID) (refs.Entry, int) {
@@ -341,8 +386,16 @@ func (t *Tree) NumCells() int { return t.numCells }
 // extension.
 func (t *Tree) NumValueSlots() int { return t.numExtended }
 
+// MaxCellLevel returns the deepest indexed cell level (0 for an empty
+// tree). Probes never distinguish leaf ids below this level, so batch joins
+// sort their probe streams only down to it.
+func (t *Tree) MaxCellLevel() int { return t.maxCellLevel }
+
 // SizeBytes returns the arena footprint (8 bytes per slot, as in the
 // paper's size accounting).
 func (t *Tree) SizeBytes() int { return 8 * len(t.entries) }
 
-var _ cellindex.Index = (*Tree)(nil)
+var (
+	_ cellindex.Index      = (*Tree)(nil)
+	_ cellindex.RangeIndex = (*Tree)(nil)
+)

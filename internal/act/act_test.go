@@ -405,3 +405,71 @@ func BenchmarkFindACT1(b *testing.B) {
 		_ = tr.Find(leaves[i&4095])
 	}
 }
+
+func TestFindRangeMatchesFind(t *testing.T) {
+	kvs, _, _ := buildTestCovering(t)
+	rng := rand.New(rand.NewSource(3))
+	for _, delta := range []int{1, 2, 4} {
+		tr := Build(kvs, delta)
+		for iter := 0; iter < 5000; iter++ {
+			p := geom.Point{X: -74.05 + rng.Float64()*0.16, Y: 40.66 + rng.Float64()*0.12}
+			leaf := cellid.FromPoint(p)
+			want := tr.Find(leaf)
+			got, lo, hi := tr.FindRange(leaf)
+			if got != want {
+				t.Fatalf("delta %d: FindRange entry %#x, want %#x", delta, got, want)
+			}
+			if leaf < lo || leaf > hi {
+				t.Fatalf("delta %d: leaf %v outside reported range [%v, %v]", delta, leaf, lo, hi)
+			}
+			// Every leaf in the reported range must resolve to the same
+			// entry: probe the endpoints and a midpoint.
+			for _, probe := range []cellid.CellID{lo, hi, lo + (hi-lo)/2 | 1} {
+				if e := tr.Find(probe); e != want {
+					t.Fatalf("delta %d: range [%v, %v] not uniform: Find(%v) = %#x, want %#x",
+						delta, lo, hi, probe, e, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFindRangeEmptyFace(t *testing.T) {
+	// A tree with cells on one face must report whole-face false-hit ranges
+	// for the other faces.
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	entry := refs.NewTable().Encode([]refs.Ref{refs.MakeRef(7, true)})
+	tr := Build([]cellindex.KeyEntry{{Key: leaf.Parent(10), Entry: entry}}, Delta4)
+	other := cellid.FromPoint(geom.Point{X: 100, Y: -40}) // different face
+	e, lo, hi := tr.FindRange(other)
+	if !e.IsFalseHit() {
+		t.Fatalf("probe on empty face returned %#x", e)
+	}
+	fc := cellid.FaceCell(other.Face())
+	if lo != fc.RangeMin() || hi != fc.RangeMax() {
+		t.Errorf("empty-face range [%v, %v], want the whole face [%v, %v]",
+			lo, hi, fc.RangeMin(), fc.RangeMax())
+	}
+}
+
+func TestFindRangeRunSkipsWalks(t *testing.T) {
+	// The point of FindRange: consecutive leaves inside the returned range
+	// resolve without another walk. Verify ranges cover the containing cell
+	// exactly for value hits.
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	cell := leaf.Parent(12)
+	entry := refs.NewTable().Encode([]refs.Ref{refs.MakeRef(3, true)})
+	tr := Build([]cellindex.KeyEntry{{Key: cell, Entry: entry}}, Delta4)
+	e, lo, hi := tr.FindRange(leaf)
+	if e.IsFalseHit() {
+		t.Fatal("expected a value hit")
+	}
+	if lo < cell.RangeMin() || hi > cell.RangeMax() {
+		t.Errorf("range [%v, %v] exceeds the indexed cell [%v, %v]",
+			lo, hi, cell.RangeMin(), cell.RangeMax())
+	}
+	if lo != cell.RangeMin() || hi != cell.RangeMax() {
+		t.Errorf("level-12 cell is band-aligned for delta 4; range [%v, %v] should be the full cell [%v, %v]",
+			lo, hi, cell.RangeMin(), cell.RangeMax())
+	}
+}

@@ -64,10 +64,31 @@ var posToOrient = [4]uint32{swapMask, 0, 0, invertMask | swapMask}
 
 var ijToPos [4][4]uint32
 
+// lookupPos accelerates leaf encoding by consuming four quadtree levels per
+// step (the S2 lookup-table technique): index = i4<<6 | j4<<2 | orient
+// (four interleaved (i, j) bit pairs plus the incoming orientation), value =
+// pos8<<2 | outgoing orientation.
+var lookupPos [1 << 10]uint32
+
 func init() {
 	for orient := 0; orient < 4; orient++ {
 		for pos := 0; pos < 4; pos++ {
 			ijToPos[orient][posToIJ[orient][pos]] = uint32(pos)
+		}
+	}
+	for i4 := 0; i4 < 16; i4++ {
+		for j4 := 0; j4 < 16; j4++ {
+			for orient := uint32(0); orient < 4; orient++ {
+				var pos uint32
+				o := orient
+				for k := 3; k >= 0; k-- {
+					ij := uint32((i4>>k)&1)<<1 | uint32((j4>>k)&1)
+					p := ijToPos[o][ij]
+					pos = pos<<2 | p
+					o ^= posToOrient[p]
+				}
+				lookupPos[uint32(i4)<<6|uint32(j4)<<2|orient] = pos<<2 | o
+			}
 		}
 	}
 }
@@ -132,7 +153,27 @@ func FromPoint(p geom.Point) CellID {
 	fr := faceRect(face)
 	s := (p.X - fr.Lo.X) / fr.Width()
 	t := (p.Y - fr.Lo.Y) / fr.Height()
-	return FromFaceIJ(face, stToIJ(s), stToIJ(t), MaxLevel)
+	return fromFaceIJLeaf(face, stToIJ(s), stToIJ(t))
+}
+
+// fromFaceIJLeaf is FromFaceIJ specialized for leaf cells — the join hot
+// path converts every probe point — consuming four quadtree levels per
+// lookupPos step instead of one.
+func fromFaceIJLeaf(face, i, j int) CellID {
+	var pos uint64
+	orient := uint32(0)
+	for k := MaxLevel - 1; k >= 28; k-- { // top two levels (30 mod 4)
+		ij := uint32((i>>k)&1)<<1 | uint32((j>>k)&1)
+		p := ijToPos[orient][ij]
+		pos = pos<<2 | uint64(p)
+		orient ^= posToOrient[p]
+	}
+	for shift := 24; shift >= 0; shift -= 4 { // seven 4-level chunks
+		v := lookupPos[uint32((i>>shift)&0xF)<<6|uint32((j>>shift)&0xF)<<2|orient]
+		pos = pos<<8 | uint64(v>>2)
+		orient = v & 3
+	}
+	return CellID(uint64(face)<<posBits | pos<<1 | 1)
 }
 
 // stToIJ converts a [0,1] face coordinate to a leaf-grid integer in

@@ -398,3 +398,26 @@ func BenchmarkBound(b *testing.B) {
 		_ = c.Bound()
 	}
 }
+
+func TestFromFaceIJLeafMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 100000; iter++ {
+		face := rng.Intn(NumFaces)
+		i := rng.Intn(1 << MaxLevel)
+		j := rng.Intn(1 << MaxLevel)
+		want := FromFaceIJ(face, i, j, MaxLevel)
+		got := fromFaceIJLeaf(face, i, j)
+		if got != want {
+			t.Fatalf("fromFaceIJLeaf(%d, %#x, %#x) = %#x, want %#x",
+				face, i, j, uint64(got), uint64(want))
+		}
+	}
+	// Corners.
+	for _, v := range []int{0, 1, 1<<MaxLevel - 1} {
+		for face := 0; face < NumFaces; face++ {
+			if got, want := fromFaceIJLeaf(face, v, v), FromFaceIJ(face, v, v, MaxLevel); got != want {
+				t.Fatalf("corner (%d, %d): %#x != %#x", face, v, uint64(got), uint64(want))
+			}
+		}
+	}
+}

@@ -14,6 +14,18 @@ import (
 	"actjoin/internal/supercover"
 )
 
+// RangeIndex is optionally implemented by physical structures that can
+// report, along with a probe answer, the contiguous leaf-id range over which
+// that answer stays valid (the extent of the cell — or false-hit gap — the
+// probe resolved to). Batch joins use it to answer runs of points falling in
+// the same cell without repeating the structure walk.
+type RangeIndex interface {
+	Index
+	// FindRange returns Find(leaf) plus the inclusive leaf-id range
+	// [lo, hi] containing leaf over which the returned entry is the answer.
+	FindRange(leaf cellid.CellID) (e refs.Entry, lo, hi cellid.CellID)
+}
+
 // KeyEntry is one indexable pair.
 type KeyEntry struct {
 	Key   cellid.CellID

@@ -1,0 +1,145 @@
+package cellindex
+
+import (
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+func leafAt(lon, lat float64) cellid.CellID {
+	return cellid.FromPoint(geom.Point{X: lon, Y: lat})
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	kvs, table := Encode(nil)
+	if len(kvs) != 0 {
+		t.Errorf("empty covering encoded %d pairs", len(kvs))
+	}
+	if table == nil || table.Len() != 0 {
+		t.Errorf("empty covering must yield an empty table, got %v", table)
+	}
+}
+
+func TestEncodeInlinesUpToTwoRefs(t *testing.T) {
+	base := leafAt(-73.98, 40.71)
+	cells := []supercover.Cell{
+		{ID: base.Parent(8), Refs: []refs.Ref{refs.MakeRef(1, true)}},
+		{ID: base.Parent(8).Child(1).Child(2), Refs: []refs.Ref{
+			refs.MakeRef(2, false), refs.MakeRef(3, true),
+		}},
+	}
+	// Sibling order in the slice does not matter to Encode; disjointness does.
+	kvs, table := Encode(cells)
+	if len(kvs) != 2 {
+		t.Fatalf("encoded %d pairs, want 2", len(kvs))
+	}
+	if got := kvs[0].Entry.Tag(); got != refs.TagOneRef {
+		t.Errorf("single ref must inline, got tag %d", got)
+	}
+	if got := kvs[1].Entry.Tag(); got != refs.TagTwoRefs {
+		t.Errorf("two refs must inline, got tag %d", got)
+	}
+	if table.Len() != 0 {
+		t.Errorf("inlined entries must not touch the table, %d words stored", table.Len())
+	}
+	if r := kvs[0].Entry.Ref1(); r.PolygonID() != 1 || !r.Interior() {
+		t.Errorf("ref 1 decoded as %v", r)
+	}
+	if a, b := kvs[1].Entry.Ref1(), kvs[1].Entry.Ref2(); a.PolygonID() != 2 || b.PolygonID() != 3 {
+		t.Errorf("two-ref entry decoded as %v, %v", a, b)
+	}
+}
+
+func TestEncodeSpillsAndDeduplicatesLongLists(t *testing.T) {
+	long := []refs.Ref{
+		refs.MakeRef(4, false), refs.MakeRef(5, true), refs.MakeRef(6, false),
+	}
+	base := leafAt(-73.98, 40.71).Parent(6)
+	cells := []supercover.Cell{
+		{ID: base.Child(0), Refs: append([]refs.Ref(nil), long...)},
+		{ID: base.Child(1), Refs: append([]refs.Ref(nil), long...)},
+		{ID: base.Child(2), Refs: []refs.Ref{refs.MakeRef(7, false), refs.MakeRef(8, true), refs.MakeRef(9, true)}},
+	}
+	kvs, table := Encode(cells)
+	if kvs[0].Entry.Tag() != refs.TagOffset || kvs[1].Entry.Tag() != refs.TagOffset {
+		t.Fatal("3+ refs must spill to the table")
+	}
+	if kvs[0].Entry != kvs[1].Entry {
+		t.Error("identical reference lists must share one table record")
+	}
+	if kvs[2].Entry == kvs[0].Entry {
+		t.Error("distinct lists must not collide")
+	}
+	if table.NumRecords() != 2 {
+		t.Errorf("table holds %d records, want 2", table.NumRecords())
+	}
+	// Round-trip through Visit: true hits precede candidates in record order.
+	var got []refs.Ref
+	table.Visit(kvs[0].Entry, func(r refs.Ref) { got = append(got, r) })
+	if len(got) != 3 {
+		t.Fatalf("Visit yielded %d refs, want 3", len(got))
+	}
+	for _, r := range got[:1] {
+		if !r.Interior() {
+			t.Errorf("true hits must come first, got %v", got)
+		}
+	}
+}
+
+func TestEncodeNormalizes(t *testing.T) {
+	// Duplicate and conflicting refs for one polygon: the interior claim wins
+	// and duplicates collapse, turning 4 raw refs into 2.
+	cells := []supercover.Cell{{
+		ID: leafAt(-73.98, 40.71).Parent(10),
+		Refs: []refs.Ref{
+			refs.MakeRef(3, false), refs.MakeRef(3, true),
+			refs.MakeRef(2, false), refs.MakeRef(2, false),
+		},
+	}}
+	kvs, _ := Encode(cells)
+	if got := kvs[0].Entry.Tag(); got != refs.TagTwoRefs {
+		t.Fatalf("normalized list must inline two refs, got tag %d", got)
+	}
+	a, b := kvs[0].Entry.Ref1(), kvs[0].Entry.Ref2()
+	if a.PolygonID() != 2 || a.Interior() {
+		t.Errorf("ref a = %v, want candidate p2", a)
+	}
+	if b.PolygonID() != 3 || !b.Interior() {
+		t.Errorf("ref b = %v, want interior p3", b)
+	}
+}
+
+func TestEncodeEmptyRefListIsFalseHit(t *testing.T) {
+	cells := []supercover.Cell{{ID: leafAt(0, 0).Parent(5), Refs: nil}}
+	kvs, _ := Encode(cells)
+	if !kvs[0].Entry.IsFalseHit() {
+		t.Errorf("empty ref list must encode the sentinel, got %#x", uint64(kvs[0].Entry))
+	}
+}
+
+func TestEncodeFeedsEveryIndexStructure(t *testing.T) {
+	// Encode output is the shared input of all physical structures; a
+	// covering built from real polygons must round-trip through the
+	// interface contract (Find on an indexed cell's leaf returns its entry).
+	polys := []*geom.Polygon{
+		geom.MustPolygon(geom.Ring{
+			{X: -74.0, Y: 40.7}, {X: -73.9, Y: 40.7}, {X: -73.9, Y: 40.8}, {X: -74.0, Y: 40.8},
+		}),
+	}
+	sc := supercover.Build(polys, supercover.DefaultOptions())
+	kvs, _ := Encode(sc.Cells())
+	if len(kvs) == 0 {
+		t.Fatal("no cells encoded")
+	}
+	for i := 1; i < len(kvs); i++ {
+		if kvs[i-1].Key >= kvs[i].Key {
+			t.Fatal("encoded keys must stay sorted")
+		}
+		if kvs[i-1].Key.RangeMax() >= kvs[i].Key.RangeMin() {
+			t.Fatal("encoded cells must stay disjoint")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"actjoin/internal/act"
+	"actjoin/internal/join"
+)
+
+// Batch reports what the batch probe pipeline buys over the per-point join
+// loop: throughput for the per-point path and for the batch path, unsorted
+// and sorted, single-threaded and with all configured threads, plus the
+// sorted path's probe-cache hit rate. Not a figure of the paper — this is
+// the engine behind the public CoversBatch/JoinCount API.
+func (e *Env) Batch(w io.Writer) error {
+	const ds = "neighborhoods"
+	enc := e.EncodedPrecision(ds, Precision{4, "4m"})
+	tree := act.Build(enc.KVs, act.Delta4)
+	polys := e.Polygons(ds)
+	threads := e.cfg.MaxThreads
+
+	type row struct {
+		name string
+		run  func(ps *PointSet) join.Result
+	}
+	rows := []row{
+		{"per-point 1T", func(ps *PointSet) join.Result {
+			return join.Run(tree, enc.Table, ps.Points, ps.Cells, polys, join.Options{Mode: join.Approximate, Threads: 1})
+		}},
+		{"batch unsorted 1T", func(ps *PointSet) join.Result {
+			return join.RunBatchCount(tree, enc.Table, ps.Points, ps.Cells, polys, join.BatchOptions{Mode: join.Approximate, Threads: 1})
+		}},
+		{"batch sorted 1T", func(ps *PointSet) join.Result {
+			return join.RunBatchCount(tree, enc.Table, ps.Points, ps.Cells, polys, join.BatchOptions{Mode: join.Approximate, Sorted: true, Threads: 1})
+		}},
+	}
+	if threads > 1 {
+		rows = append(rows,
+			row{fmt.Sprintf("per-point %dT", threads), func(ps *PointSet) join.Result {
+				return join.Run(tree, enc.Table, ps.Points, ps.Cells, polys, join.Options{Mode: join.Approximate, Threads: threads})
+			}},
+			row{fmt.Sprintf("batch sorted %dT", threads), func(ps *PointSet) join.Result {
+				return join.RunBatchCount(tree, enc.Table, ps.Points, ps.Cells, polys, join.BatchOptions{Mode: join.Approximate, Sorted: true, Threads: threads})
+			}},
+		)
+	}
+
+	t := newTable(w)
+	t.row("workload", "path", "Mpts/s", "speedup", "cache-hit%")
+	t.rule(5)
+	for _, workload := range []string{"taxi", "uniform"} {
+		var ps *PointSet
+		if workload == "uniform" {
+			ps = e.UniformPoints(ds)
+		} else {
+			ps = e.TaxiPoints(ds)
+		}
+		var base float64
+		for i, r := range rows {
+			res := bestOf(func() join.Result { return r.run(ps) })
+			mpts := res.ThroughputMpts()
+			if i == 0 {
+				base = mpts
+			}
+			hit := "-"
+			if res.CacheHits > 0 {
+				hit = fmtPct(100 * float64(res.CacheHits) / float64(res.Points))
+			}
+			t.row(workload, r.name, fmtMpts(mpts), fmtSpeedup(mpts/base), hit)
+		}
+	}
+	t.flush()
+	return nil
+}

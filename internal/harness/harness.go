@@ -99,6 +99,7 @@ var registry = []Experiment{
 	{"table6", "Table 6: speedup from training the index", (*Env).Table6},
 	{"table7", "Table 7: solely-true-hit rate before/after training", (*Env).Table7},
 	{"fig11", "Figure 11: comparison with the (simulated) GPU raster joins", (*Env).Fig11},
+	{"batch", "Batch engine: per-point vs batch probing, sorted vs unsorted", (*Env).Batch},
 }
 
 // All returns every experiment in paper order.

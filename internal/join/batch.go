@@ -1,0 +1,523 @@
+// Batch probe pipeline: the throughput-oriented variant of the index nested
+// loop join. Three ideas stack on top of Run's probe loop, following the
+// parallel-join literature (Tsitsigkos et al., "Parallel In-Memory
+// Evaluation of Spatial Joins"; Kipf et al., "Adaptive Geospatial Joins for
+// Modern Hardware"):
+//
+//  1. The probe stream is optionally sorted by leaf cell id (a min-offset
+//     LSD radix sort over only the bits the index can distinguish), so
+//     consecutive probes walk the same trie path and touch the same node
+//     cache lines.
+//  2. Each worker caches the validity range of its last probe
+//     (cellindex.RangeIndex): a run of points falling into the same
+//     super-covering cell — or the same false-hit gap — skips the tree walk
+//     entirely. On a sorted stream, runs are maximal.
+//  3. Workers fetch batches of 16 positions via an atomic counter (the
+//     paper's Section 3.4 scheme) and accumulate into private buffers,
+//     merged once at the end.
+package join
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+)
+
+// BatchOptions configure the batch probe pipeline.
+type BatchOptions struct {
+	Mode Mode
+	// Sorted probes the points in ascending cell-id order (results are
+	// still reported in input order). Sorting costs a couple of O(n)
+	// counting passes but maximizes run lengths for the last-range cache
+	// and trie locality.
+	Sorted bool
+	// Threads is the worker count; 0 uses all CPUs, 1 runs single-threaded.
+	Threads int
+}
+
+// leveler is implemented by indexes that know their deepest indexed cell
+// level. Leaf-id bits below that level cannot change a probe's answer, so
+// the sort ignores them — fewer radix passes, identical locality.
+type leveler interface {
+	MaxCellLevel() int
+}
+
+// span records where one point's result ids landed in a worker's arena.
+type span struct {
+	pos        int // original point index
+	start, end int // arena slice bounds
+}
+
+// batchWorker is the per-worker state: the shared accumulator of the
+// single-point path plus the last-range probe cache and the result arena.
+type batchWorker struct {
+	local
+	cacheHits  int64
+	cacheValid bool
+	cacheLo    cellid.CellID
+	cacheHi    cellid.CellID
+	cacheEntry refs.Entry
+
+	ids   []uint32 // result arena (collect mode)
+	spans []span   // non-empty results, in probe order (parallel collect)
+	out   [][]uint32
+
+	scratch []refs.Ref // decoded entry of the current run (sorted path)
+}
+
+// RunBatchCount is Run through the batch pipeline: per-polygon counts with
+// sorted probing and last-range caching. pts may be nil in Approximate
+// mode, which never touches the geometry.
+func RunBatchCount(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []cellid.CellID, polys []*geom.Polygon, opt BatchOptions) Result {
+	_, res := runBatch(idx, table, pts, cells, polys, opt, false)
+	return res
+}
+
+// RunBatchCollect materializes per-point results: out[i] holds the ids of
+// the polygons covering the i-th point (nil when none), in the same
+// reference order as the single-point query path, regardless of Sorted or
+// Threads. pts may be nil in Approximate mode.
+func RunBatchCollect(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []cellid.CellID, polys []*geom.Polygon, opt BatchOptions) ([][]uint32, Result) {
+	return runBatch(idx, table, pts, cells, polys, opt, true)
+}
+
+func runBatch(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []cellid.CellID, polys []*geom.Polygon, opt BatchOptions, collect bool) ([][]uint32, Result) {
+	n := len(cells)
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > runtime.GOMAXPROCS(0)*4 {
+		threads = runtime.GOMAXPROCS(0) * 4
+	}
+	if n < 4*batchSize {
+		threads = 1
+	}
+	exact := opt.Mode == Exact
+	ri, _ := idx.(cellindex.RangeIndex)
+
+	start := time.Now()
+	var ord probeOrder
+	if opt.Sorted {
+		// Drop the leaf-id bits below the index's deepest level: they
+		// cannot move a point to a different indexed cell.
+		drop := uint(0)
+		if lv, ok := idx.(leveler); ok {
+			drop = uint(2*(cellid.MaxLevel-lv.MaxCellLevel()) + 1)
+		}
+		ord = makeProbeOrder(cells, drop)
+	}
+
+	var out [][]uint32
+	if collect {
+		out = make([][]uint32, n)
+	}
+
+	// probeRange runs one worker over claimed positions [begin, end).
+	// Single-worker runs publish result slices straight into out; parallel
+	// workers record spans into their private arena and merge after the
+	// barrier (a growing arena keeps already-published backing arrays
+	// intact, but the final re-slice must happen once appends stop).
+	direct := threads == 1
+	probeRange := func(w *batchWorker, begin, end int) {
+		for k := begin; k < end; k++ {
+			i := k
+			var leaf cellid.CellID
+			switch {
+			case ord.packed != nil:
+				// Sequential read of the sorted schedule; the probe leaf is
+				// rebuilt from the truncated key (bits the index never
+				// reads are zeroed — same answer, no gather into cells).
+				p := ord.packed[k]
+				i = int(p >> 32)
+				leaf = cellid.CellID((uint64(uint32(p))+ord.minKey)<<ord.drop | 1)
+			case ord.perm != nil:
+				i = int(ord.perm[k])
+				leaf = cells[i]
+			default:
+				leaf = cells[i]
+			}
+			var entry refs.Entry
+			switch {
+			case w.cacheValid && leaf >= w.cacheLo && leaf <= w.cacheHi:
+				entry = w.cacheEntry
+				w.cacheHits++
+			case ri != nil:
+				entry, w.cacheLo, w.cacheHi = ri.FindRange(leaf)
+				w.cacheEntry = entry
+				w.cacheValid = true
+			default:
+				entry = idx.Find(leaf)
+			}
+			if entry.IsFalseHit() {
+				w.sth++
+				continue
+			}
+			arenaStart := len(w.ids)
+			hadMatch := false
+			hadCandidate := false
+			handle := func(r refs.Ref) {
+				pid := r.PolygonID()
+				if !r.Interior() {
+					hadCandidate = true
+					if exact {
+						w.pipTests++
+						if !polys[pid].ContainsPoint(pts[i]) {
+							return
+						}
+					}
+				}
+				w.counts[pid]++
+				hadMatch = true
+				if collect {
+					w.ids = append(w.ids, pid)
+				}
+			}
+			switch entry.Tag() {
+			case refs.TagOneRef:
+				handle(entry.Ref1())
+			case refs.TagTwoRefs:
+				handle(entry.Ref1())
+				handle(entry.Ref2())
+			default:
+				table.Visit(entry, handle)
+			}
+			if hadMatch {
+				w.matched++
+			}
+			if !hadCandidate {
+				w.sth++
+			}
+			if collect && len(w.ids) > arenaStart {
+				if direct {
+					w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
+				} else {
+					w.spans = append(w.spans, span{pos: i, start: arenaStart, end: len(w.ids)})
+				}
+			}
+		}
+	}
+
+	// probeSortedRuns is the specialized single-worker loop over a packed
+	// sorted schedule: it resolves each run of points sharing an index cell
+	// (or false-hit gap) with one walk and one entry decode, then
+	// bulk-applies the outcome — counts grow by the run length in one step.
+	// Only exact-mode candidate refs still cost per-point work, because
+	// their PIP tests genuinely depend on the point.
+	probeSortedRuns := func(w *batchWorker) {
+		packed := ord.packed
+		for k := 0; k < n; {
+			p := packed[k]
+			leaf := cellid.CellID((uint64(uint32(p))+ord.minKey)<<ord.drop | 1)
+			var entry refs.Entry
+			runEnd := k + 1
+			if ri != nil {
+				var lo, hi cellid.CellID
+				entry, lo, hi = ri.FindRange(leaf)
+				// Keys within a sort bucket are unordered (partial sort),
+				// so the scan needs both range bounds, in raw key space.
+				loKey, hiKey := uint64(lo)>>ord.drop, uint64(hi)>>ord.drop
+				for runEnd < n {
+					k2 := uint64(uint32(packed[runEnd])) + ord.minKey
+					if k2 < loKey || k2 > hiKey {
+						break
+					}
+					runEnd++
+				}
+			} else {
+				entry = idx.Find(leaf)
+				// Without range information runs degenerate to equal keys.
+				for runEnd < n && uint32(packed[runEnd]) == uint32(p) {
+					runEnd++
+				}
+			}
+			w.cacheHits += int64(runEnd - k - 1)
+			runLen := int64(runEnd - k)
+			if entry.IsFalseHit() {
+				w.sth += runLen
+				k = runEnd
+				continue
+			}
+			w.scratch = table.AppendRefs(w.scratch[:0], entry)
+			nCand := 0
+			for _, r := range w.scratch {
+				if !r.Interior() {
+					nCand++
+				}
+			}
+			if exact && nCand > 0 {
+				// Refine per point, in entry order like the generic path.
+				for kk := k; kk < runEnd; kk++ {
+					i := int(packed[kk] >> 32)
+					arenaStart := len(w.ids)
+					hadMatch := false
+					for _, r := range w.scratch {
+						pid := r.PolygonID()
+						if !r.Interior() {
+							w.pipTests++
+							if !polys[pid].ContainsPoint(pts[i]) {
+								continue
+							}
+						}
+						w.counts[pid]++
+						hadMatch = true
+						if collect {
+							w.ids = append(w.ids, pid)
+						}
+					}
+					if hadMatch {
+						w.matched++
+					}
+					if collect && len(w.ids) > arenaStart {
+						w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
+					}
+				}
+				k = runEnd
+				continue
+			}
+			// The outcome is identical for every point of the run.
+			for _, r := range w.scratch {
+				w.counts[r.PolygonID()] += runLen
+			}
+			if len(w.scratch) > 0 {
+				w.matched += runLen
+			}
+			if nCand == 0 {
+				w.sth += runLen
+			}
+			if collect && len(w.scratch) > 0 {
+				for kk := k; kk < runEnd; kk++ {
+					i := int(packed[kk] >> 32)
+					arenaStart := len(w.ids)
+					for _, r := range w.scratch {
+						w.ids = append(w.ids, r.PolygonID())
+					}
+					w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
+				}
+			}
+			k = runEnd
+		}
+	}
+
+	workers := make([]*batchWorker, threads)
+	for i := range workers {
+		w := &batchWorker{local: local{counts: make([]int64, len(polys))}, out: out}
+		if collect {
+			w.ids = make([]uint32, 0, n/threads+batchSize)
+		}
+		workers[i] = w
+	}
+	if direct {
+		if ord.packed != nil {
+			probeSortedRuns(workers[0])
+		} else {
+			probeRange(workers[0], 0, n)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *batchWorker) {
+				defer wg.Done()
+				for {
+					begin := int(cursor.Add(batchSize)) - batchSize
+					if begin >= n {
+						return
+					}
+					end := begin + batchSize
+					if end > n {
+						end = n
+					}
+					probeRange(w, begin, end)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Merge the per-worker buffers.
+	res := Result{Counts: make([]int64, len(polys)), Points: n}
+	for _, w := range workers {
+		for i, c := range w.counts {
+			res.Counts[i] += c
+		}
+		res.Matched += w.matched
+		res.PIPTests += w.pipTests
+		res.SolelyTrueHits += w.sth
+		res.CacheHits += w.cacheHits
+		for _, s := range w.spans {
+			out[s.pos] = w.ids[s.start:s.end:s.end]
+		}
+	}
+	if ord.packed != nil {
+		putScheduleBuf(ord.packed)
+	}
+	res.Duration = time.Since(start)
+	return out, res
+}
+
+// maxSortDigitBits caps the radix digit width: 2^15 int32 counters (128
+// KiB) stay cache-resident while city-scale key ranges (20-30 significant
+// bits) finish in two passes.
+const maxSortDigitBits = 15
+
+// schedulePool recycles the sort's ping-pong buffers. A high-traffic caller
+// invokes CoversBatch/JoinCount back to back; without recycling, the two
+// transient schedule buffers alone double the per-call garbage and with it
+// the GC mark frequency.
+var schedulePool sync.Pool
+
+func scheduleBuf(n int) []uint64 {
+	if v, ok := schedulePool.Get().(*[]uint64); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]uint64, n)
+}
+
+func putScheduleBuf(b []uint64) {
+	schedulePool.Put(&b)
+}
+
+// probeOrder is a sorted probe schedule. Exactly one representation is set:
+// packed words (the fast path — low 32 bits hold the min-offset truncated
+// key, high 32 bits the point index, so the probe loop reads the schedule
+// sequentially and reconstructs a probe-equivalent leaf without gathering
+// from cells), a plain index permutation (wide-key fallback), or neither
+// (input order, when all keys collapse to one truncated value).
+//
+// The packed schedule is ordered on the keys' top bucketShift-excluded bits
+// only (see sortPacked); keys themselves keep full truncated resolution for
+// exact run detection.
+type probeOrder struct {
+	packed      []uint64
+	perm        []uint32
+	minKey      uint64
+	drop        uint
+	bucketShift uint // key bits below this may be unordered
+}
+
+// makeProbeOrder sorts the probe stream by cells[i]>>drop with a min-offset
+// LSD radix sort: only bits that actually vary across the stream cost a
+// counting pass. O(n) time, two transient buffers. Point counts must fit in
+// 32 bits (a 4-billion-point probe array would not fit in memory anyway).
+func makeProbeOrder(cells []cellid.CellID, drop uint) probeOrder {
+	n := len(cells)
+	if n == 0 {
+		return probeOrder{}
+	}
+	if drop > 63 {
+		drop = 63
+	}
+	minKey, maxKey := uint64(cells[0])>>drop, uint64(cells[0])>>drop
+	for _, c := range cells {
+		k := uint64(c) >> drop
+		if k < minKey {
+			minKey = k
+		}
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	keyBits := uint(bits.Len64(maxKey - minKey))
+	switch {
+	case keyBits == 0:
+		return probeOrder{} // one distinct key: input order is sorted
+	case keyBits <= 32:
+		packed, bucketShift := sortPacked(cells, drop, minKey, keyBits)
+		return probeOrder{packed: packed, minKey: minKey, drop: drop, bucketShift: bucketShift}
+	default:
+		return probeOrder{perm: sortWide(cells, drop, minKey, keyBits)}
+	}
+}
+
+// sortPacked orders key|idx<<32 words by the top maxSortDigitBits of their
+// varying key range in a single counting pass. The bits below stay
+// unordered — a deliberate partial sort: an index cell at or above the
+// bucket granularity still gets all its points contiguous (its key range
+// spans whole buckets), so the probe loop's run detection loses nothing on
+// the coarse interior cells where the long runs live, while the sort does a
+// fraction of the work of a full-resolution ordering. Returns the schedule
+// and the shift below which keys are unordered.
+func sortPacked(cells []cellid.CellID, drop uint, minKey uint64, keyBits uint) ([]uint64, uint) {
+	n := len(cells)
+	a := scheduleBuf(n)
+	for i, c := range cells {
+		a[i] = (uint64(c)>>drop - minKey) | uint64(i)<<32
+	}
+	b := scheduleBuf(n)
+	shift := uint(0)
+	if keyBits > maxSortDigitBits {
+		shift = keyBits - maxSortDigitBits
+	}
+	mask := uint64(1<<(keyBits-shift) - 1)
+	counts := make([]int32, mask+1)
+	for _, p := range a {
+		counts[(p>>shift)&mask]++
+	}
+	sum := int32(0)
+	for i := range counts {
+		c := counts[i]
+		counts[i] = sum
+		sum += c
+	}
+	for _, p := range a {
+		d := (p >> shift) & mask
+		b[counts[d]] = p
+		counts[d]++
+	}
+	putScheduleBuf(a)
+	return b, shift
+}
+
+// sortWide is the fallback for key ranges over 32 bits: interleaved
+// (key, idx) word pairs in pooled buffers, fixed 11-bit digits, returning
+// an index permutation.
+func sortWide(cells []cellid.CellID, drop uint, minKey uint64, keyBits uint) []uint32 {
+	const digit = 11
+	n := len(cells)
+	a := scheduleBuf(2 * n)
+	for i, c := range cells {
+		a[2*i] = uint64(c)>>drop - minKey
+		a[2*i+1] = uint64(i)
+	}
+	b := scheduleBuf(2 * n)
+	var counts [1 << digit]int32
+	const mask = uint64(1<<digit - 1)
+	for shift := uint(0); shift < keyBits; shift += digit {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < 2*n; i += 2 {
+			counts[(a[i]>>shift)&mask]++
+		}
+		sum := int32(0)
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for i := 0; i < 2*n; i += 2 {
+			d := (a[i] >> shift) & mask
+			j := 2 * counts[d]
+			b[j] = a[i]
+			b[j+1] = a[i+1]
+			counts[d]++
+		}
+		a, b = b, a
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(a[2*i+1])
+	}
+	putScheduleBuf(a)
+	putScheduleBuf(b)
+	return out
+}

@@ -1,0 +1,209 @@
+package join
+
+import (
+	"reflect"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/refs"
+)
+
+// referenceCollect materializes per-point results through the single-point
+// probe path, the oracle for the batch pipeline.
+func referenceCollect(f *fixture, mode Mode) [][]uint32 {
+	exact := mode == Exact
+	out := make([][]uint32, len(f.pts))
+	for i := range f.pts {
+		entry := f.actT.Find(f.cells[i])
+		if entry.IsFalseHit() {
+			continue
+		}
+		f.table.Visit(entry, func(r refs.Ref) {
+			if !r.Interior() && exact && !f.polys[r.PolygonID()].ContainsPoint(f.pts[i]) {
+				return
+			}
+			out[i] = append(out[i], r.PolygonID())
+		})
+	}
+	return out
+}
+
+func batchVariants() []BatchOptions {
+	var out []BatchOptions
+	for _, mode := range []Mode{Approximate, Exact} {
+		for _, sorted := range []bool{false, true} {
+			for _, threads := range []int{1, 4} {
+				out = append(out, BatchOptions{Mode: mode, Sorted: sorted, Threads: threads})
+			}
+		}
+	}
+	return out
+}
+
+func TestBatchCollectMatchesSinglePointPath(t *testing.T) {
+	f := newFixture(t, true, 20000)
+	for _, opt := range batchVariants() {
+		want := referenceCollect(f, opt.Mode)
+		got, res := RunBatchCollect(f.actT, f.table, f.pts, f.cells, f.polys, opt)
+		if !reflect.DeepEqual(got, want) {
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("%+v: point %d: got %v, want %v", opt, i, got[i], want[i])
+				}
+			}
+		}
+		if res.Points != len(f.pts) {
+			t.Errorf("%+v: Points = %d", opt, res.Points)
+		}
+	}
+}
+
+func TestBatchCountMatchesRun(t *testing.T) {
+	f := newFixture(t, true, 20000)
+	for _, opt := range batchVariants() {
+		want := Run(f.actT, f.table, f.pts, f.cells, f.polys, Options{Mode: opt.Mode})
+		got := RunBatchCount(f.actT, f.table, f.pts, f.cells, f.polys, opt)
+		if !reflect.DeepEqual(got.Counts, want.Counts) {
+			t.Errorf("%+v: counts diverge from Run", opt)
+		}
+		if got.Matched != want.Matched || got.SolelyTrueHits != want.SolelyTrueHits {
+			t.Errorf("%+v: matched/sth %d/%d, want %d/%d",
+				opt, got.Matched, got.SolelyTrueHits, want.Matched, want.SolelyTrueHits)
+		}
+		if opt.Mode == Exact && got.PIPTests == 0 {
+			t.Errorf("%+v: exact batch performed no PIP tests", opt)
+		}
+	}
+}
+
+func TestBatchExactMatchesBruteForce(t *testing.T) {
+	f := newFixture(t, false, 20000)
+	res := RunBatchCount(f.actT, f.table, f.pts, f.cells, f.polys,
+		BatchOptions{Mode: Exact, Sorted: true, Threads: 4})
+	for pid := range f.polys {
+		if res.Counts[pid] != f.oracle[pid] {
+			t.Errorf("polygon %d count %d, oracle %d", pid, res.Counts[pid], f.oracle[pid])
+		}
+	}
+}
+
+func TestBatchSortedCacheHits(t *testing.T) {
+	f := newFixture(t, true, 20000)
+	sorted := RunBatchCount(f.actT, f.table, f.pts, f.cells, f.polys,
+		BatchOptions{Mode: Approximate, Sorted: true, Threads: 1})
+	if sorted.CacheHits == 0 {
+		t.Error("sorted clustered probe stream produced no cache hits")
+	}
+	// A sorted stream must produce at least as many run hits as the raw
+	// stream (taxi points are clustered but interleaved).
+	unsorted := RunBatchCount(f.actT, f.table, f.pts, f.cells, f.polys,
+		BatchOptions{Mode: Approximate, Sorted: false, Threads: 1})
+	if sorted.CacheHits < unsorted.CacheHits {
+		t.Errorf("sorted cache hits %d < unsorted %d", sorted.CacheHits, unsorted.CacheHits)
+	}
+}
+
+func TestBatchNonRangeIndexFallback(t *testing.T) {
+	// GBT and LB don't implement RangeIndex; the batch path must fall back
+	// to plain Find and still agree.
+	f := newFixture(t, true, 10000)
+	for name, idx := range map[string]cellindex.Index{"gbt": f.gbt, "lb": f.lb} {
+		if _, ok := idx.(cellindex.RangeIndex); ok {
+			t.Fatalf("%s unexpectedly implements RangeIndex; test needs a new non-range structure", name)
+		}
+		want := Run(idx, f.table, f.pts, f.cells, f.polys, Options{Mode: Exact})
+		got := RunBatchCount(idx, f.table, f.pts, f.cells, f.polys,
+			BatchOptions{Mode: Exact, Sorted: true, Threads: 2})
+		if !reflect.DeepEqual(got.Counts, want.Counts) {
+			t.Errorf("%s: batch counts diverge from Run", name)
+		}
+		if got.CacheHits != 0 {
+			t.Errorf("%s: cache hits %d without RangeIndex", name, got.CacheHits)
+		}
+	}
+}
+
+func TestBatchEmptyAndTiny(t *testing.T) {
+	f := newFixture(t, false, 100)
+	out, res := RunBatchCollect(f.actT, f.table, nil, nil, f.polys,
+		BatchOptions{Mode: Exact, Sorted: true})
+	if len(out) != 0 || res.Points != 0 || sum(res.Counts) != 0 {
+		t.Errorf("empty batch: out=%d res=%+v", len(out), res)
+	}
+	// Tiny inputs are forced single-threaded; results must still line up.
+	got, _ := RunBatchCollect(f.actT, f.table, f.pts[:5], f.cells[:5], f.polys,
+		BatchOptions{Mode: Approximate, Sorted: true, Threads: 8})
+	want := referenceCollect(f, Approximate)
+	if !reflect.DeepEqual(got, want[:5]) {
+		t.Errorf("tiny batch diverges: got %v want %v", got, want[:5])
+	}
+}
+
+// orderIndices flattens a probeOrder into the index sequence it schedules.
+func orderIndices(ord probeOrder, n int) []int {
+	out := make([]int, n)
+	for k := range out {
+		switch {
+		case ord.packed != nil:
+			out[k] = int(ord.packed[k] >> 32)
+		case ord.perm != nil:
+			out[k] = int(ord.perm[k])
+		default:
+			out[k] = k
+		}
+	}
+	return out
+}
+
+func TestMakeProbeOrder(t *testing.T) {
+	f := newFixture(t, false, 5000)
+	for _, drop := range []uint{0, 17, 25, 63, 80} {
+		eff := drop
+		if eff > 63 {
+			eff = 63
+		}
+		ord := makeProbeOrder(f.cells, drop)
+		idxs := orderIndices(ord, len(f.cells))
+		seen := make([]bool, len(idxs))
+		for k := 1; k < len(idxs); k++ {
+			// The packed schedule guarantees order only above bucketShift,
+			// measured on min-offset keys (partial sort); the perm fallback
+			// is fully ordered.
+			prev := (uint64(f.cells[idxs[k-1]])>>eff - ord.minKey) >> ord.bucketShift
+			cur := (uint64(f.cells[idxs[k]])>>eff - ord.minKey) >> ord.bucketShift
+			if prev > cur {
+				t.Fatalf("drop %d: truncated order not ascending at %d", drop, k)
+			}
+		}
+		for _, i := range idxs {
+			if seen[i] {
+				t.Fatalf("drop %d: index %d appears twice", drop, i)
+			}
+			seen[i] = true
+		}
+		if ord.packed != nil {
+			// The reconstructed probe leaf must agree with the real leaf on
+			// every bit above drop (the bits any index up to that level
+			// reads), and be a valid leaf cell.
+			for k, p := range ord.packed {
+				rep := cellid.CellID((uint64(uint32(p))+ord.minKey)<<ord.drop | 1)
+				real := f.cells[idxs[k]]
+				if rep>>eff != real>>eff {
+					t.Fatalf("drop %d: pos %d: rep %v disagrees with leaf %v above bit %d",
+						drop, k, rep, real, eff)
+				}
+				if !rep.IsValid() || !rep.IsLeaf() {
+					t.Fatalf("drop %d: rep %#x is not a valid leaf", drop, uint64(rep))
+				}
+			}
+		}
+	}
+	if ord := makeProbeOrder(nil, 0); ord.packed != nil || ord.perm != nil {
+		t.Error("empty input must schedule input order")
+	}
+	one := makeProbeOrder([]cellid.CellID{cellid.FromPoint(f.pts[0])}, 0)
+	if got := orderIndices(one, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("singleton order = %v", got)
+	}
+}
