@@ -16,11 +16,23 @@
 //     polygon boundaries. Train adapts the index to an expected query
 //     distribution to make that fallback rare.
 //
+// # Concurrency model
+//
+// The API splits reads from writes. An Index is a writer handle: mutations
+// (Add, Remove, Train, Apply) build the next version of the index off to
+// the side and publish it as an immutable Snapshot with one atomic pointer
+// swap. Queries run against a Snapshot obtained from Index.Current; they
+// are lock-free, never block on updates, and an in-flight batch join keeps
+// one consistent view of the polygon set for its whole run. The query
+// methods still present on Index are deprecated forwarders that delegate to
+// Current().
+//
 // Quick start:
 //
 //	idx, err := actjoin.NewIndex(polygons, actjoin.WithPrecision(4))
 //	if err != nil { ... }
-//	ids := idx.CoversApprox(actjoin.Point{Lon: -73.98, Lat: 40.75})
+//	snap := idx.Current()
+//	ids := snap.CoversApprox(actjoin.Point{Lon: -73.98, Lat: 40.75})
 package actjoin
 
 import (
@@ -29,7 +41,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"actjoin/internal/act"
 	"actjoin/internal/cellid"
@@ -114,22 +126,41 @@ func WithCoveringBudget(coveringCells, interiorCells int) Option {
 	}
 }
 
-// Index is an immutable point-polygon join index. All query methods are
-// safe for concurrent use; Train is not (train before sharing).
+// Index is the writer handle of a point-polygon join index. It owns the
+// mutable build-side state (the super covering) and publishes immutable
+// Snapshots that serve all queries.
+//
+// Concurrency contract: every method of Index is safe for concurrent use.
+// Mutations (Add, Remove, Train, Apply) serialize among themselves on an
+// internal mutex, rebuild the frozen structures off to the side, and
+// publish the result with a single atomic pointer swap — they never block
+// queries, and queries never block them. The read path (Current and the
+// Snapshot it returns, including the deprecated query forwarders on Index)
+// takes no locks.
 type Index struct {
-	polys []*geom.Polygon
-	sc    *supercover.SuperCovering
-	tree  *act.Tree
-	table *refs.Table
-	opt   options
+	mu  sync.Mutex // serializes writers; never held on any query path
+	cur atomic.Pointer[Snapshot]
 
-	precisionLevel int
-	numCells       int
+	// Writer-side state, guarded by mu. polys is copy-on-write: published
+	// snapshots share the slice, so the first mutation after a publish
+	// replaces it instead of editing it in place (polysShared tracks
+	// whether the current slice is aliased by a snapshot). staged records
+	// whether any mutation landed since the last publish, so an aborted
+	// Apply only pays for a state rebuild when there is something to
+	// discard.
+	sc          *supercover.SuperCovering
+	polys       []*geom.Polygon
+	polysShared bool
+	staged      bool
+
+	opt            options // immutable after NewIndex
+	precisionLevel int     // immutable after NewIndex
 }
 
-// NewIndex builds an index over the polygons. Polygon ids are slice
-// positions. The build computes per-polygon coverings, merges them into the
-// super covering and freezes the Adaptive Cell Trie.
+// NewIndex builds an index over the polygons and publishes its first
+// snapshot. Polygon ids are slice positions. The build computes per-polygon
+// coverings, merges them into the super covering and freezes the Adaptive
+// Cell Trie.
 func NewIndex(polygons []Polygon, opts ...Option) (*Index, error) {
 	o := options{delta: act.Delta4, coveringCells: 128, interiorCells: 256}
 	for _, fn := range opts {
@@ -165,7 +196,7 @@ func NewIndex(polygons []Polygon, opts ...Option) (*Index, error) {
 		ix.precisionLevel = cellid.LevelForMaxDiagonalMeters(o.precisionMeters, bound.Center().Y)
 		sc.RefineToPrecision(internal, ix.precisionLevel)
 	}
-	ix.freeze()
+	ix.publish()
 	return ix, nil
 }
 
@@ -197,158 +228,105 @@ func toGeom(p Polygon) (*geom.Polygon, error) {
 	return geom.NewPolygon(rings...)
 }
 
-// freeze rebuilds the ACT and lookup table from the current super covering.
-func (ix *Index) freeze() {
-	kvs, table := cellindex.Encode(ix.sc.Cells())
-	ix.tree = act.Build(kvs, ix.opt.delta)
-	ix.table = table
-	ix.numCells = len(kvs)
+// Current returns the most recently published snapshot: a single atomic
+// load, safe to call from any goroutine at any rate. The snapshot is
+// immutable — hold it for as long as one consistent view is needed, and
+// call Current again whenever a fresher one is wanted.
+func (ix *Index) Current() *Snapshot { return ix.cur.Load() }
+
+// publish freezes the writer-side state into a new immutable snapshot and
+// swaps it in. Callers must hold mu (or have exclusive access to a fresh,
+// unshared Index).
+func (ix *Index) publish() *Snapshot {
+	cells := ix.sc.Cells()
+	kvs, table := cellindex.Encode(cells)
+	s := &Snapshot{
+		polys:          ix.polys,
+		cells:          cells,
+		tree:           act.Build(kvs, ix.opt.delta),
+		table:          table,
+		opt:            ix.opt,
+		precisionLevel: ix.precisionLevel,
+	}
+	ix.polysShared = true // the snapshot aliases ix.polys from here on
+	ix.staged = false
+	ix.cur.Store(s)
+	return s
+}
+
+// mutablePolys returns ix.polys ready for in-place mutation, copying it
+// first when a published snapshot still aliases it. extraCap reserves
+// append room for the copy.
+func (ix *Index) mutablePolys(extraCap int) []*geom.Polygon {
+	if ix.polysShared {
+		polys := make([]*geom.Polygon, len(ix.polys), len(ix.polys)+extraCap)
+		copy(polys, ix.polys)
+		ix.polys = polys
+		ix.polysShared = false
+	}
+	return ix.polys
+}
+
+// restore rebuilds the writer-side state from the currently published
+// snapshot, discarding uncommitted mutations. Callers must hold mu.
+func (ix *Index) restore() {
+	s := ix.cur.Load()
+	sc := supercover.New()
+	for _, c := range s.cells {
+		sc.Insert(c.ID, c.Refs)
+	}
+	ix.sc = sc
+	ix.polys = s.polys
+	ix.polysShared = true
+	ix.staged = false
 }
 
 // Precision returns the configured precision bound in meters, or 0 when the
 // index is exact-only.
 func (ix *Index) Precision() float64 { return ix.opt.precisionMeters }
 
-// Covers returns the ids of all polygons covering p, exactly: candidate
-// cells are refined with PIP tests (the paper's accurate join).
-func (ix *Index) Covers(p Point) []PolygonID {
-	return ix.query(p, true)
+// Covers returns the ids of all polygons covering p, exactly.
+//
+// Deprecated: use Current().Covers. This forwarder queries whatever
+// snapshot happens to be published at call time; consecutive calls may see
+// different snapshots when writers are active.
+func (ix *Index) Covers(p Point) []PolygonID { return ix.Current().Covers(p) }
+
+// CoversApprox returns polygon ids without any PIP test.
+//
+// Deprecated: use Current().CoversApprox.
+func (ix *Index) CoversApprox(p Point) []PolygonID { return ix.Current().CoversApprox(p) }
+
+// CoversBatch answers many point queries in one call.
+//
+// Deprecated: use Current().CoversBatch.
+func (ix *Index) CoversBatch(points []Point, opt QueryOptions) [][]PolygonID {
+	return ix.Current().CoversBatch(points, opt)
 }
 
-// CoversApprox returns polygon ids without any PIP test. With a precision
-// bound of d meters, every reported polygon is within d of p; without one,
-// results may include polygons whose boundary cells contain p.
-func (ix *Index) CoversApprox(p Point) []PolygonID {
-	return ix.query(p, false)
+// JoinCount counts points per polygon through the batch probe pipeline.
+//
+// Deprecated: use Current().JoinCount.
+func (ix *Index) JoinCount(points []Point, opt QueryOptions) JoinResult {
+	return ix.Current().JoinCount(points, opt)
 }
 
-func (ix *Index) query(p Point, exact bool) []PolygonID {
-	gp := geom.Point{X: p.Lon, Y: p.Lat}
-	entry := ix.tree.Find(cellid.FromPoint(gp))
-	if entry.IsFalseHit() {
-		return nil
-	}
-	var out []PolygonID
-	ix.table.Visit(entry, func(r refs.Ref) {
-		if r.Interior() || !exact {
-			out = append(out, r.PolygonID())
-			return
-		}
-		if ix.polys[r.PolygonID()].ContainsPoint(gp) {
-			out = append(out, r.PolygonID())
-		}
-	})
-	return out
-}
-
-// TrainStats reports the outcome of Train.
-type TrainStats struct {
-	PointsSeen    int
-	CellsSplit    int
-	BudgetReached bool
-	NumCells      int // cells after training
-}
-
-// Train adapts the index to an expected point distribution (the paper's
-// Section 3.3.1): every training point hitting a cell that would require a
-// PIP test splits that cell one level, until maxCells (0 = unlimited) is
-// reached. The trie is rebuilt afterwards. Training mutates the index; do
-// not run queries concurrently with it.
-func (ix *Index) Train(points []Point, maxCells int) TrainStats {
-	cells := make([]cellid.CellID, len(points))
-	for i, p := range points {
-		cells[i] = cellid.FromPoint(geom.Point{X: p.Lon, Y: p.Lat})
-	}
-	res := ix.sc.Train(ix.polys, cells, maxCells)
-	ix.freeze()
-	return TrainStats{
-		PointsSeen:    res.PointsSeen,
-		CellsSplit:    res.Splits,
-		BudgetReached: res.BudgetReached,
-		NumCells:      ix.numCells,
-	}
-}
-
-// JoinResult summarizes a bulk join.
-type JoinResult struct {
-	// Counts[pid] is the number of points covered by polygon pid.
-	Counts []int64
-	// PIPTests is the number of geometric refinements performed (0 in
-	// approximate mode).
-	PIPTests int64
-	// STHPercent is the share of points answered without any candidate hit
-	// (the paper's "solely true hits" metric).
-	STHPercent float64
-	// CacheHits is the number of probes answered from the batch pipeline's
-	// last-cell cache without a trie walk (0 on the per-point path).
-	CacheHits int64
-	// Duration is the probe-phase wall time.
-	Duration time.Duration
-	// ThroughputMpts is points per second in millions.
-	ThroughputMpts float64
-}
-
-// Join counts points per polygon — the paper's evaluation workload. exact
-// selects the accurate join; threads > 1 parallelizes the probe phase with
-// the paper's batched atomic cursor. JoinCount is the batch-pipeline
-// successor with sorted probing and last-cell caching.
+// Join counts points per polygon.
+//
+// Deprecated: use Current().JoinCount with QueryOptions{Exact, Threads}.
 func (ix *Index) Join(points []Point, exact bool, threads int) JoinResult {
-	pts, cells, release := toProbeParallel(points, threads, true)
-	mode := join.Approximate
-	if exact {
-		mode = join.Exact
-	}
-	res := join.Run(ix.tree, ix.table, pts, cells, ix.polys, join.Options{Mode: mode, Threads: threads})
-	release()
-	return toJoinResult(res)
+	return ix.Current().Join(points, exact, threads)
 }
 
-// BatchOptions configure the bulk query methods CoversBatch and JoinCount.
-// The zero value is a sensible default: approximate mode, input order, all
-// CPUs.
-type BatchOptions struct {
-	// Exact refines candidate hits with PIP tests; batch results then match
-	// Covers. When false, results match CoversApprox.
-	Exact bool
-	// Sorted probes the points in cell-id order internally, so runs of
-	// nearby points share trie paths and the last-cell cache. Results are
-	// always reported in input order.
-	Sorted bool
-	// Threads is the number of probe workers; 0 uses all CPUs, 1 runs
-	// single-threaded.
-	Threads int
-}
+// Stats returns structural statistics of the published snapshot.
+//
+// Deprecated: use Current().Stats.
+func (ix *Index) Stats() Stats { return ix.Current().Stats() }
 
-func (o BatchOptions) internal() join.BatchOptions {
-	mode := join.Approximate
-	if o.Exact {
-		mode = join.Exact
-	}
-	return join.BatchOptions{Mode: mode, Sorted: o.Sorted, Threads: o.Threads}
-}
-
-// CoversBatch answers many point queries in one call: out[i] holds the ids
-// of the polygons covering points[i] (nil when none), identical to calling
-// Covers (with opt.Exact) or CoversApprox per point, but through the batch
-// probe pipeline — optionally cell-id-sorted, last-cell-cached, and
-// parallelized with the paper's atomic-counter batching.
-func (ix *Index) CoversBatch(points []Point, opt BatchOptions) [][]PolygonID {
-	pts, cells, release := toProbeParallel(points, opt.Threads, opt.Exact)
-	out, _ := join.RunBatchCollect(ix.tree, ix.table, pts, cells, ix.polys, opt.internal())
-	release()
-	return out
-}
-
-// JoinCount counts points per polygon through the batch probe pipeline. It
-// computes the same counts as Join but honors BatchOptions (sorted probing,
-// last-cell caching); the returned CacheHits reports how many probes skipped
-// the trie walk.
-func (ix *Index) JoinCount(points []Point, opt BatchOptions) JoinResult {
-	pts, cells, release := toProbeParallel(points, opt.Threads, opt.Exact)
-	res := join.RunBatchCount(ix.tree, ix.table, pts, cells, ix.polys, opt.internal())
-	release()
-	return toJoinResult(res)
-}
+// Removed reports whether the id was removed.
+//
+// Deprecated: use Current().Removed.
+func (ix *Index) Removed(id PolygonID) bool { return ix.Current().Removed(id) }
 
 // probeBufs recycles the per-call conversion arrays. They live only for the
 // duration of one batch call (join results never reference them), and at
@@ -361,11 +339,12 @@ type probeBufs struct {
 
 var probeBufPool sync.Pool
 
-// toProbeParallel is toProbe chunked across workers — the cell conversion is
-// a pure per-point Hilbert encoding and dominates batch latency at high
-// point counts. Approximate-mode joins never touch the geometry, so the
-// internal point array is skipped entirely (needPts false). release returns
-// the buffers to the pool; call it once no join is using them.
+// toProbeParallel is the probe-input conversion chunked across workers —
+// the cell conversion is a pure per-point Hilbert encoding and dominates
+// batch latency at high point counts. Approximate-mode joins never touch
+// the geometry, so the internal point array is skipped entirely (needPts
+// false). release returns the buffers to the pool; call it once no join is
+// using them.
 func toProbeParallel(points []Point, threads int, needPts bool) ([]geom.Point, []cellid.CellID, func()) {
 	n := len(points)
 	if threads <= 0 {
@@ -433,29 +412,5 @@ func toJoinResult(res join.Result) JoinResult {
 		CacheHits:      res.CacheHits,
 		Duration:       res.Duration,
 		ThroughputMpts: res.ThroughputMpts(),
-	}
-}
-
-// Stats describes the built index.
-type Stats struct {
-	NumPolygons    int
-	NumCells       int // super covering cells
-	NumTrieNodes   int
-	TrieSizeBytes  int // node arena
-	TableSizeBytes int // shared lookup table
-	Granularity    int // quadtree levels per radix level (δ)
-	PrecisionLevel int // refinement level, 0 when exact-only
-}
-
-// Stats returns structural statistics of the index.
-func (ix *Index) Stats() Stats {
-	return Stats{
-		NumPolygons:    len(ix.polys),
-		NumCells:       ix.numCells,
-		NumTrieNodes:   ix.tree.NumNodes(),
-		TrieSizeBytes:  ix.tree.SizeBytes(),
-		TableSizeBytes: ix.table.SizeBytes(),
-		Granularity:    ix.opt.delta,
-		PrecisionLevel: ix.precisionLevel,
 	}
 }

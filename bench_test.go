@@ -449,45 +449,40 @@ var (
 	batchFix  *batchFixture
 )
 
+// buildTinyNYC4mIndex is the shared benchmark index shape — the tiny NYC
+// neighborhoods mesh under the paper's headline 4m bound: a level-22 index
+// far larger than the CPU caches, the regime where sorted, cache-reusing
+// batch probing pays off over independent per-point walks. Used by both the
+// batch fixture and the (mutating) snapshot fixture, which must not share
+// an instance.
+func buildTinyNYC4mIndex() (*Index, dataset.Spec) {
+	spec := dataset.NYCNeighborhoods(dataset.ScaleTiny)
+	idx, err := NewIndex(toPublicPolys(spec.Generate()), WithPrecision(4))
+	if err != nil {
+		panic(err)
+	}
+	return idx, spec
+}
+
+// toPublicPts converts generated probe points to the public API type.
+func toPublicPts(gpts []geom.Point) []Point {
+	out := make([]Point, len(gpts))
+	for i, p := range gpts {
+		out[i] = Point{Lon: p.X, Lat: p.Y}
+	}
+	return out
+}
+
 func joinBatchFixture(b *testing.B) *batchFixture {
 	b.Helper()
 	batchOnce.Do(func() {
-		spec := dataset.NYCNeighborhoods(dataset.ScaleTiny)
-		toRing := func(r geom.Ring) Ring {
-			out := make(Ring, len(r))
-			for i, v := range r {
-				out[i] = Point{Lon: v.X, Lat: v.Y}
-			}
-			return out
-		}
-		var polys []Polygon
-		for _, gp := range spec.Generate() {
-			p := Polygon{Exterior: toRing(gp.Rings[0])}
-			for _, h := range gp.Rings[1:] {
-				p.Holes = append(p.Holes, toRing(h))
-			}
-			polys = append(polys, p)
-		}
-		// The paper's headline 4m bound: a level-22 index far larger than
-		// the CPU caches — the regime where sorted, cache-reusing batch
-		// probing pays off over independent per-point walks.
-		idx, err := NewIndex(polys, WithPrecision(4))
-		if err != nil {
-			panic(err)
-		}
-		toPts := func(gpts []geom.Point) []Point {
-			out := make([]Point, len(gpts))
-			for i, p := range gpts {
-				out[i] = Point{Lon: p.X, Lat: p.Y}
-			}
-			return out
-		}
+		idx, spec := buildTinyNYC4mIndex()
 		batchFix = &batchFixture{
 			idx:      idx,
-			taxi:     toPts(dataset.TaxiPoints(spec.Bound, 100_000, 21)),
-			uni:      toPts(dataset.UniformPoints(spec.Bound, 100_000, 22)),
-			taxiPool: toPts(dataset.TaxiPoints(spec.Bound, 2_000_000, 23)),
-			uniPool:  toPts(dataset.UniformPoints(spec.Bound, 2_000_000, 24)),
+			taxi:     toPublicPts(dataset.TaxiPoints(spec.Bound, 100_000, 21)),
+			uni:      toPublicPts(dataset.UniformPoints(spec.Bound, 100_000, 22)),
+			taxiPool: toPublicPts(dataset.TaxiPoints(spec.Bound, 2_000_000, 23)),
+			uniPool:  toPublicPts(dataset.UniformPoints(spec.Bound, 2_000_000, 24)),
 		}
 	})
 	return batchFix

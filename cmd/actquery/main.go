@@ -49,8 +49,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// All reads go through one snapshot: a consistent view of the index
+	// for the whole command, and the surface a live server would use while
+	// a writer keeps publishing updates.
+	snap := idx.Current()
 	if *saveFile != "" {
-		if err := save(idx, *saveFile); err != nil {
+		if err := save(snap, *saveFile); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "index saved to %s\n", *saveFile)
@@ -64,9 +68,9 @@ func main() {
 		}
 		var ids []actjoin.PolygonID
 		if *exact || *precision == 0 {
-			ids = idx.Covers(p)
+			ids = snap.Covers(p)
 		} else {
-			ids = idx.CoversApprox(p)
+			ids = snap.CoversApprox(p)
 		}
 		if len(ids) == 0 {
 			fmt.Println("no polygon covers this point")
@@ -81,7 +85,11 @@ func main() {
 			fail(err)
 		}
 		start := time.Now()
-		res := idx.Join(pts, *exact || *precision == 0, *threads)
+		res := snap.JoinCount(pts, actjoin.QueryOptions{
+			Exact:   *exact || *precision == 0,
+			Sorted:  true,
+			Threads: *threads,
+		})
 		fmt.Fprintf(os.Stderr, "joined %d points in %v (%.1f M points/s, %d PIP tests, %d rows skipped)\n",
 			len(pts), time.Since(start).Round(time.Millisecond), res.ThroughputMpts, res.PIPTests, skipped)
 		for id, c := range res.Counts {
@@ -124,20 +132,16 @@ func buildOrLoad(polyFile, loadFile string, precision float64) (*actjoin.Index, 
 		if err != nil {
 			return nil, nil, err
 		}
-		polys, names, err := actjoin.PolygonsFromGeoJSON(data)
-		if err != nil {
-			return nil, nil, err
-		}
 		var opts []actjoin.Option
 		if precision > 0 {
 			opts = append(opts, actjoin.WithPrecision(precision))
 		}
 		start := time.Now()
-		idx, err := actjoin.NewIndex(polys, opts...)
+		idx, names, err := actjoin.NewIndexFromGeoJSON(data, opts...)
 		if err != nil {
 			return nil, nil, err
 		}
-		st := idx.Stats()
+		st := idx.Current().Stats()
 		fmt.Fprintf(os.Stderr, "indexed %d polygons: %d cells, %.1f MiB, built in %v\n",
 			st.NumPolygons, st.NumCells,
 			float64(st.TrieSizeBytes+st.TableSizeBytes)/(1<<20),
@@ -148,12 +152,12 @@ func buildOrLoad(polyFile, loadFile string, precision float64) (*actjoin.Index, 
 	}
 }
 
-func save(idx *actjoin.Index, path string) error {
+func save(snap *actjoin.Snapshot, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if _, err := idx.WriteTo(f); err != nil {
+	if _, err := snap.WriteTo(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,195 @@
+package actjoin
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Concurrency stress tests for the snapshot API: queries must be lock-free,
+// always see a fully consistent view, and produce results identical to a
+// single-threaded evaluation of the same snapshot — while another goroutine
+// hammers Add/Remove/Train. Run with -race to make the claim meaningful.
+
+// equalIDs reports whether two result slices are identical.
+func equalIDs(a, b []PolygonID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentQueriesDuringUpdates is the acceptance test of the snapshot
+// design: readers compare the batch pipeline against per-point queries on
+// the same snapshot, point by point, while a writer loops Add, Remove and
+// Train. Any torn state — a trie swapped mid-walk, a polygon slice mutated
+// under a PIP test, a table rebuilt under a Visit — shows up either as a
+// mismatch here or as a data race under -race.
+func TestConcurrentQueriesDuringUpdates(t *testing.T) {
+	// Base polygons (ids 0..2) are never mutated; the writer churns extra
+	// squares in a disjoint area to the south.
+	idx, err := NewIndex(testPolygons(), WithPrecision(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := batchTestPoints(1500, 11)
+	// Extra probes inside the writer's churn area, so readers also cross
+	// cells that are actively appearing and disappearing.
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 500; i++ {
+		pts = append(pts, Point{Lon: -73.94 + rng.Float64()*0.04, Lat: 40.60 + rng.Float64()*0.04})
+	}
+	inBase := Point{Lon: -73.985, Lat: 40.715} // strictly inside polygon 0
+
+	stop := make(chan struct{})
+	var writerOps atomic.Int64
+	var writerWG, readerWG sync.WaitGroup
+
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		wrng := rand.New(rand.NewSource(99))
+		var added []PolygonID
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if len(added) > 4 {
+				id := added[0]
+				added = added[1:]
+				if err := idx.Remove(id); err != nil {
+					t.Errorf("Remove(%d): %v", id, err)
+					return
+				}
+			} else {
+				id, err := idx.Add(square(-73.94+wrng.Float64()*0.03, 40.60+wrng.Float64()*0.03, 0.008))
+				if err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+				added = append(added, id)
+			}
+			if i%5 == 0 {
+				idx.Train(pts[:200], 0)
+			}
+			writerOps.Add(1)
+		}
+	}()
+
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			opt := QueryOptions{Exact: r%2 == 1, Sorted: r%3 != 0, Threads: 1 + r%3}
+			for iter := 0; iter < 15; iter++ {
+				s := idx.Current()
+				st := s.Stats()
+				batch := s.CoversBatch(pts, opt)
+				if len(batch) != len(pts) {
+					t.Errorf("reader %d: %d results for %d points", r, len(batch), len(pts))
+					return
+				}
+				for i, p := range pts {
+					var want []PolygonID
+					if opt.Exact {
+						want = s.Covers(p)
+					} else {
+						want = s.CoversApprox(p)
+					}
+					if !equalIDs(batch[i], want) {
+						t.Errorf("reader %d iter %d: point %d: batch %v != per-point %v",
+							r, iter, i, batch[i], want)
+						return
+					}
+				}
+				// The base polygons must be present in every snapshot.
+				if got := s.Covers(inBase); len(got) != 1 || got[0] != 0 {
+					t.Errorf("reader %d: base polygon lost from snapshot: %v", r, got)
+					return
+				}
+				// Counting joins must agree with the collected results of
+				// the same snapshot.
+				res := s.JoinCount(pts, opt)
+				if len(res.Counts) != st.NumPolygons {
+					t.Errorf("reader %d: %d counts for %d polygons", r, len(res.Counts), st.NumPolygons)
+					return
+				}
+				counts := make([]int64, len(res.Counts))
+				for _, ids := range batch {
+					for _, id := range ids {
+						counts[id]++
+					}
+				}
+				for id := range counts {
+					if counts[id] != res.Counts[id] {
+						t.Errorf("reader %d: polygon %d: JoinCount %d != CoversBatch %d",
+							r, id, res.Counts[id], counts[id])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Let the readers finish under a churning writer, then stop the writer.
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+
+	if writerOps.Load() == 0 {
+		t.Error("writer made no progress while readers ran")
+	}
+}
+
+// TestSnapshotIsolation pins one snapshot, mutates the index, and verifies
+// the old snapshot still answers with — and serializes — the polygon set it
+// was published with, while Current sees the new state.
+func TestSnapshotIsolation(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := idx.Current()
+	inPoly1 := Point{Lon: -73.955, Lat: 40.715}
+
+	if err := idx.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	addedID, err := idx.Add(square(-73.90, 40.60, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned snapshot still sees polygon 1 and not the added square.
+	if got := old.Covers(inPoly1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("pinned snapshot lost polygon 1: %v", got)
+	}
+	if got := old.Covers(Point{Lon: -73.89, Lat: 40.61}); len(got) != 0 {
+		t.Errorf("pinned snapshot sees future polygon: %v", got)
+	}
+	if old.NumPolygons() != 3 || old.Removed(1) {
+		t.Errorf("pinned snapshot metadata drifted: %d polys, removed=%v",
+			old.NumPolygons(), old.Removed(1))
+	}
+
+	// Current sees the new state.
+	cur := idx.Current()
+	if got := cur.Covers(inPoly1); len(got) != 0 {
+		t.Errorf("current snapshot still has removed polygon: %v", got)
+	}
+	if got := cur.Covers(Point{Lon: -73.89, Lat: 40.61}); len(got) != 1 || got[0] != addedID {
+		t.Errorf("current snapshot missing added polygon: %v", got)
+	}
+	if !cur.Removed(1) {
+		t.Error("current snapshot must report polygon 1 removed")
+	}
+}

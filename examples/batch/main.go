@@ -35,7 +35,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := idx.Stats()
+	snap := idx.Current() // one consistent, lock-free view for every query below
+	st := snap.Stats()
 	fmt.Printf("index: %d zones, %d cells, %.1f MiB\n",
 		st.NumPolygons, st.NumCells,
 		float64(st.TrieSizeBytes+st.TableSizeBytes)/(1<<20))
@@ -65,12 +66,12 @@ func main() {
 	start := time.Now()
 	loop := make([][]actjoin.PolygonID, n)
 	for i, p := range pts {
-		loop[i] = idx.CoversApprox(p)
+		loop[i] = snap.CoversApprox(p)
 	}
 	loopDur := time.Since(start)
 
 	start = time.Now()
-	batch := idx.CoversBatch(pts, actjoin.BatchOptions{Sorted: true})
+	batch := snap.CoversBatch(pts, actjoin.QueryOptions{Sorted: true})
 	batchDur := time.Since(start)
 
 	for i := range loop {
@@ -84,12 +85,12 @@ func main() {
 		n, batchDur.Round(time.Microsecond), float64(n)/batchDur.Seconds()/1e6)
 
 	// Counting joins: JoinCount reports the probe-cache hit rate.
-	for _, opt := range []actjoin.BatchOptions{
+	for _, opt := range []actjoin.QueryOptions{
 		{Threads: 1},
 		{Sorted: true, Threads: 1},
 		{Sorted: true}, // all CPUs
 	} {
-		res := idx.JoinCount(pts, opt)
+		res := snap.JoinCount(pts, opt)
 		var total int64
 		for _, c := range res.Counts {
 			total += c

@@ -56,12 +56,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := approxIdx.Stats()
+	approx4m := approxIdx.Current()
+	st := approx4m.Stats()
 	fmt.Printf("4m index: %d cells, %.1f MiB\n",
 		st.NumCells, float64(st.TrieSizeBytes+st.TableSizeBytes)/(1<<20))
 
 	threads := runtime.GOMAXPROCS(0)
-	approx := approxIdx.Join(pts, false, threads)
+	approx := approx4m.JoinCount(pts, actjoin.QueryOptions{Sorted: true, Threads: threads})
 	fmt.Printf("approximate join (<4m): %.1f M points/s on %d threads, 0 PIP tests\n",
 		approx.ThroughputMpts, threads)
 
@@ -70,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact := exactIdx.Join(pts, true, threads)
+	exact := exactIdx.Current().JoinCount(pts, actjoin.QueryOptions{Exact: true, Sorted: true, Threads: threads})
 	fmt.Printf("exact join: %.1f M points/s, %d PIP tests, STH %.1f%%\n",
 		exact.ThroughputMpts, exact.PIPTests, exact.STHPercent)
 

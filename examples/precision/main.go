@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact := exactIdx.Join(pts, true, 0)
+	exact := exactIdx.Current().JoinCount(pts, actjoin.QueryOptions{Exact: true, Sorted: true})
 	var exactPairs int64
 	for _, c := range exact.Counts {
 		exactPairs += c
@@ -61,8 +61,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := idx.Stats()
-		res := idx.Join(pts, false, 0)
+		snap := idx.Current()
+		st := snap.Stats()
+		res := snap.JoinCount(pts, actjoin.QueryOptions{Sorted: true})
 		var pairs int64
 		for _, c := range res.Counts {
 			pairs += c

@@ -1,5 +1,6 @@
-// Quickstart: build an index over three zones, query single points, and
-// run a small bulk join. Demonstrates the minimal API surface.
+// Quickstart: build an index over three zones, query single points through
+// a snapshot, run a small bulk join, and apply a live update without
+// blocking readers. Demonstrates the minimal API surface.
 package main
 
 import (
@@ -39,7 +40,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := idx.Stats()
+
+	// All reads go through an immutable snapshot: one atomic load, then
+	// lock-free queries against a consistent view.
+	snap := idx.Current()
+	st := snap.Stats()
 	fmt.Printf("index: %d zones, %d cells, %d trie nodes, %.1f KiB\n",
 		st.NumPolygons, st.NumCells, st.NumTrieNodes,
 		float64(st.TrieSizeBytes+st.TableSizeBytes)/1024)
@@ -52,7 +57,7 @@ func main() {
 		{Lon: -73.90, Lat: 40.60},   // outside everything
 	} {
 		fmt.Printf("point (%.3f, %.3f): approx=%v exact=%v\n",
-			p.Lon, p.Lat, idx.CoversApprox(p), idx.Covers(p))
+			p.Lon, p.Lat, snap.CoversApprox(p), snap.Covers(p))
 	}
 
 	// Bulk join: count points per zone.
@@ -63,7 +68,21 @@ func main() {
 			Lat: 40.69 + float64(i%479)*0.0002,
 		})
 	}
-	res := idx.Join(pts, false, 0)
+	res := snap.JoinCount(pts, actjoin.QueryOptions{Sorted: true})
 	fmt.Printf("joined %d points in %v (%.1f M points/s), counts: %v, PIP tests: %d\n",
 		len(pts), res.Duration.Round(1000), res.ThroughputMpts, res.Counts, res.PIPTests)
+
+	// Live update: a new zone appears. The mutation builds and publishes a
+	// new snapshot; the one held above keeps answering with the old view.
+	newZone := actjoin.Polygon{Exterior: actjoin.Ring{
+		{Lon: -73.93, Lat: 40.70}, {Lon: -73.90, Lat: 40.70},
+		{Lon: -73.90, Lat: 40.73}, {Lon: -73.93, Lat: 40.73},
+	}}
+	id, err := idx.Add(newZone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inNew := actjoin.Point{Lon: -73.915, Lat: 40.715}
+	fmt.Printf("added zone %d: old snapshot sees %v, fresh snapshot sees %v\n",
+		id, snap.CoversApprox(inNew), idx.Current().CoversApprox(inNew))
 }

@@ -58,17 +58,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := baseline.Join(probe, true, 0)
+	base := baseline.Current().JoinCount(probe, actjoin.QueryOptions{Exact: true})
 	fmt.Printf("untrained: %6.1f M pts/s, %8d PIP tests, STH %5.1f%%, %6d cells\n",
-		base.ThroughputMpts, base.PIPTests, base.STHPercent, baseline.Stats().NumCells)
+		base.ThroughputMpts, base.PIPTests, base.STHPercent, baseline.Current().Stats().NumCells)
 
 	for _, n := range []int{10_000, 50_000, 100_000} {
 		idx, err := actjoin.NewIndex(polys)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ts := idx.Train(historical[:n], 0)
-		res := idx.Join(probe, true, 0)
+		ts := idx.Train(historical[:n], 0) // publishes a new snapshot
+		res := idx.Current().JoinCount(probe, actjoin.QueryOptions{Exact: true})
 		fmt.Printf("train %6d: %6.1f M pts/s, %8d PIP tests, STH %5.1f%%, %6d cells (split %d) — %.2fx\n",
 			n, res.ThroughputMpts, res.PIPTests, res.STHPercent,
 			ts.NumCells, ts.CellsSplit, res.ThroughputMpts/base.ThroughputMpts)

@@ -59,7 +59,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res := idx.Join(pts, false, 0)
+			res := idx.Current().JoinCount(pts, actjoin.QueryOptions{Sorted: true})
 			fmt.Printf(" %7.1fM/s", res.ThroughputMpts)
 		}
 		fmt.Println()

@@ -86,6 +86,22 @@ func PolygonsFromGeoJSON(data []byte) ([]Polygon, []string, error) {
 	return polys, names, nil
 }
 
+// NewIndexFromGeoJSON parses a GeoJSON document and builds an index over
+// its polygons in one step, returning the index alongside the display names
+// aligned with the polygon ids (see PolygonsFromGeoJSON for the accepted
+// document shapes and the naming rules).
+func NewIndexFromGeoJSON(data []byte, opts ...Option) (*Index, []string, error) {
+	polys, names, err := PolygonsFromGeoJSON(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	ix, err := NewIndex(polys, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix, names, nil
+}
+
 func featureName(f geoJSONFeature, fallback int) string {
 	for _, key := range []string{"name", "NAME", "Name", "neighborhood", "zone"} {
 		if v, ok := f.Properties[key]; ok {

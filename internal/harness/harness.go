@@ -100,6 +100,7 @@ var registry = []Experiment{
 	{"table7", "Table 7: solely-true-hit rate before/after training", (*Env).Table7},
 	{"fig11", "Figure 11: comparison with the (simulated) GPU raster joins", (*Env).Fig11},
 	{"batch", "Batch engine: per-point vs batch probing, sorted vs unsorted", (*Env).Batch},
+	{"snapshot", "Snapshot API: publish latency and join throughput under a live writer", (*Env).Snapshot},
 }
 
 // All returns every experiment in paper order.

@@ -27,20 +27,63 @@ func (sc *SuperCovering) RefineToPrecision(polys []*geom.Polygon, minLevel int) 
 	if minLevel > cover.MaxSupportedLevel {
 		minLevel = cover.MaxSupportedLevel
 	}
-	edgeCache := make(map[uint32][]geom.Segment)
-	edgesOf := func(id uint32) []geom.Segment {
-		e, ok := edgeCache[id]
-		if !ok {
-			e = cover.Edges(polys[id])
-			edgeCache[id] = e
-		}
-		return e
-	}
-
+	edgesOf := newEdgeCache(polys)
 	for f := 0; f < cellid.NumFaces; f++ {
 		if sc.roots[f] != nil {
 			sc.refineNode(sc.roots[f], cellid.FaceCell(f), minLevel, polys, edgesOf)
 		}
+	}
+}
+
+// RefineCells is RefineToPrecision scoped to the regions of the given seed
+// cells: for each seed, the unique cell containing it — or, when the seed's
+// area has been split across finer cells, the whole subtree under the
+// seed's position — is refined to minLevel.
+//
+// This is the runtime-add path's refinement. Inserting a polygon's covering
+// places new references (and the copies conflict resolution makes of old
+// ones) strictly inside the inserted cells, while every cell outside them
+// already satisfied the precision invariant, so refining just the seed
+// regions restores the invariant at O(covering) instead of an O(index)
+// full-tree rescan.
+func (sc *SuperCovering) RefineCells(polys []*geom.Polygon, seeds []cellid.CellID, minLevel int) {
+	if minLevel > cover.MaxSupportedLevel {
+		minLevel = cover.MaxSupportedLevel
+	}
+	edgesOf := newEdgeCache(polys)
+	for _, seed := range seeds {
+		cur := sc.roots[seed.Face()]
+		id := cellid.FaceCell(seed.Face())
+		level := seed.Level()
+		for l := 1; cur != nil && l <= level; l++ {
+			if cur.hasCell {
+				// An ancestor cell covers the whole seed region. (Cannot
+				// happen right after inserting the seed — insertion splits
+				// such ancestors — but makes the method correct for any
+				// seed set.)
+				break
+			}
+			pos := seed.ChildPosition(l)
+			cur = cur.children[pos]
+			id = id.Child(pos)
+		}
+		if cur != nil {
+			sc.refineNode(cur, id, minLevel, polys, edgesOf)
+		}
+	}
+}
+
+// newEdgeCache memoizes per-polygon edge extraction across the cells of one
+// refinement pass.
+func newEdgeCache(polys []*geom.Polygon) func(uint32) []geom.Segment {
+	cache := make(map[uint32][]geom.Segment)
+	return func(id uint32) []geom.Segment {
+		e, ok := cache[id]
+		if !ok {
+			e = cover.Edges(polys[id])
+			cache[id] = e
+		}
+		return e
 	}
 }
 

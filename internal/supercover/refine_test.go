@@ -1,0 +1,124 @@
+package supercover
+
+import (
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cover"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+)
+
+// insertPolygonCells runs the runtime-add insertion sequence for one
+// polygon and returns its covering cells (the RefineCells seeds).
+func insertPolygonCells(sc *SuperCovering, id uint32, p *geom.Polygon) []cellid.CellID {
+	covering := cover.Covering(p, cover.DefaultCoveringOptions())
+	interior := cover.InteriorCovering(p, cover.DefaultInteriorOptions())
+	for _, c := range covering {
+		sc.Insert(c, []refs.Ref{refs.MakeRef(id, false)})
+	}
+	for _, c := range interior {
+		sc.Insert(c, []refs.Ref{refs.MakeRef(id, true)})
+	}
+	return covering
+}
+
+func cellsEqual(t *testing.T, got, want []Cell) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("cell count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("cell %d: id %v, want %v", i, got[i].ID, want[i].ID)
+		}
+		if len(got[i].Refs) != len(want[i].Refs) {
+			t.Fatalf("cell %d (%v): refs %v, want %v", i, got[i].ID, got[i].Refs, want[i].Refs)
+		}
+		for j := range want[i].Refs {
+			if got[i].Refs[j] != want[i].Refs[j] {
+				t.Fatalf("cell %d (%v): refs %v, want %v", i, got[i].ID, got[i].Refs, want[i].Refs)
+			}
+		}
+	}
+}
+
+// TestRefineCellsMatchesFullRefine replays the runtime-add sequence — a
+// refined two-polygon covering plus a freshly inserted third polygon — and
+// checks that refining only the new polygon's covering cells produces the
+// exact cell set a full-tree RefineToPrecision pass would.
+func TestRefineCellsMatchesFullRefine(t *testing.T) {
+	const minLevel = 12
+	polys := testPolys()
+	build := func() (*SuperCovering, []cellid.CellID) {
+		sc := Build(polys[:2], DefaultOptions())
+		sc.RefineToPrecision(polys[:2], minLevel)
+		seeds := insertPolygonCells(sc, 2, polys[2])
+		return sc, seeds
+	}
+
+	scoped, seeds := build()
+	scoped.RefineCells(polys, seeds, minLevel)
+
+	full, _ := build()
+	full.RefineToPrecision(polys, minLevel)
+
+	if scoped.NumCells() != full.NumCells() {
+		t.Fatalf("scoped refine: %d cells, full refine: %d", scoped.NumCells(), full.NumCells())
+	}
+	gotCells := scoped.Cells()
+	checkDisjoint(t, gotCells)
+	cellsEqual(t, gotCells, full.Cells())
+}
+
+// TestRefineCellsAncestorSeed exercises the defensive branch: a seed whose
+// region is covered by a coarser existing cell must refine that cell.
+func TestRefineCellsAncestorSeed(t *testing.T) {
+	const minLevel = 12
+	polys := testPolys()
+	coarse := leafAt(-73.985, 40.715).Parent(8) // boundary-ish cell of polygon 0
+
+	scoped := New()
+	scoped.Insert(coarse, []refs.Ref{refs.MakeRef(0, false)})
+	scoped.RefineCells(polys, []cellid.CellID{leafAt(-73.985, 40.715).Parent(minLevel)}, minLevel)
+
+	full := New()
+	full.Insert(coarse, []refs.Ref{refs.MakeRef(0, false)})
+	full.RefineToPrecision(polys, minLevel)
+
+	cellsEqual(t, scoped.Cells(), full.Cells())
+}
+
+// TestRefineCellsMissingRegionIsNoop: seeds pointing into empty space must
+// not invent cells.
+func TestRefineCellsMissingRegionIsNoop(t *testing.T) {
+	polys := testPolys()
+	sc := Build(polys, DefaultOptions())
+	before := sc.NumCells()
+	sc.RefineCells(polys, []cellid.CellID{leafAt(10, 10).Parent(10)}, 12)
+	if sc.NumCells() != before {
+		t.Fatalf("refining an empty region changed the covering: %d -> %d cells", before, sc.NumCells())
+	}
+}
+
+// TestCellsOwnRefs: a frozen Cells() result must stay unchanged while the
+// covering keeps mutating — snapshots depend on it.
+func TestCellsOwnRefs(t *testing.T) {
+	polys := testPolys()
+	sc := Build(polys, DefaultOptions())
+	frozen := sc.Cells()
+	saved := make([]Cell, len(frozen))
+	for i, c := range frozen {
+		saved[i] = Cell{ID: c.ID, Refs: append([]refs.Ref(nil), c.Refs...)}
+	}
+
+	// Mutations that edit node reference lists in place.
+	sc.RemovePolygon(1)
+	np := geom.MustPolygon(geom.Ring{
+		{X: -73.99, Y: 40.705}, {X: -73.95, Y: 40.705}, {X: -73.95, Y: 40.725}, {X: -73.99, Y: 40.725},
+	})
+	insertPolygonCells(sc, 3, np)
+	sc.Train(append(polys, np), []cellid.CellID{leafAt(-73.97, 40.71)}, 0)
+
+	cellsEqual(t, frozen, saved)
+}

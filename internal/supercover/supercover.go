@@ -251,7 +251,11 @@ func merge(polys []*geom.Polygon, coverings, interiors [][]cellid.CellID) *Super
 }
 
 // Cells freezes the super covering into a sorted, disjoint list of cells
-// with normalized reference lists.
+// with normalized reference lists. The returned cells own their reference
+// slices: they stay valid — and unchanged — across any later mutation of
+// the covering, so a frozen snapshot can keep them while the writer moves
+// on (Insert, RemovePolygon and Train all edit node reference lists in
+// place).
 func (sc *SuperCovering) Cells() []Cell {
 	out := make([]Cell, 0, sc.numCells)
 	for f := 0; f < cellid.NumFaces; f++ {
@@ -264,7 +268,7 @@ func (sc *SuperCovering) Cells() []Cell {
 
 func emit(n *node, id cellid.CellID, out *[]Cell) {
 	if n.hasCell {
-		*out = append(*out, Cell{ID: id, Refs: refs.Normalize(n.refs)})
+		*out = append(*out, Cell{ID: id, Refs: copyRefs(refs.Normalize(n.refs))})
 		return
 	}
 	for i := 0; i < 4; i++ {

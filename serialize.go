@@ -21,6 +21,11 @@ import (
 // (including training effects, which live in the super covering). The trie
 // is rebuilt on load, which keeps the format independent of arena layout.
 //
+// Serialization reads from a Snapshot, which owns a frozen copy of exactly
+// those two inputs: WriteTo can therefore run concurrently with writers on
+// the owning Index and always serializes the consistent state the snapshot
+// was published with.
+//
 // Layout (little-endian):
 //
 //	magic "ACTJ" | version u32 | crc32 u32 of everything after the header |
@@ -33,15 +38,23 @@ const (
 	indexVersion = 1
 )
 
-// WriteTo serializes the index. It implements io.WriterTo.
-func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	var body []byte
-	body = binary.LittleEndian.AppendUint32(body, uint32(ix.opt.delta))
-	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(ix.opt.precisionMeters))
-	body = binary.LittleEndian.AppendUint32(body, uint32(ix.precisionLevel))
+// WriteTo serializes the state of the published snapshot. It implements
+// io.WriterTo.
+//
+// Deprecated: use Current().WriteTo, which pins one consistent snapshot
+// explicitly.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.Current().WriteTo(w) }
 
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(ix.polys)))
-	for _, p := range ix.polys {
+// WriteTo serializes the snapshot. It implements io.WriterTo and is safe to
+// run concurrently with mutations on the owning Index.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, uint32(s.opt.delta))
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(s.opt.precisionMeters))
+	body = binary.LittleEndian.AppendUint32(body, uint32(s.precisionLevel))
+
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(s.polys)))
+	for _, p := range s.polys {
 		if p == nil {
 			// Tombstone of a removed polygon: zero rings.
 			body = binary.LittleEndian.AppendUint32(body, 0)
@@ -57,9 +70,8 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
-	cells := ix.sc.Cells()
-	body = binary.LittleEndian.AppendUint64(body, uint64(len(cells)))
-	for _, c := range cells {
+	body = binary.LittleEndian.AppendUint64(body, uint64(len(s.cells)))
+	for _, c := range s.cells {
 		body = binary.LittleEndian.AppendUint64(body, uint64(c.ID))
 		body = binary.LittleEndian.AppendUint32(body, uint32(len(c.Refs)))
 		for _, r := range c.Refs {
@@ -178,16 +190,16 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("actjoin: %d trailing bytes in index file", len(d.buf))
 	}
 
+	if delta != 1 && delta != 2 && delta != 4 {
+		return nil, fmt.Errorf("actjoin: corrupt granularity %d", delta)
+	}
 	ix := &Index{
 		polys:          polys,
 		sc:             sc,
 		opt:            options{delta: delta, precisionMeters: precision, coveringCells: 128, interiorCells: 256},
 		precisionLevel: precisionLevel,
 	}
-	if delta != 1 && delta != 2 && delta != 4 {
-		return nil, fmt.Errorf("actjoin: corrupt granularity %d", delta)
-	}
-	ix.freeze()
+	ix.publish()
 	return ix, nil
 }
 

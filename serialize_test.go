@@ -81,6 +81,92 @@ func TestSerializePreservesTraining(t *testing.T) {
 	}
 }
 
+// TestSerializeTombstoneRoundTrip covers the on-disk tombstone encoding:
+// an index that removed polygons (and added one after, so tombstones sit
+// between live entries) must round-trip with ids, tombstones and query
+// behaviour intact.
+func TestSerializeTombstoneRoundTrip(t *testing.T) {
+	idx, err := NewIndex(testPolygons(), WithPrecision(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	addedID, err := idx.Add(square(-73.90, 40.60, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := idx.Current()
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndexFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := loaded.Current()
+	if ls.NumPolygons() != snap.NumPolygons() {
+		t.Fatalf("polygon slots: %d, want %d", ls.NumPolygons(), snap.NumPolygons())
+	}
+	for _, id := range []PolygonID{0, 2} {
+		if !ls.Removed(id) {
+			t.Errorf("tombstone %d lost in round trip", id)
+		}
+	}
+	if ls.Removed(1) || ls.Removed(addedID) {
+		t.Error("live polygon reported removed after round trip")
+	}
+	probes := []Point{
+		{Lon: -73.985, Lat: 40.715}, // was polygon 0, removed
+		{Lon: -73.955, Lat: 40.715}, // polygon 1, live
+		{Lon: -73.96, Lat: 40.75},   // was polygon 2, removed
+		{Lon: -73.89, Lat: 40.61},   // the added square
+	}
+	for _, p := range probes {
+		if a, b := snap.Covers(p), ls.Covers(p); !equalIDs(a, b) {
+			t.Errorf("loaded Covers(%v) = %v, want %v", p, b, a)
+		}
+		if a, b := snap.CoversApprox(p), ls.CoversApprox(p); !equalIDs(a, b) {
+			t.Errorf("loaded CoversApprox(%v) = %v, want %v", p, b, a)
+		}
+	}
+}
+
+// TestSnapshotWriteToPinsState: serialization from a pinned snapshot must
+// reflect that snapshot's polygon set even after the index moves on.
+func TestSnapshotWriteToPinsState(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := idx.Current()
+	if err := idx.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := pinned.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndexFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPoly1 := Point{Lon: -73.955, Lat: 40.715}
+	if got := loaded.Current().Covers(inPoly1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("pinned-snapshot serialization lost polygon 1: %v", got)
+	}
+	if got := idx.Current().Covers(inPoly1); len(got) != 0 {
+		t.Errorf("current snapshot should not see polygon 1: %v", got)
+	}
+}
+
 func TestReadIndexFromRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,

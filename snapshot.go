@@ -1,0 +1,183 @@
+package actjoin
+
+import (
+	"time"
+
+	"actjoin/internal/act"
+	"actjoin/internal/cellid"
+	"actjoin/internal/geom"
+	"actjoin/internal/join"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+// Snapshot is an immutable view of the index: the frozen Adaptive Cell
+// Trie, the shared lookup table, the polygon set and the precision
+// configuration, all frozen at one publish point. It carries every read
+// operation of the library.
+//
+// Concurrency contract: a Snapshot never changes after it is published.
+// All its methods are safe for unlimited concurrent use, take no locks, and
+// never block on writers. A query sequence against one Snapshot — including
+// a long batch join — observes a single consistent polygon set even while
+// the owning Index publishes successors; call Index.Current again whenever
+// a fresher view is wanted.
+type Snapshot struct {
+	polys []*geom.Polygon
+	cells []supercover.Cell // frozen super covering, owned; serialization input
+	tree  *act.Tree
+	table *refs.Table
+	opt   options
+
+	precisionLevel int
+}
+
+// QueryOptions is the one options struct shared by every bulk query entry
+// point (CoversBatch, JoinCount and the deprecated Join forwarders). The
+// zero value is a sensible default: approximate mode, input order, all CPUs.
+type QueryOptions struct {
+	// Exact refines candidate hits with PIP tests; results then match
+	// Covers. When false, results match CoversApprox.
+	Exact bool
+	// Sorted probes the points in cell-id order internally, so runs of
+	// nearby points share trie paths and the last-cell cache. Results are
+	// always reported in input order.
+	Sorted bool
+	// Threads is the number of probe workers; 0 uses all CPUs, 1 runs
+	// single-threaded.
+	Threads int
+}
+
+// BatchOptions is the former name of QueryOptions.
+//
+// Deprecated: use QueryOptions.
+type BatchOptions = QueryOptions
+
+func (o QueryOptions) internal() join.BatchOptions {
+	mode := join.Approximate
+	if o.Exact {
+		mode = join.Exact
+	}
+	return join.BatchOptions{Mode: mode, Sorted: o.Sorted, Threads: o.Threads}
+}
+
+// Precision returns the configured precision bound in meters, or 0 when the
+// index is exact-only.
+func (s *Snapshot) Precision() float64 { return s.opt.precisionMeters }
+
+// Removed reports whether the id belonged to a polygon that had been
+// removed when this snapshot was published.
+func (s *Snapshot) Removed(id PolygonID) bool {
+	return int(id) < len(s.polys) && s.polys[id] == nil
+}
+
+// NumPolygons returns the number of polygon id slots (live polygons plus
+// tombstones of removed ones) in this snapshot.
+func (s *Snapshot) NumPolygons() int { return len(s.polys) }
+
+// Covers returns the ids of all polygons covering p, exactly: candidate
+// cells are refined with PIP tests (the paper's accurate join).
+func (s *Snapshot) Covers(p Point) []PolygonID {
+	return s.query(p, true)
+}
+
+// CoversApprox returns polygon ids without any PIP test. With a precision
+// bound of d meters, every reported polygon is within d of p; without one,
+// results may include polygons whose boundary cells contain p.
+func (s *Snapshot) CoversApprox(p Point) []PolygonID {
+	return s.query(p, false)
+}
+
+func (s *Snapshot) query(p Point, exact bool) []PolygonID {
+	gp := geom.Point{X: p.Lon, Y: p.Lat}
+	entry := s.tree.Find(cellid.FromPoint(gp))
+	if entry.IsFalseHit() {
+		return nil
+	}
+	var out []PolygonID
+	s.table.Visit(entry, func(r refs.Ref) {
+		if r.Interior() || !exact {
+			out = append(out, r.PolygonID())
+			return
+		}
+		if s.polys[r.PolygonID()].ContainsPoint(gp) {
+			out = append(out, r.PolygonID())
+		}
+	})
+	return out
+}
+
+// CoversBatch answers many point queries in one call: out[i] holds the ids
+// of the polygons covering points[i] (nil when none), identical to calling
+// Covers (with opt.Exact) or CoversApprox per point, but through the batch
+// probe pipeline — optionally cell-id-sorted, last-cell-cached, and
+// parallelized with the paper's atomic-counter batching.
+func (s *Snapshot) CoversBatch(points []Point, opt QueryOptions) [][]PolygonID {
+	pts, cells, release := toProbeParallel(points, opt.Threads, opt.Exact)
+	out, _ := join.RunBatchCollect(s.tree, s.table, pts, cells, s.polys, opt.internal())
+	release()
+	return out
+}
+
+// JoinCount counts points per polygon through the batch probe pipeline:
+// Counts[pid] is the number of points covered by polygon pid, honoring
+// QueryOptions (exactness, sorted probing, last-cell caching, threads). The
+// returned CacheHits reports how many probes skipped the trie walk.
+func (s *Snapshot) JoinCount(points []Point, opt QueryOptions) JoinResult {
+	pts, cells, release := toProbeParallel(points, opt.Threads, opt.Exact)
+	res := join.RunBatchCount(s.tree, s.table, pts, cells, s.polys, opt.internal())
+	release()
+	return toJoinResult(res)
+}
+
+// Join counts points per polygon — the paper's evaluation workload.
+//
+// Deprecated: use JoinCount, which exposes the same result through the
+// unified QueryOptions. Join(points, exact, threads) is exactly
+// JoinCount(points, QueryOptions{Exact: exact, Threads: threads}).
+func (s *Snapshot) Join(points []Point, exact bool, threads int) JoinResult {
+	return s.JoinCount(points, QueryOptions{Exact: exact, Threads: threads})
+}
+
+// JoinResult summarizes a bulk join.
+type JoinResult struct {
+	// Counts[pid] is the number of points covered by polygon pid.
+	Counts []int64
+	// PIPTests is the number of geometric refinements performed (0 in
+	// approximate mode).
+	PIPTests int64
+	// STHPercent is the share of points answered without any candidate hit
+	// (the paper's "solely true hits" metric).
+	STHPercent float64
+	// CacheHits is the number of probes answered from the batch pipeline's
+	// last-cell cache without a trie walk.
+	CacheHits int64
+	// Duration is the probe-phase wall time.
+	Duration time.Duration
+	// ThroughputMpts is points per second in millions.
+	ThroughputMpts float64
+}
+
+// Stats describes a published snapshot.
+type Stats struct {
+	NumPolygons    int
+	NumCells       int // super covering cells
+	NumTrieNodes   int
+	TrieSizeBytes  int // node arena
+	TableSizeBytes int // shared lookup table
+	Granularity    int // quadtree levels per radix level (δ)
+	PrecisionLevel int // refinement level, 0 when exact-only
+}
+
+// Stats returns structural statistics of the snapshot.
+func (s *Snapshot) Stats() Stats {
+	return Stats{
+		NumPolygons:    len(s.polys),
+		NumCells:       len(s.cells),
+		NumTrieNodes:   s.tree.NumNodes(),
+		TrieSizeBytes:  s.tree.SizeBytes(),
+		TableSizeBytes: s.table.SizeBytes(),
+		Granularity:    s.opt.delta,
+		PrecisionLevel: s.precisionLevel,
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 
+	"actjoin/internal/cellid"
 	"actjoin/internal/cover"
+	"actjoin/internal/geom"
 	"actjoin/internal/refs"
 )
 
@@ -13,20 +15,36 @@ import (
 // one-by-one into ACT. The same procedure could be used to add new polygons
 // at runtime … Code for removing polygons would follow the same logic."
 //
-// Adds and removes mutate the super covering (with the same
-// conflict-resolution machinery as the initial build) and then rebuild the
-// frozen trie — the synchronization point the paper leaves to the caller.
-// Neither operation is safe to run concurrently with queries on the same
-// Index.
+// The paper leaves the synchronization of runtime updates to the caller;
+// here it is the snapshot swap. Each mutation (or Apply batch) mutates the
+// writer-side super covering under the index mutex, rebuilds the frozen
+// trie off to the side, and publishes the result as a new immutable
+// Snapshot with one atomic pointer store. Queries running against the
+// previous snapshot are never blocked and never observe a half-applied
+// update.
 
 // ErrRemoved is returned when operating on a polygon id that was removed.
 var ErrRemoved = errors.New("actjoin: polygon already removed")
 
-// Add indexes one more polygon at runtime and returns its id. The new
-// polygon's cells go through the usual covering, conflict resolution and —
-// when the index has a precision bound — boundary refinement, so queries
-// keep their exactness and precision guarantees.
+// Add indexes one more polygon at runtime, publishes a new snapshot, and
+// returns the polygon's id. The new polygon's cells go through the usual
+// covering, conflict resolution and — when the index has a precision bound
+// — boundary refinement scoped to the covering's cells, so queries keep
+// their exactness and precision guarantees.
 func (ix *Index) Add(p Polygon) (PolygonID, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	id, err := ix.addLocked(p)
+	if err != nil {
+		return 0, err
+	}
+	ix.publish()
+	return id, nil
+}
+
+// addLocked validates first and only mutates on the success path, so a
+// failed add leaves the writer state untouched.
+func (ix *Index) addLocked(p Polygon) (PolygonID, error) {
 	if len(ix.polys) >= MaxPolygons {
 		return 0, fmt.Errorf("actjoin: polygon limit %d reached", MaxPolygons)
 	}
@@ -35,7 +53,8 @@ func (ix *Index) Add(p Polygon) (PolygonID, error) {
 		return 0, fmt.Errorf("actjoin: add: %w", err)
 	}
 	id := PolygonID(len(ix.polys))
-	ix.polys = append(ix.polys, gp)
+	ix.polys = append(ix.mutablePolys(1), gp)
+	ix.staged = true
 
 	covering := cover.Covering(gp, cover.Options{MaxCells: ix.opt.coveringCells})
 	interior := cover.InteriorCovering(gp, cover.Options{MaxCells: ix.opt.interiorCells, MaxLevel: 20})
@@ -46,19 +65,60 @@ func (ix *Index) Add(p Polygon) (PolygonID, error) {
 		ix.sc.Insert(c, []refs.Ref{refs.MakeRef(id, true)})
 	}
 	if ix.precisionLevel > 0 {
-		// Only cells carrying candidate references coarser than the
-		// precision level exist around the new polygon; refinement is a
-		// no-op elsewhere.
-		ix.sc.RefineToPrecision(ix.polys, ix.precisionLevel)
+		// Only the regions of the new covering cells can violate the
+		// precision invariant: insertion places references (its own, and
+		// copies made by conflict resolution) strictly inside the inserted
+		// cells, and everything outside them satisfied the invariant
+		// before this add. Refining those subtrees — instead of rescanning
+		// every boundary cell of every polygon — makes Add O(covering)
+		// rather than O(index).
+		//
+		// The refinement level is re-derived from the new polygon's own
+		// latitude: cell diagonals in meters grow toward the equator, so a
+		// polygon added equatorward of the build set needs deeper cells
+		// than the build-time level to honor the same meter bound. The
+		// equator-nearest latitude of the polygon's bound is its worst
+		// case. Never going coarser than the build level keeps the
+		// invariant of the old references that conflict resolution copied
+		// inside the seeds.
+		lat := equatorNearestLat(gp.Bound())
+		level := cellid.LevelForMaxDiagonalMeters(ix.opt.precisionMeters, lat)
+		if level < ix.precisionLevel {
+			level = ix.precisionLevel
+		}
+		ix.sc.RefineCells(ix.polys, covering, level)
 	}
-	ix.freeze()
 	return id, nil
 }
 
-// Remove deletes a polygon from the index. Its id is never reused; Covers
-// and Join never report it again. Counts slices from Join keep their length
-// (the removed id's slot stays zero).
+// equatorNearestLat returns the latitude within the rect's extent where
+// grid cells are metrically largest (closest to the equator).
+func equatorNearestLat(r geom.Rect) float64 {
+	switch {
+	case r.Lo.Y <= 0 && r.Hi.Y >= 0:
+		return 0
+	case r.Lo.Y > 0:
+		return r.Lo.Y
+	default:
+		return r.Hi.Y
+	}
+}
+
+// Remove deletes a polygon from the index and publishes a new snapshot. Its
+// id is never reused; queries on later snapshots never report it again.
+// Counts slices from joins keep their length (the removed id's slot stays
+// zero).
 func (ix *Index) Remove(id PolygonID) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.removeLocked(id); err != nil {
+		return err
+	}
+	ix.publish()
+	return nil
+}
+
+func (ix *Index) removeLocked(id PolygonID) error {
 	if int(id) >= len(ix.polys) {
 		return fmt.Errorf("actjoin: unknown polygon id %d", id)
 	}
@@ -66,12 +126,111 @@ func (ix *Index) Remove(id PolygonID) error {
 		return ErrRemoved
 	}
 	ix.sc.RemovePolygon(id)
-	ix.polys[id] = nil // tombstone: ids stay stable
-	ix.freeze()
+	ix.mutablePolys(0)[id] = nil // tombstone: ids stay stable
+	ix.staged = true
 	return nil
 }
 
-// Removed reports whether the id was removed.
-func (ix *Index) Removed(id PolygonID) bool {
-	return int(id) < len(ix.polys) && ix.polys[id] == nil
+// TrainStats reports the outcome of Train.
+type TrainStats struct {
+	PointsSeen    int
+	CellsSplit    int
+	BudgetReached bool
+	NumCells      int // cells after training
+}
+
+// Train adapts the index to an expected point distribution (the paper's
+// Section 3.3.1): every training point hitting a cell that would require a
+// PIP test splits that cell one level, until maxCells (0 = unlimited) is
+// reached, then publishes a new snapshot. Queries keep running against the
+// previous snapshot until the publish.
+func (ix *Index) Train(points []Point, maxCells int) TrainStats {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	st := ix.trainLocked(points, maxCells)
+	s := ix.publish()
+	st.NumCells = len(s.cells)
+	return st
+}
+
+func (ix *Index) trainLocked(points []Point, maxCells int) TrainStats {
+	cells := make([]cellid.CellID, len(points))
+	for i, p := range points {
+		cells[i] = cellid.FromPoint(geom.Point{X: p.Lon, Y: p.Lat})
+	}
+	res := ix.sc.Train(ix.polys, cells, maxCells)
+	ix.staged = true
+	return TrainStats{
+		PointsSeen:    res.PointsSeen,
+		CellsSplit:    res.Splits,
+		BudgetReached: res.BudgetReached,
+		NumCells:      ix.sc.NumCells(),
+	}
+}
+
+// Tx is a write transaction handed to Apply. Its mutations accumulate in
+// the writer-side state and become visible to queries all at once, when
+// Apply publishes the resulting snapshot. A Tx is only valid inside its
+// Apply call and must not be used from other goroutines or retained.
+// Mutate only through the Tx inside the transaction: calling the Index's
+// own mutation methods (Add, Remove, Train, Apply) from within the
+// transaction function deadlocks on the index mutex Apply already holds.
+type Tx struct {
+	ix *Index
+}
+
+func (tx *Tx) index() *Index {
+	if tx.ix == nil {
+		panic("actjoin: Tx used outside its Apply call")
+	}
+	return tx.ix
+}
+
+// Add stages one more polygon, returning the id it will have once the
+// transaction publishes.
+func (tx *Tx) Add(p Polygon) (PolygonID, error) { return tx.index().addLocked(p) }
+
+// Remove stages the deletion of a polygon.
+func (tx *Tx) Remove(id PolygonID) error { return tx.index().removeLocked(id) }
+
+// Train stages a training pass over the staged state.
+func (tx *Tx) Train(points []Point, maxCells int) TrainStats {
+	return tx.index().trainLocked(points, maxCells)
+}
+
+// Apply runs a batch of mutations as one transaction and publishes exactly
+// one snapshot: queries observe either none of the batch or all of it,
+// and the cost of rebuilding the frozen trie is paid once instead of per
+// mutation. If fn returns an error (or panics), the staged mutations are
+// discarded, the published snapshot stays as it was, and the error (or
+// panic) propagates to the caller — polygon ids handed out by tx.Add are
+// void in that case.
+//
+// fn must mutate only through tx: calling Add, Remove, Train or Apply on
+// the Index itself from inside fn deadlocks (the index mutex is held for
+// the duration of the transaction). Queries — Current and any Snapshot —
+// remain safe from anywhere, including inside fn.
+func (ix *Index) Apply(fn func(tx *Tx) error) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	tx := Tx{ix: ix}
+	committed := false
+	defer func() {
+		// Runs on the error path AND when fn panics: invalidate the Tx so
+		// a leaked reference cannot mutate without the mutex, and discard
+		// the staged writer state so the aborted batch can never leak
+		// into a later publish. A transaction that staged nothing (e.g.
+		// its first Add failed validation) has nothing to discard, and
+		// skips the O(index) state rebuild.
+		tx.ix = nil
+		if !committed && ix.staged {
+			ix.restore()
+		}
+	}()
+	if err := fn(&tx); err != nil {
+		return err
+	}
+	ix.publish()
+	committed = true
+	return nil
 }

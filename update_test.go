@@ -2,6 +2,7 @@ package actjoin
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -61,6 +62,43 @@ func TestAddWithPrecisionKeepsBound(t *testing.T) {
 				t.Fatalf("approx match %v far outside the added polygon", p)
 			}
 		}
+	}
+}
+
+// TestAddAtLowerLatitudeKeepsBound: the metric size of a cell grows toward
+// the equator, so a polygon added far south of the build set must be
+// refined deeper than the build-time level to honor the same meter bound.
+// The invariant is checked directly on the published covering: every
+// candidate cell referencing the added polygon must have a ground diagonal
+// within the bound (an approximate hit is at most that far from the
+// polygon).
+func TestAddAtLowerLatitudeKeepsBound(t *testing.T) {
+	const bound = 60.0
+	// Build near 60N, where the level for a 60m bound is coarse (18).
+	idx, err := NewIndex([]Polygon{square(10.00, 60.00, 0.02)}, WithPrecision(bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add at the equator, where a level-18 diagonal is ~64m > bound.
+	id, err := idx.Add(square(0, 0, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, c := range idx.Current().cells {
+		for _, r := range c.Refs {
+			if r.PolygonID() != id || r.Interior() {
+				continue
+			}
+			checked++
+			if d := c.ID.DiagonalMeters(); d > bound {
+				t.Fatalf("candidate cell %v of the added polygon has diagonal %.1fm > %vm bound",
+					c.ID, d, bound)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("added polygon has no candidate cells to check")
 	}
 }
 
@@ -156,6 +194,170 @@ func TestAddValidation(t *testing.T) {
 	if got := idx.Stats().NumPolygons; got != 1 {
 		t.Errorf("failed Add leaked a slot: %d polygons", got)
 	}
+}
+
+func TestApplyPublishesOnce(t *testing.T) {
+	idx, err := NewIndex(testPolygons()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.Current()
+	var id1, id2 PolygonID
+	err = idx.Apply(func(tx *Tx) error {
+		var err error
+		if id1, err = tx.Add(square(-73.90, 40.60, 0.02)); err != nil {
+			return err
+		}
+		if id2, err = tx.Add(square(-73.87, 40.60, 0.02)); err != nil {
+			return err
+		}
+		if err := tx.Remove(id1); err != nil {
+			return err
+		}
+		// Nothing is visible until Apply returns: the published snapshot
+		// is still the pre-transaction one.
+		if idx.Current() != before {
+			t.Error("Apply published mid-transaction")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := idx.Current()
+	if snap == before {
+		t.Fatal("Apply did not publish")
+	}
+	if got := snap.Covers(Point{Lon: -73.89, Lat: 40.61}); len(got) != 0 {
+		t.Errorf("polygon added+removed in one batch still matches: %v", got)
+	}
+	if got := snap.Covers(Point{Lon: -73.86, Lat: 40.61}); len(got) != 1 || got[0] != id2 {
+		t.Errorf("batched add lost: %v, want [%d]", got, id2)
+	}
+	if !snap.Removed(id1) {
+		t.Error("batched remove lost")
+	}
+}
+
+func TestApplyRollsBackOnError(t *testing.T) {
+	idx, err := NewIndex(testPolygons()[:2], WithPrecision(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.Current()
+	boom := errors.New("boom")
+	err = idx.Apply(func(tx *Tx) error {
+		if _, err := tx.Add(square(-73.90, 40.60, 0.02)); err != nil {
+			return err
+		}
+		if err := tx.Remove(0); err != nil {
+			return err
+		}
+		tx.Train([]Point{{Lon: -73.97, Lat: 40.71}}, 0)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Apply error = %v, want boom", err)
+	}
+	if idx.Current() != before {
+		t.Error("failed Apply must not publish")
+	}
+	// The writer state must be rolled back too: the next mutation starts
+	// from the published snapshot, not from the aborted transaction.
+	id, err := idx.Add(square(-73.85, 40.60, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("id after rollback = %d, want 2 (aborted add must not consume a slot)", id)
+	}
+	snap := idx.Current()
+	if got := snap.Covers(Point{Lon: -73.985, Lat: 40.715}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("aborted remove still applied: %v", got)
+	}
+	if got := snap.Covers(Point{Lon: -73.89, Lat: 40.61}); len(got) != 0 {
+		t.Errorf("aborted add still applied: %v", got)
+	}
+	if got := snap.Covers(Point{Lon: -73.84, Lat: 40.61}); len(got) != 1 || got[0] != id {
+		t.Errorf("post-rollback add lost: %v", got)
+	}
+}
+
+func TestApplyRollsBackOnPanic(t *testing.T) {
+	idx, err := NewIndex(testPolygons()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := idx.Current()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic must propagate out of Apply")
+			}
+		}()
+		idx.Apply(func(tx *Tx) error {
+			if _, err := tx.Add(square(-73.90, 40.60, 0.02)); err != nil {
+				return err
+			}
+			panic("mid-transaction failure")
+		})
+	}()
+	if idx.Current() != before {
+		t.Error("panicked Apply must not publish")
+	}
+	// The staged add must not leak into the next publish.
+	id, err := idx.Add(square(-73.85, 40.60, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("id after panic rollback = %d, want 2", id)
+	}
+	if got := idx.Current().Covers(Point{Lon: -73.89, Lat: 40.61}); len(got) != 0 {
+		t.Errorf("aborted add published after panic: %v", got)
+	}
+}
+
+func TestApplyTxTrain(t *testing.T) {
+	idx, err := NewIndex(testPolygons())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var train []Point
+	for i := 0; i < 3000; i++ {
+		train = append(train, Point{Lon: -73.97 + (rng.Float64()-0.5)*0.002, Lat: 40.70 + rng.Float64()*0.03})
+	}
+	var st TrainStats
+	if err := idx.Apply(func(tx *Tx) error {
+		st = tx.Train(train, 0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st.CellsSplit == 0 {
+		t.Fatal("transactional training must split cells")
+	}
+	if got := idx.Current().Stats().NumCells; got != st.NumCells {
+		t.Errorf("published cells %d != train stats %d", got, st.NumCells)
+	}
+}
+
+func TestTxInvalidOutsideApply(t *testing.T) {
+	idx, err := NewIndex(testPolygons()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaked *Tx
+	if err := idx.Apply(func(tx *Tx) error { leaked = tx; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("using a Tx after Apply must panic")
+		}
+	}()
+	leaked.Remove(0)
 }
 
 func TestSerializeAfterUpdates(t *testing.T) {
