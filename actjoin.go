@@ -81,6 +81,7 @@ type options struct {
 	delta           int
 	coveringCells   int
 	interiorCells   int
+	fullPublish     bool
 }
 
 // Option configures NewIndex.
@@ -109,6 +110,22 @@ func WithGranularity(delta int) Option {
 			return fmt.Errorf("actjoin: granularity must be 1, 2 or 4, got %d", delta)
 		}
 		o.delta = delta
+		return nil
+	}
+}
+
+// WithIncrementalPublish controls how mutations freeze their snapshot. When
+// enabled (the default), a publish patches the previous snapshot: only the
+// dirty subtrees are re-frozen, re-encoded and rebuilt in the trie arena, so
+// publish latency is proportional to the mutation, not to the index; the
+// writer falls back to a full rebuild automatically when the dirty footprint
+// or the accumulated patch garbage crosses its thresholds. Disabling it
+// forces the pre-incremental behaviour — a full freeze on every publish —
+// and exists for benchmarking the two paths against each other and as an
+// operational escape hatch. Query results are identical either way.
+func WithIncrementalPublish(enabled bool) Option {
+	return func(o *options) error {
+		o.fullPublish = !enabled
 		return nil
 	}
 }
@@ -152,6 +169,15 @@ type Index struct {
 	polys       []*geom.Polygon
 	polysShared bool
 	staged      bool
+
+	// enc carries the shared lookup table across incremental publishes
+	// (garbage-tracked, compacted on full rebuilds); kvScratch recycles the
+	// per-publish dirty-region encoding buffer. patched/full count the
+	// publishes each path served (diagnostics, read under mu).
+	enc       *cellindex.Encoder
+	kvScratch []cellindex.KeyEntry
+	patched   int
+	full      int
 
 	opt            options // immutable after NewIndex
 	precisionLevel int     // immutable after NewIndex
@@ -234,24 +260,164 @@ func toGeom(p Polygon) (*geom.Polygon, error) {
 // call Current again whenever a fresher one is wanted.
 func (ix *Index) Current() *Snapshot { return ix.cur.Load() }
 
+// Publish thresholds: a patch is only attempted while the mutation's dirty
+// footprint stays a small fraction of the index and while the garbage that
+// patching accumulates (orphaned trie nodes, tombstoned lookup-table
+// records) stays below its compaction triggers. Everything past these lines
+// rebuilds from scratch, which also resets the garbage.
+const (
+	publishMaxDirtyFraction = 0.25 // dirty cells vs previous snapshot cells
+	arenaMaxGarbageFraction = 0.25 // orphaned arena slots before compaction
+	tableMaxGarbageFraction = 0.50 // tombstoned table words before compaction
+)
+
 // publish freezes the writer-side state into a new immutable snapshot and
 // swaps it in. Callers must hold mu (or have exclusive access to a fresh,
 // unshared Index).
+//
+// In steady state the freeze is incremental: the covering reports the dirty
+// subtree roots of the staged mutations, and the new snapshot is assembled
+// by patching the previous one — clean cell runs are spliced by reference,
+// only dirty regions are re-emitted and re-encoded, and the trie arena is
+// copied flat and rebuilt only under the dirty roots. The full rebuild
+// remains the fallback for bulk mutations (including the first publish) and
+// for the compaction triggers above.
 func (ix *Index) publish() *Snapshot {
-	cells := ix.sc.Cells()
-	kvs, table := cellindex.Encode(cells)
-	s := &Snapshot{
-		polys:          ix.polys,
-		cells:          cells,
-		tree:           act.Build(kvs, ix.opt.delta),
-		table:          table,
-		opt:            ix.opt,
-		precisionLevel: ix.precisionLevel,
+	if ix.enc == nil {
+		ix.enc = cellindex.NewEncoder()
+	}
+	prev := ix.cur.Load()
+	roots, all := ix.sc.TakeDirty()
+	var s *Snapshot
+	if prev != nil && !all && !ix.opt.fullPublish {
+		s = ix.publishPatched(prev, roots)
+	}
+	if s == nil {
+		ix.full++
+		// The snapshot takes ownership of the frozen cells (via the rope),
+		// so the full path allocates a fresh, exactly-sized buffer; only the
+		// patched path above amortizes freeze allocations (dirty-sized
+		// buffers, clean runs spliced by reference).
+		cells := ix.sc.Cells()
+		kvs := ix.enc.EncodeAll(cells)
+		s = &Snapshot{
+			polys:          ix.polys,
+			cells:          ropeFromCells(cells),
+			tree:           act.Build(kvs, ix.opt.delta),
+			table:          ix.enc.Table().Freeze(),
+			opt:            ix.opt,
+			precisionLevel: ix.precisionLevel,
+		}
+	} else {
+		ix.patched++
 	}
 	ix.polysShared = true // the snapshot aliases ix.polys from here on
 	ix.staged = false
 	ix.cur.Store(s)
 	return s
+}
+
+// publishPatched assembles the next snapshot by patching prev with the
+// coalesced dirty regions. It returns nil when the patch cannot (or should
+// not) be applied, leaving the caller to rebuild; the encoder may have
+// staged partial work by then, which the full rebuild's EncodeAll resets.
+func (ix *Index) publishPatched(prev *Snapshot, roots []cellid.CellID) *Snapshot {
+	if len(roots) == 0 {
+		// Nothing structural changed (e.g. a transaction that only touched
+		// tombstones, or a no-op Train): reuse the frozen state wholesale,
+		// publishing only the new polygon slice.
+		return &Snapshot{
+			polys:          ix.polys,
+			cells:          prev.cells,
+			tree:           prev.tree,
+			table:          prev.table,
+			opt:            ix.opt,
+			precisionLevel: ix.precisionLevel,
+		}
+	}
+	if prev.tree.GarbageRatio() > arenaMaxGarbageFraction ||
+		ix.enc.GarbageRatio() > tableMaxGarbageFraction {
+		return nil // compact via full rebuild
+	}
+	// Bail before any splice or encoder work when the mutation's footprint
+	// alone disqualifies a patch — bulk mutations should pay for one full
+	// rebuild, not for a discarded patch on top of it. (The emitted side is
+	// only known after the splice; the check below re-tests it.)
+	maxDirty := int(publishMaxDirtyFraction * float64(prev.cells.Len()))
+	preDirtyOld := 0
+	for _, r := range roots {
+		preDirtyOld += prev.cells.countRange(r.RangeMin(), r.RangeMax())
+		if preDirtyOld > maxDirty {
+			return nil
+		}
+	}
+
+	// Splice the new cell rope: clean runs come over from the previous
+	// snapshot as subslices (reference lists shared — both sides are
+	// immutable), dirty regions are re-emitted from the writer tree into one
+	// fresh buffer. In the same pass the encoder releases every replaced
+	// entry (the previous tree maps any leaf of a cell back to its entry)
+	// and re-encodes the regions' new cells. An abort below simply falls
+	// back to the full rebuild, whose EncodeAll resets the encoder, so
+	// partially staged encoder work never leaks.
+	newCells := &cellRope{}
+	cur := ropeCursor{rope: prev.cells}
+	dirtyBuf := make([]supercover.Cell, 0, 256)
+	kvbuf := ix.kvScratch[:0]
+	regions := make([]act.PatchRegion, len(roots))
+	dirtyOld, dirtyNew := 0, 0
+	for ri, r := range roots {
+		lo, hi := r.RangeMin(), r.RangeMax()
+		if last := cur.copyBefore(lo, newCells); last != nil && last.ID.RangeMax() >= lo {
+			// A clean cell straddles the region boundary — the dirty-tracking
+			// invariant should make this impossible; rebuild to be safe.
+			return nil
+		}
+		dirtyOld += cur.skipThrough(hi, func(c supercover.Cell) {
+			ix.enc.Release(prev.tree.Find(c.ID.RangeMin()))
+		})
+		start := len(dirtyBuf)
+		var ok bool
+		dirtyBuf, ok = ix.sc.AppendRegion(dirtyBuf, r)
+		if !ok {
+			return nil
+		}
+		// Not capacity-capped: adjacent regions emit contiguously into
+		// dirtyBuf and appendRun merges their rope runs. The buffer is owned
+		// by the snapshot from here on (fresh per publish, never recycled).
+		region := dirtyBuf[start:len(dirtyBuf)]
+		newCells.appendRun(region)
+		dirtyNew += len(region)
+		kvStart := len(kvbuf)
+		kvbuf = ix.enc.AppendCells(kvbuf, region)
+		regions[ri] = act.PatchRegion{Root: r, KVs: kvbuf[kvStart:len(kvbuf):len(kvbuf)]}
+	}
+	cur.copyRest(newCells)
+	ix.kvScratch = kvbuf[:0]
+
+	dirty := dirtyOld
+	if dirtyNew > dirty {
+		dirty = dirtyNew
+	}
+	if dirty > maxDirty {
+		return nil // the emitted side grew too large for a patch to pay off
+	}
+
+	tree, ok := prev.tree.Patch(regions, newCells.Len())
+	if !ok {
+		return nil
+	}
+	if len(newCells.runs) > maxCellRuns {
+		newCells = newCells.flatten() // splice fragmentation: compact the rope
+	}
+	return &Snapshot{
+		polys:          ix.polys,
+		cells:          newCells,
+		tree:           tree,
+		table:          ix.enc.Table().Freeze(),
+		opt:            ix.opt,
+		precisionLevel: ix.precisionLevel,
+	}
 }
 
 // mutablePolys returns ix.polys ready for in-place mutation, copying it
@@ -267,23 +433,63 @@ func (ix *Index) mutablePolys(extraCap int) []*geom.Polygon {
 	return ix.polys
 }
 
-// restore rebuilds the writer-side state from the currently published
+// restore rewinds the writer-side state to the currently published
 // snapshot, discarding uncommitted mutations. Callers must hold mu.
+//
+// The undo is scoped by the same dirty tracking that drives incremental
+// publishes: only the staged subtree roots are detached and re-filled from
+// the snapshot's frozen cells, so aborting a transaction costs O(mutation)
+// instead of re-inserting every frozen cell through conflict resolution.
+// Bulk mutations (or a region the splice cannot express) fall back to the
+// full rebuild.
 func (ix *Index) restore() {
 	s := ix.cur.Load()
-	sc := supercover.New()
-	for _, c := range s.cells {
-		sc.Insert(c.ID, c.Refs)
+	roots, all := ix.sc.TakeDirty()
+	if all || !ix.restoreRegions(s, roots) {
+		sc := supercover.New()
+		for _, run := range s.cells.runs {
+			for _, c := range run {
+				sc.Insert(c.ID, c.Refs)
+			}
+		}
+		sc.TakeDirty() // the rebuild is the published state; nothing is dirty
+		ix.sc = sc
 	}
-	ix.sc = sc
 	ix.polys = s.polys
 	ix.polysShared = true
 	ix.staged = false
 }
 
+// restoreRegions resets every dirty subtree from the snapshot's frozen
+// cells. On any failure the covering may be partially reset — still safe,
+// because the caller then rebuilds it from scratch.
+func (ix *Index) restoreRegions(s *Snapshot, roots []cellid.CellID) bool {
+	var scratch []supercover.Cell
+	for _, r := range roots {
+		scratch = s.cells.appendRange(scratch[:0], r.RangeMin(), r.RangeMax())
+		if !ix.sc.ResetRegion(r, scratch) {
+			ix.sc.TakeDirty()
+			return false
+		}
+	}
+	// Drop the marks the resets' inserts just made: the writer now matches
+	// the published snapshot exactly.
+	ix.sc.TakeDirty()
+	return true
+}
+
 // Precision returns the configured precision bound in meters, or 0 when the
 // index is exact-only.
 func (ix *Index) Precision() float64 { return ix.opt.precisionMeters }
+
+// publishCounters reports how many publishes took the incremental patch
+// path vs the full-rebuild path (tests and benchmarks assert the fast path
+// actually engages).
+func (ix *Index) publishCounters() (patched, full int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.patched, ix.full
+}
 
 // Covers returns the ids of all polygons covering p, exactly.
 //

@@ -72,11 +72,46 @@ func BenchmarkSnapshotCurrent(b *testing.B) {
 	}
 }
 
-// BenchmarkSnapshotPublishAddRemove measures mutation→publish latency: each
-// iteration is one Add and one Remove, each rebuilding the frozen trie and
-// swapping a snapshot in (two publishes per op).
+// BenchmarkSnapshotPublishAddRemove measures mutation→publish latency on
+// the default incremental path: each iteration is one Add and one Remove,
+// each patching the previous frozen snapshot and swapping a new one in (two
+// publishes per op). Compare against the FullRebuild variant below — the
+// pre-incremental behaviour this path replaced.
 func BenchmarkSnapshotPublishAddRemove(b *testing.B) {
 	f := snapshotBenchFixture(b)
+	before, _ := f.idx.publishCounters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := f.idx.Add(benchChurnSquare(f.bound, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.idx.Remove(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if after, _ := f.idx.publishCounters(); after == before {
+		b.Fatal("incremental publish path never engaged")
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(2*b.N), "ms/publish")
+}
+
+// BenchmarkSnapshotPublishFullRebuildAddRemove is the same churn with
+// incremental publishing switched off: every publish re-freezes all ~0.9M
+// cells, re-encodes the lookup table and rebuilds the trie — the baseline
+// recorded in BENCH_snapshot.json. It flips the fixture's publish mode for
+// its duration (benchmarks in this file run sequentially).
+func BenchmarkSnapshotPublishFullRebuildAddRemove(b *testing.B) {
+	f := snapshotBenchFixture(b)
+	f.idx.mu.Lock()
+	f.idx.opt.fullPublish = true
+	f.idx.mu.Unlock()
+	defer func() {
+		f.idx.mu.Lock()
+		f.idx.opt.fullPublish = false
+		f.idx.mu.Unlock()
+	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id, err := f.idx.Add(benchChurnSquare(f.bound, i))

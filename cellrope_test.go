@@ -1,0 +1,108 @@
+package actjoin
+
+import (
+	"reflect"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+func ropeCell(face int, children ...int) supercover.Cell {
+	id := cellid.FaceCell(face)
+	for _, c := range children {
+		id = id.Child(c)
+	}
+	return supercover.Cell{ID: id, Refs: []refs.Ref{refs.MakeRef(1, true)}}
+}
+
+// TestCellRopeSpliceAndMerge covers the splice primitives the incremental
+// publish is built from: boundary splits, range extraction, flattening, and
+// the re-merging of runs that are contiguous views of one backing array.
+func TestCellRopeSpliceAndMerge(t *testing.T) {
+	cells := []supercover.Cell{
+		ropeCell(0, 0), ropeCell(0, 1), ropeCell(0, 2), ropeCell(0, 3),
+		ropeCell(1, 0), ropeCell(1, 1), ropeCell(1, 2), ropeCell(1, 3),
+	}
+	rope := ropeFromCells(cells)
+	if rope.Len() != len(cells) {
+		t.Fatalf("Len %d, want %d", rope.Len(), len(cells))
+	}
+
+	// Split around a region covering face 0, child 2 (one cell replaced).
+	region := cellid.FaceCell(0).Child(2)
+	out := &cellRope{}
+	cur := ropeCursor{rope: rope}
+	if last := cur.copyBefore(region.RangeMin(), out); last == nil || last.ID != cells[1].ID {
+		t.Fatalf("copyBefore stopped at the wrong cell: %v", last)
+	}
+	if n := cur.skipThrough(region.RangeMax(), func(c supercover.Cell) {
+		if c.ID != cells[2].ID {
+			t.Fatalf("skipped wrong cell %v", c.ID)
+		}
+	}); n != 1 {
+		t.Fatalf("skipped %d cells, want 1", n)
+	}
+	fresh := []supercover.Cell{ropeCell(0, 2, 0), ropeCell(0, 2, 3)}
+	out.appendRun(fresh)
+	cur.copyRest(out)
+
+	want := append(append(append([]supercover.Cell{}, cells[:2]...), fresh...), cells[3:]...)
+	if got := out.appendAll(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("spliced rope = %v, want %v", got, want)
+	}
+	if flat := out.flatten(); !reflect.DeepEqual(flat.appendAll(nil), want) || len(flat.runs) != 1 {
+		t.Fatal("flatten changed contents or kept multiple runs")
+	}
+
+	// appendRange extracts a region's frozen cells.
+	got := out.appendRange(nil, cellid.FaceCell(1).RangeMin(), cellid.FaceCell(1).RangeMax())
+	if !reflect.DeepEqual(got, cells[4:]) {
+		t.Fatalf("appendRange = %v, want %v", got, cells[4:])
+	}
+}
+
+// TestCellRopeMergesContiguousRuns: chunks that continue the rope's tail in
+// the same backing array must re-merge into one run — both halves of a
+// clean run split around an empty region, and adjacent dirty regions
+// emitted into one buffer.
+func TestCellRopeMergesContiguousRuns(t *testing.T) {
+	cells := []supercover.Cell{
+		ropeCell(0, 0), ropeCell(0, 1), ropeCell(0, 2), ropeCell(0, 3),
+	}
+	rope := ropeFromCells(cells)
+
+	// An empty region between child 1 and child 2 splits the run; the two
+	// halves are contiguous in the original array and must rejoin.
+	region := cellid.FaceCell(0).Child(1).Child(2)
+	out := &cellRope{}
+	cur := ropeCursor{rope: rope}
+	cur.copyBefore(region.RangeMin(), out)
+	cur.skipThrough(region.RangeMax(), func(supercover.Cell) {
+		t.Fatal("empty region skipped a cell")
+	})
+	cur.copyRest(out)
+	if len(out.runs) != 1 || out.Len() != len(cells) {
+		t.Fatalf("split around an empty region left %d runs (len %d), want 1 run",
+			len(out.runs), out.Len())
+	}
+
+	// Two regions emitted back-to-back into one buffer merge as well.
+	buf := make([]supercover.Cell, 0, 8)
+	buf = append(buf, ropeCell(2, 0), ropeCell(2, 1))
+	first := buf[0:2]
+	buf = append(buf, ropeCell(2, 2))
+	second := buf[2:3]
+	merged := &cellRope{}
+	merged.appendRun(first)
+	merged.appendRun(second)
+	if len(merged.runs) != 1 || merged.Len() != 3 {
+		t.Fatalf("contiguous emits left %d runs (len %d), want 1 run", len(merged.runs), merged.Len())
+	}
+	// Runs from unrelated backings must not merge.
+	merged.appendRun([]supercover.Cell{ropeCell(3, 0)})
+	if len(merged.runs) != 2 {
+		t.Fatalf("unrelated run merged: %d runs", len(merged.runs))
+	}
+}

@@ -3,8 +3,11 @@
 // 2020) against the synthetic datasets of this reproduction.
 //
 // Beyond the paper's tables and figures, `-exp batch` measures the batch
-// probe pipeline behind the public CoversBatch/JoinCount API: per-point vs
-// batch probing, sorted vs unsorted, with cache-hit rates.
+// probe pipeline behind the public CoversBatch/JoinCount API (per-point vs
+// batch probing, sorted vs unsorted, with cache-hit rates), `-exp snapshot`
+// measures the snapshot API under a live writer, and `-exp publish`
+// compares incremental snapshot patching against the full-rebuild publish
+// across covering sizes.
 //
 // Usage:
 //

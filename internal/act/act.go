@@ -78,6 +78,7 @@ type Tree struct {
 	numCells     int // indexed super-covering cells (before key extension)
 	numExtended  int // value slots written (after key extension)
 	maxCellLevel int // deepest indexed cell level across faces
+	garbage      int // arena slots orphaned by Patch (unreachable nodes)
 
 	// Ablation switches (see BuildOptions).
 	disablePrefix    bool
@@ -97,11 +98,27 @@ func Build(kvs []cellindex.KeyEntry, delta int) *Tree {
 		span:   uint(2 * delta),
 		fanout: 1 << uint(2*delta),
 	}
+	t.build(kvs)
+	return t
+}
+
+// build populates an initialized Tree shell: it sizes the arena with an
+// exact node-count pre-pass — consecutive sorted keys share exactly the
+// nodes above their longest common band, so the count is one linear scan —
+// and then inserts every cell into the single allocation.
+func (t *Tree) build(kvs []cellindex.KeyEntry) {
 	for f := range t.faces {
 		t.faces[f].root = -1
 	}
 
 	// Group input by face (input is sorted, so faces are contiguous).
+	type faceGroup struct {
+		face       int
+		start, end int
+		lay        faceLayout
+	}
+	var groups []faceGroup
+	totalNodes := 0
 	start := 0
 	for start < len(kvs) {
 		face := kvs[start].Key.Face()
@@ -109,11 +126,27 @@ func Build(kvs []cellindex.KeyEntry, delta int) *Tree {
 		for end < len(kvs) && kvs[end].Key.Face() == face {
 			end++
 		}
-		t.buildFace(face, kvs[start:end])
+		lay := t.faceLayout(kvs[start:end])
+		if t.fanout > 4 {
+			// The pre-pass pays for itself through the avoided growth
+			// copies, which scale with the node size; at fanout 4 (ACT1)
+			// they are cheaper than the counting itself.
+			totalNodes += t.countFaceNodes(kvs[start:end], lay.offset, lay.prefix+lay.rootSpan)
+		}
+		groups = append(groups, faceGroup{face, start, end, lay})
 		start = end
 	}
+	if totalNodes > 0 {
+		t.entries = make([]uint64, 0, totalNodes*t.fanout)
+	}
+
+	for _, g := range groups {
+		ft := t.setupFace(g.face, g.lay)
+		for _, kv := range kvs[g.start:g.end] {
+			t.insert(ft, kv.Key, kv.Entry)
+		}
+	}
 	t.numCells = len(kvs)
-	return t
 }
 
 // extendedLevel returns the band boundary a cell of the given level is
@@ -130,12 +163,24 @@ func (t *Tree) extendedLevel(level, offset int) int {
 	return level + ((offset-level)%t.delta+t.delta)%t.delta
 }
 
-func (t *Tree) buildFace(face int, kvs []cellindex.KeyEntry) {
+// faceLayout is the derived geometry of one face tree: the band anchor, the
+// skipped common prefix and the root band width.
+type faceLayout struct {
+	offset     int
+	prefix     int
+	prefixBits uint64
+	rootSpan   int
+	maxLevel   int
+}
+
+// faceLayout computes the layout for one face's sorted cells: deepest level
+// (the band anchor), the common path prefix, and the shallowest extended
+// level constraining the prefix.
+func (t *Tree) faceLayout(kvs []cellindex.KeyEntry) faceLayout {
+	var lay faceLayout
 	if len(kvs) == 0 {
-		return
+		return lay
 	}
-	// Pass 1: deepest level (the band anchor), the common path prefix, and
-	// the shallowest extended level.
 	maxLevel := 0
 	common := cellid.MaxLevel
 	first := kvs[0].Key.Path()
@@ -156,9 +201,6 @@ func (t *Tree) buildFace(face int, kvs []cellindex.KeyEntry) {
 	if t.disableAnchoring {
 		offset = 0
 	}
-	if maxLevel > t.maxCellLevel {
-		t.maxCellLevel = maxLevel
-	}
 	minExt := maxIndexLevel + t.delta
 	for _, kv := range kvs {
 		if ext := t.extendedLevel(kv.Key.Level(), offset); ext < minExt {
@@ -177,22 +219,82 @@ func (t *Tree) buildFace(face int, kvs []cellindex.KeyEntry) {
 		prefix = limit - ((limit-offset)%t.delta+t.delta)%t.delta
 	}
 
-	ft := &t.faces[face]
-	ft.offset = offset
-	ft.prefixLevels = prefix
+	lay.offset = offset
+	lay.prefix = prefix
 	if prefix > 0 {
-		ft.prefixBits = first >> (64 - uint(2*prefix))
+		lay.prefixBits = first >> (64 - uint(2*prefix))
 	}
 	// The root band runs from the prefix to the next boundary.
-	rootEnd := t.extendedLevel(prefix+1, offset)
-	ft.rootSpan = rootEnd - prefix
-	ft.firstShift = 64 - uint(2*rootEnd)
+	lay.rootSpan = t.extendedLevel(prefix+1, offset) - prefix
+	lay.maxLevel = maxLevel
+	return lay
+}
+
+// setupFace installs a layout into the face and allocates its root node.
+func (t *Tree) setupFace(face int, lay faceLayout) *faceTree {
+	ft := &t.faces[face]
+	ft.offset = lay.offset
+	ft.prefixLevels = lay.prefix
+	ft.prefixBits = lay.prefixBits
+	ft.rootSpan = lay.rootSpan
+	ft.firstShift = 64 - uint(2*(lay.prefix+lay.rootSpan))
 	ft.firstMask = 1<<uint(2*ft.rootSpan) - 1
 	ft.root = t.newNode()
-
-	for _, kv := range kvs {
-		t.insert(ft, kv.Key, kv.Entry)
+	if lay.maxLevel > t.maxCellLevel {
+		t.maxCellLevel = lay.maxLevel
 	}
+	return ft
+}
+
+// countFaceNodes returns the exact number of radix nodes inserting the
+// face's sorted cells will allocate, without touching any memory. A cell
+// extended to level e occupies the node chain starting at the prefix plus
+// one node per band boundary below re (= prefix+rootSpan) and above e; two
+// consecutive sorted keys share exactly the chain nodes above both their
+// common path prefix and their shallower extension. Summing chain lengths
+// and subtracting consecutive overlaps counts each node exactly once.
+func (t *Tree) countFaceNodes(kvs []cellindex.KeyEntry, offset, re int) int {
+	if len(kvs) == 0 {
+		return 0
+	}
+	d := t.delta
+	total := 0
+	first := true
+	var prevExt int
+	var prevPath uint64
+	for _, kv := range kvs {
+		if kv.Entry.IsFalseHit() {
+			continue // insert indexes nothing for sentinel entries
+		}
+		ext := t.extendedLevel(kv.Key.Level(), offset)
+		path := kv.Key.Path()
+		n := 1 + (ext-re)/d
+		if first {
+			total += n
+			first = false
+		} else {
+			minE := ext
+			if prevExt < minE {
+				minE = prevExt
+			}
+			// Band starts strictly below the root that both keys visit and
+			// agree on: s ∈ {re, re+d, …}, s < minE, s ≤ common path levels.
+			l := minE - d
+			if c := bits.LeadingZeros64(prevPath^path) / 2; c < l {
+				l = c
+			}
+			shared := 1 // the root node
+			if l >= re {
+				shared += (l-re)/d + 1
+			}
+			total += n - shared
+		}
+		prevExt, prevPath = ext, path
+	}
+	if total < 1 {
+		return 1 // the root node exists even if every entry is a sentinel
+	}
+	return total
 }
 
 // newNode appends a zeroed node to the arena and returns its index. Zero
@@ -208,6 +310,20 @@ func (t *Tree) newNode() int32 {
 // (pos, pos+span].
 func bitsAt(path uint64, pos, span int) uint64 {
 	return (path >> (64 - uint(2*(pos+span)))) & (1<<uint(2*span) - 1)
+}
+
+// extensionSlots returns the slot range a cell occupies in its final band
+// (pos, pos+span] after key extension: the cell fixes the top
+// 2*(level-pos) bits of the slot index, the remaining low bits enumerate
+// the replicas — slots base..base+count-1. Shared by insert (which writes
+// the replicas) and clearRegion (which must clear exactly the same set).
+func extensionSlots(path uint64, level, pos, span int) (base, count uint64) {
+	validBits := uint(2 * (level - pos))
+	freeBits := uint(2*span) - validBits
+	if level > pos {
+		base = (path >> (64 - uint(2*level))) & (1<<validBits - 1)
+	}
+	return base << freeBits, 1 << freeBits
 }
 
 // insert places one cell, applying key extension.
@@ -241,17 +357,9 @@ func (t *Tree) insert(ft *faceTree, key cellid.CellID, entry refs.Entry) {
 		span = t.delta
 	}
 
-	// Final band (pos, pos+span] with pos+span == ext: the cell fixes the
-	// top 2*(level-pos) bits of the slot index; the remaining low bits
-	// enumerate the key-extension replicas.
-	validBits := uint(2 * (level - pos))
-	freeBits := uint(2*span) - validBits
-	var base uint64
-	if level > pos {
-		base = (path >> (64 - uint(2*level))) & (1<<validBits - 1)
-	}
-	base <<= freeBits
-	count := uint64(1) << freeBits
+	// Final band (pos, pos+span] with pos+span == ext: write the cell's
+	// key-extension replicas.
+	base, count := extensionSlots(path, level, pos, span)
 	nodeBase := int(cur) * t.fanout
 	for i := uint64(0); i < count; i++ {
 		idx := nodeBase + int(base+i)
@@ -392,8 +500,22 @@ func (t *Tree) NumValueSlots() int { return t.numExtended }
 func (t *Tree) MaxCellLevel() int { return t.maxCellLevel }
 
 // SizeBytes returns the arena footprint (8 bytes per slot, as in the
-// paper's size accounting).
+// paper's size accounting). After Patch it includes orphaned nodes; see
+// GarbageRatio.
 func (t *Tree) SizeBytes() int { return 8 * len(t.entries) }
+
+// GarbageSlots returns the number of arena slots belonging to nodes orphaned
+// by Patch (allocated, unreachable from any face root).
+func (t *Tree) GarbageSlots() int { return t.garbage }
+
+// GarbageRatio returns the orphaned fraction of the arena. The owner
+// triggers a compacting full Build once it crosses its threshold.
+func (t *Tree) GarbageRatio() float64 {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	return float64(t.garbage) / float64(len(t.entries))
+}
 
 var (
 	_ cellindex.Index      = (*Tree)(nil)

@@ -32,19 +32,6 @@ func BuildWithOptions(kvs []cellindex.KeyEntry, opt BuildOptions) *Tree {
 		disablePrefix:    opt.DisablePrefix,
 		disableAnchoring: opt.DisableAnchoring,
 	}
-	for f := range t.faces {
-		t.faces[f].root = -1
-	}
-	start := 0
-	for start < len(kvs) {
-		face := kvs[start].Key.Face()
-		end := start
-		for end < len(kvs) && kvs[end].Key.Face() == face {
-			end++
-		}
-		t.buildFace(face, kvs[start:end])
-		start = end
-	}
-	t.numCells = len(kvs)
+	t.build(kvs)
 	return t
 }

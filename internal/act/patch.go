@@ -1,0 +1,223 @@
+// Incremental trie maintenance: Patch derives the next published tree from
+// the previous one by rebuilding only the dirty subtrees, instead of
+// re-deriving every node from the full cell set. The two trees share one
+// append-only arena: nodes on the path from a face root down to a dirty
+// region are copied to fresh indices at the arena's end (copy-on-write path
+// copying, a few KB), the copies' slot ranges covering the region are
+// cleared, and the region's new cells are inserted through the normal
+// key-extension path, appending further fresh nodes. No slot a previous
+// tree can reach is ever written — appends land beyond every published
+// tree's length, exactly like the shared lookup table — so readers of any
+// earlier snapshot stay race-free while the writer patches.
+//
+// Superseded originals and unlinked subtrees stay allocated ("orphans"):
+// the only cost is arena footprint, which the garbage accounting exposes so
+// the owner can fall back to a compacting full Build once patching has
+// leaked enough.
+//
+// A patch preserves each face's frozen layout (prefix, band anchor). That is
+// always correct for deletions and for insertions within the face's common
+// prefix; the few mutations a frozen layout cannot absorb — a region outside
+// the prefix, a region swallowing the face, a new cell so deep that key
+// extension under the old anchor would pass the leaf level — make Patch
+// report ok=false, and the caller rebuilds from scratch.
+package act
+
+import (
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+)
+
+// PatchRegion is one dirty subtree to replace: every cell of the previous
+// tree inside Root's extent is dropped, and KVs (sorted, disjoint, all
+// contained in Root) become the region's new contents.
+type PatchRegion struct {
+	Root cellid.CellID
+	KVs  []cellindex.KeyEntry
+}
+
+// Patch returns a new tree equal — probe for probe — to Build over the full
+// updated cell set, sharing t's arena and rebuilding only the given regions
+// (sorted by range, non-overlapping). totalCells is the updated overall
+// cell count (for NumCells). t itself is never modified — the trees share
+// backing memory, but every write lands beyond t's length — so concurrent
+// readers of t (and of any earlier tree in the same patch chain) are safe.
+// ok is false when the regions cannot be expressed in t's frozen layout;
+// the caller must fall back to a full Build. Patches must be chained
+// linearly (each from the latest tree), which the publish mutex guarantees.
+func (t *Tree) Patch(regions []PatchRegion, totalCells int) (nt *Tree, ok bool) {
+	type freshFace struct {
+		face int
+		kvs  []cellindex.KeyEntry
+		lay  faceLayout
+	}
+	var clears []PatchRegion
+	var fresh []freshFace
+
+	// Validate every region against the frozen layout before writing
+	// anything, so a refusal leaves the arena's length untouched.
+	for _, r := range regions {
+		lo, hi := r.Root.RangeMin(), r.Root.RangeMax()
+		for _, kv := range r.KVs {
+			if kv.Key < lo || kv.Key > hi {
+				return nil, false
+			}
+		}
+		face := r.Root.Face()
+		ft := &t.faces[face]
+		if ft.root < 0 {
+			// Previously empty face: build it from scratch inside the copy.
+			if len(r.KVs) == 0 {
+				continue
+			}
+			if len(fresh) > 0 && fresh[len(fresh)-1].face == face {
+				fresh[len(fresh)-1].kvs = append(fresh[len(fresh)-1].kvs, r.KVs...)
+			} else {
+				fresh = append(fresh, freshFace{face: face, kvs: append([]cellindex.KeyEntry(nil), r.KVs...)})
+			}
+			continue
+		}
+		if r.Root.Level() <= ft.prefixLevels {
+			return nil, false // region swallows the whole face tree
+		}
+		if ft.prefixLevels > 0 &&
+			r.Root.Path()>>(64-uint(2*ft.prefixLevels)) != ft.prefixBits {
+			// Outside the face's common prefix: the old tree holds nothing
+			// there, and new cells would need the prefix re-derived.
+			if len(r.KVs) == 0 {
+				continue
+			}
+			return nil, false
+		}
+		for _, kv := range r.KVs {
+			if t.extendedLevel(kv.Key.Level(), ft.offset) > maxIndexLevel {
+				return nil, false // extension under the old anchor overflows
+			}
+		}
+		clears = append(clears, r)
+	}
+	for i := range fresh {
+		fresh[i].lay = t.faceLayout(fresh[i].kvs)
+	}
+
+	nt = &Tree{
+		delta:            t.delta,
+		span:             t.span,
+		fanout:           t.fanout,
+		entries:          t.entries, // shared; every write appends beyond len
+		numNodes:         t.numNodes,
+		faces:            t.faces,
+		numCells:         totalCells,
+		numExtended:      t.numExtended,
+		maxCellLevel:     t.maxCellLevel,
+		garbage:          t.garbage,
+		disablePrefix:    t.disablePrefix,
+		disableAnchoring: t.disableAnchoring,
+	}
+	immutable := int32(t.numNodes) // t's nodes; nt must copy before writing
+
+	for _, r := range clears {
+		ft := &nt.faces[r.Root.Face()]
+		if !nt.clearRegion(ft, r.Root, immutable) {
+			return nil, false
+		}
+		for _, kv := range r.KVs {
+			nt.insert(ft, kv.Key, kv.Entry)
+			if lvl := kv.Key.Level(); lvl > nt.maxCellLevel {
+				// Deletions never shrink maxCellLevel back: a too-deep value
+				// only costs batch joins some sort depth, never correctness.
+				nt.maxCellLevel = lvl
+			}
+		}
+	}
+	for _, ff := range fresh {
+		ft := nt.setupFace(ff.face, ff.lay)
+		for _, kv := range ff.kvs {
+			nt.insert(ft, kv.Key, kv.Entry)
+		}
+	}
+	return nt, true
+}
+
+// cow returns a node index safe to write through: nodes created by this
+// patch are returned as-is, nodes belonging to the previous tree are copied
+// to a fresh index (the original keeps serving earlier snapshots and is
+// accounted as garbage in the new tree's view).
+func (t *Tree) cow(idx, immutable int32) int32 {
+	if idx >= immutable {
+		return idx
+	}
+	n := t.newNode()
+	copy(t.entries[int(n)*t.fanout:(int(n)+1)*t.fanout],
+		t.entries[int(idx)*t.fanout:(int(idx)+1)*t.fanout])
+	t.garbage += t.fanout // the superseded original
+	return n
+}
+
+// clearRegion copies the node path from the face root down to the region's
+// band and zeroes every slot of the copies covering root's extent,
+// orphaning subtrees hanging below it. The copied path is exactly the set
+// of nodes the region's inserts will write into, so after a clear the
+// normal insert path never touches a previous tree's node. Returns false
+// when a value slot covers the region from a band above it — meaning a
+// coarser cell still overlaps the region, which the dirty-tracking
+// invariant rules out for well-formed patches.
+func (t *Tree) clearRegion(ft *faceTree, root cellid.CellID, immutable int32) bool {
+	path := root.Path()
+	level := root.Level()
+	cur := t.cow(ft.root, immutable)
+	ft.root = cur
+	pos := ft.prefixLevels
+	span := ft.rootSpan
+	for pos+span < level {
+		idx := int(cur)*t.fanout + int(bitsAt(path, pos, span))
+		e := t.entries[idx]
+		if e == 0 {
+			return true // the old tree holds nothing inside the region
+		}
+		if e&3 != 0 {
+			return false // a coarser cell (or its replica) covers the region
+		}
+		child := t.cow(int32(e>>2)-1, immutable)
+		t.entries[idx] = uint64(child+1) << 2
+		cur = child
+		pos += span
+		span = t.delta
+	}
+
+	// Final band: clear every slot inside the region's extent — the same
+	// slot set insert's key extension writes.
+	base, count := extensionSlots(path, level, pos, span)
+	nodeBase := int(cur) * t.fanout
+	for i := uint64(0); i < count; i++ {
+		idx := nodeBase + int(base+i)
+		e := t.entries[idx]
+		switch {
+		case e == 0:
+		case e&3 != 0:
+			t.numExtended--
+			t.entries[idx] = 0
+		default:
+			t.orphan(int32(e>>2) - 1)
+			t.entries[idx] = 0
+		}
+	}
+	return true
+}
+
+// orphan accounts an unlinked node and its descendants as arena garbage.
+func (t *Tree) orphan(node int32) {
+	t.garbage += t.fanout
+	base := int(node) * t.fanout
+	for i := 0; i < t.fanout; i++ {
+		e := t.entries[base+i]
+		if e == 0 {
+			continue
+		}
+		if e&3 != 0 {
+			t.numExtended--
+		} else {
+			t.orphan(int32(e>>2) - 1)
+		}
+	}
+}

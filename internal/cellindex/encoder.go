@@ -1,0 +1,104 @@
+package cellindex
+
+import (
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+// Encoder maintains the cell→entry encoding and the shared lookup table
+// incrementally across snapshot publishes. Unlike the one-shot Encode, which
+// rebuilds the table from every cell, an Encoder lets a publish re-encode
+// only the cells of dirty regions: new 3+ reference lists append records to
+// the live table (deduplicated against everything already stored), while
+// records whose last referencing entry was dropped become tombstoned
+// garbage — still present, because earlier frozen snapshots may point at
+// them, but counted so the owner can trigger a compacting full re-encode
+// once GarbageRatio crosses its threshold.
+//
+// The live table grows append-only; snapshots must capture it through
+// refs.Table.Freeze, which makes concurrent reads safe against later
+// appends. All Encoder methods themselves are writer-side and follow the
+// owning index's mutation synchronization.
+type Encoder struct {
+	table *refs.Table
+	// live counts, per table record offset, how many currently published
+	// entries reference the record. A record at count zero is garbage until
+	// a later encode resurrects it through the dedup map.
+	live    map[uint32]int
+	garbage int // words reachable only from dropped entries
+}
+
+// NewEncoder returns an Encoder with an empty table.
+func NewEncoder() *Encoder {
+	return &Encoder{table: refs.NewTable(), live: make(map[uint32]int)}
+}
+
+// Table returns the live lookup table. Snapshots must store t.Freeze(), not
+// the live table itself.
+func (e *Encoder) Table() *refs.Table { return e.table }
+
+// EncodeAll compacts: it discards the table (earlier frozen views keep their
+// arrays) and re-encodes the full cell set from scratch, resetting the
+// garbage accounting. Cells must be sorted and disjoint (a supercover
+// freeze).
+func (e *Encoder) EncodeAll(cells []supercover.Cell) []KeyEntry {
+	e.table = refs.NewTable()
+	e.live = make(map[uint32]int, len(e.live))
+	e.garbage = 0
+	return e.AppendCells(make([]KeyEntry, 0, len(cells)), cells)
+}
+
+// AppendCells encodes the cells of one freshly frozen region, appending the
+// resulting pairs to dst. The cells' reference slices must be owned by the
+// caller (freshly emitted, not aliased by a published snapshot): encoding
+// normalizes them in place.
+func (e *Encoder) AppendCells(dst []KeyEntry, cells []supercover.Cell) []KeyEntry {
+	for _, c := range cells {
+		rs := refs.Normalize(c.Refs)
+		entry := e.table.Encode(rs)
+		if entry.Tag() == refs.TagOffset {
+			off := entry.Offset()
+			n, seen := e.live[off]
+			if seen && n == 0 {
+				// Resurrected: a dropped record regained a referencing entry
+				// through deduplication.
+				e.garbage -= e.table.RecordLen(off)
+			}
+			e.live[off] = n + 1
+		}
+		dst = append(dst, KeyEntry{Key: c.ID, Entry: entry})
+	}
+	return dst
+}
+
+// Release drops one previously encoded entry (a cell replaced or removed by
+// a dirty region). Records left without referencing entries are tombstoned
+// as garbage. Releasing an entry that was never encoded is a programming
+// error and panics.
+func (e *Encoder) Release(entry refs.Entry) {
+	if entry.Tag() != refs.TagOffset {
+		return
+	}
+	off := entry.Offset()
+	n, ok := e.live[off]
+	if !ok || n <= 0 {
+		panic("cellindex: Release of an entry the encoder never produced")
+	}
+	n--
+	e.live[off] = n
+	if n == 0 {
+		e.garbage += e.table.RecordLen(off)
+	}
+}
+
+// GarbageWords returns the number of tombstoned table words.
+func (e *Encoder) GarbageWords() int { return e.garbage }
+
+// GarbageRatio returns the tombstoned fraction of the table; the owner
+// compacts (EncodeAll) once it exceeds its threshold.
+func (e *Encoder) GarbageRatio() float64 {
+	if e.table.Len() == 0 {
+		return 0
+	}
+	return float64(e.garbage) / float64(e.table.Len())
+}

@@ -1,0 +1,154 @@
+package cellindex
+
+import (
+	"reflect"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
+)
+
+func cell(face int, children []int, rs ...refs.Ref) supercover.Cell {
+	id := cellid.FaceCell(face)
+	for _, c := range children {
+		id = id.Child(c)
+	}
+	return supercover.Cell{ID: id, Refs: rs}
+}
+
+func bigRefs(ids ...uint32) []refs.Ref {
+	out := make([]refs.Ref, len(ids))
+	for i, id := range ids {
+		out[i] = refs.MakeRef(id, i%2 == 0)
+	}
+	return out
+}
+
+// decode resolves an entry through a table into its reference list.
+func decode(tbl *refs.Table, e refs.Entry) []refs.Ref {
+	return tbl.AppendRefs(nil, e)
+}
+
+// TestEncoderMatchesOneShotEncode: the incremental encoder's full pass must
+// produce entries that decode identically to the one-shot Encode.
+func TestEncoderMatchesOneShotEncode(t *testing.T) {
+	cells := []supercover.Cell{
+		cell(0, []int{0}, bigRefs(1)...),
+		cell(0, []int{1}, bigRefs(1, 2, 3, 4)...),
+		cell(0, []int{2}, bigRefs(1, 2, 3, 4)...), // deduplicated record
+		cell(1, []int{3, 2}, bigRefs(5, 6)...),
+	}
+	wantKVs, wantTbl := Encode(clone(cells))
+	e := NewEncoder()
+	gotKVs := e.EncodeAll(clone(cells))
+	if len(gotKVs) != len(wantKVs) {
+		t.Fatalf("entry count %d, want %d", len(gotKVs), len(wantKVs))
+	}
+	for i := range gotKVs {
+		if gotKVs[i].Key != wantKVs[i].Key {
+			t.Fatalf("key %d mismatch", i)
+		}
+		g := decode(e.Table(), gotKVs[i].Entry)
+		w := decode(wantTbl, wantKVs[i].Entry)
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("entry %d decodes to %v, want %v", i, g, w)
+		}
+	}
+	if e.GarbageWords() != 0 {
+		t.Fatalf("fresh encode has %d garbage words", e.GarbageWords())
+	}
+}
+
+func clone(cells []supercover.Cell) []supercover.Cell {
+	out := make([]supercover.Cell, len(cells))
+	for i, c := range cells {
+		out[i] = supercover.Cell{ID: c.ID, Refs: append([]refs.Ref(nil), c.Refs...)}
+	}
+	return out
+}
+
+// TestEncoderGarbageLifecycle: releases tombstone records, re-encodes
+// resurrect them, and EncodeAll compacts.
+func TestEncoderGarbageLifecycle(t *testing.T) {
+	e := NewEncoder()
+	kvs := e.EncodeAll(clone([]supercover.Cell{
+		cell(0, []int{0}, bigRefs(1, 2, 3)...),
+		cell(0, []int{1}, bigRefs(1, 2, 3)...), // same record, refcount 2
+		cell(0, []int{2}, bigRefs(7, 8, 9, 10)...),
+	}))
+	if e.GarbageWords() != 0 {
+		t.Fatalf("garbage %d after fresh encode", e.GarbageWords())
+	}
+
+	// Dropping one of two references to a shared record leaves it live.
+	e.Release(kvs[0].Entry)
+	if e.GarbageWords() != 0 {
+		t.Fatalf("shared record tombstoned too early: %d words", e.GarbageWords())
+	}
+	// Dropping the last reference tombstones it (2 headers + 3 ids).
+	e.Release(kvs[1].Entry)
+	if want := 5; e.GarbageWords() != want {
+		t.Fatalf("garbage %d, want %d", e.GarbageWords(), want)
+	}
+	if e.GarbageRatio() <= 0 {
+		t.Fatal("ratio not positive")
+	}
+
+	// Re-encoding the same list resurrects the record via dedup.
+	more := e.AppendCells(nil, clone([]supercover.Cell{cell(1, []int{1}, bigRefs(1, 2, 3)...)}))
+	if e.GarbageWords() != 0 {
+		t.Fatalf("garbage %d after resurrection", e.GarbageWords())
+	}
+	if more[0].Entry != kvs[0].Entry {
+		t.Fatal("resurrected record did not reuse the stored offset")
+	}
+
+	// Inlined entries (<= 2 refs) never touch the table.
+	small := e.AppendCells(nil, clone([]supercover.Cell{cell(2, []int{0}, bigRefs(4)...)}))
+	e.Release(small[0].Entry)
+	if e.GarbageWords() != 0 {
+		t.Fatal("inlined entry affected garbage accounting")
+	}
+
+	// Compaction resets table and accounting.
+	e.Release(more[0].Entry)
+	e.EncodeAll(clone([]supercover.Cell{cell(0, []int{0}, bigRefs(1)...)}))
+	if e.GarbageWords() != 0 || e.Table().Len() != 0 {
+		t.Fatal("EncodeAll did not compact")
+	}
+}
+
+// TestEncoderReleaseUnknownPanics: releasing an entry the encoder never
+// produced is a programming error.
+func TestEncoderReleaseUnknownPanics(t *testing.T) {
+	e := NewEncoder()
+	other := refs.NewTable()
+	entry := other.Encode(bigRefs(1, 2, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.Release(entry)
+}
+
+// TestFrozenTableViews: a frozen view keeps its contents across later
+// appends to the live table.
+func TestFrozenTableViews(t *testing.T) {
+	e := NewEncoder()
+	kvs := e.EncodeAll(clone([]supercover.Cell{cell(0, []int{0}, bigRefs(1, 2, 3)...)}))
+	frozen := e.Table().Freeze()
+	before := decode(frozen, kvs[0].Entry)
+	for i := 0; i < 100; i++ {
+		e.AppendCells(nil, clone([]supercover.Cell{
+			cell(0, []int{1}, bigRefs(uint32(10+i), uint32(200+i), uint32(400+i))...),
+		}))
+	}
+	if got := decode(frozen, kvs[0].Entry); !reflect.DeepEqual(got, before) {
+		t.Fatalf("frozen view changed: %v vs %v", got, before)
+	}
+	if frozen.Len() >= e.Table().Len() {
+		t.Fatal("live table did not grow past the frozen view")
+	}
+}

@@ -101,6 +101,7 @@ var registry = []Experiment{
 	{"fig11", "Figure 11: comparison with the (simulated) GPU raster joins", (*Env).Fig11},
 	{"batch", "Batch engine: per-point vs batch probing, sorted vs unsorted", (*Env).Batch},
 	{"snapshot", "Snapshot API: publish latency and join throughput under a live writer", (*Env).Snapshot},
+	{"publish", "Publish paths: incremental snapshot patching vs full rebuild, by covering size", (*Env).Publish},
 }
 
 // All returns every experiment in paper order.

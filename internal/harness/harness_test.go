@@ -23,11 +23,11 @@ func tinyEnv() *Env {
 
 func TestRegistryComplete(t *testing.T) {
 	// Every table (1-7) and figure (7-11) of the paper must be present,
-	// plus the batch-engine and snapshot-API experiments.
+	// plus the batch-engine, snapshot-API and publish-path experiments.
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig7left", "fig7mid", "fig7right", "fig8", "fig9", "fig10", "fig11",
-		"batch", "snapshot",
+		"batch", "snapshot", "publish",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

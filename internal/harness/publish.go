@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"actjoin"
+	"actjoin/internal/geom"
+)
+
+// Publish compares the two snapshot-publish strategies of the public API —
+// incremental patching (the default) against a full freeze per mutation —
+// across covering sizes, by building the neighborhoods index at several
+// precision bounds. Coarser bounds give small coverings where the two paths
+// are close; at the paper's 4 m bound the covering has hundreds of
+// thousands of cells and the full rebuild pays for all of them on every
+// mutation while the patch pays only for the mutation's dirty subtrees.
+//
+// Not a figure of the paper: runtime updates are sketched in Section 3.1.2
+// and left unsynchronized; this quantifies the publish seam our snapshot
+// design added on top.
+func (e *Env) Publish(w io.Writer) error {
+	const ds = "neighborhoods"
+	polys := toPublicPolygons(e.Polygons(ds))
+	bound := e.Bound(ds)
+
+	t := newTable(w)
+	t.row("precision", "cells", "full ms/publish", "incremental ms/publish", "speedup")
+	t.rule(5)
+	for _, meters := range []float64{64, 16, 4} {
+		var cells int
+		var lat [2]time.Duration // [full, incremental]
+		for mode := 0; mode < 2; mode++ {
+			opts := []actjoin.Option{actjoin.WithPrecision(meters)}
+			if mode == 0 {
+				opts = append(opts, actjoin.WithIncrementalPublish(false))
+			}
+			idx, err := actjoin.NewIndex(polys, opts...)
+			if err != nil {
+				return err
+			}
+			cells = idx.Current().Stats().NumCells
+			lat[mode], err = publishLatency(idx, bound)
+			if err != nil {
+				return err
+			}
+		}
+		speedup := float64(lat[0]) / float64(lat[1])
+		t.row(
+			fmt.Sprintf("%gm", meters),
+			fmt.Sprintf("%d", cells),
+			fmt.Sprintf("%.2f", lat[0].Seconds()*1e3),
+			fmt.Sprintf("%.2f", lat[1].Seconds()*1e3),
+			fmtSpeedup(speedup),
+		)
+	}
+	t.flush()
+	return nil
+}
+
+// publishLatency measures the per-publish latency of an Add/Remove churn
+// (every op publishes once), fastest of measureRepeats passes — the same
+// noise-stripping the join measurements use.
+func publishLatency(idx *actjoin.Index, bound geom.Rect) (time.Duration, error) {
+	const churn = 4
+	best := time.Duration(0)
+	for rep := 0; rep < measureRepeats; rep++ {
+		start := time.Now()
+		for i := 0; i < churn; i++ {
+			id, err := idx.Add(churnSquare(bound, rep*churn+i))
+			if err != nil {
+				return 0, err
+			}
+			if err := idx.Remove(id); err != nil {
+				return 0, err
+			}
+		}
+		d := time.Since(start) / (2 * churn)
+		if rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

@@ -136,6 +136,24 @@ func NewTable() *Table {
 	return &Table{dedup: make(map[string]uint32)}
 }
 
+// Freeze returns a read-only view of the table's current contents. The view
+// shares the backing array but pins its own length, so later Encode calls on
+// the live table — which only ever append — can run concurrently with reads
+// of the view: appended words lie beyond every frozen view's length, and a
+// growth reallocation leaves old views on the old array. Freeze views must
+// not be encoded into.
+func (t *Table) Freeze() *Table {
+	return &Table{data: t.data[:len(t.data):len(t.data)]}
+}
+
+// RecordLen returns the number of uint32 words occupied by the record at the
+// given offset (as produced by Encode for 3+ reference lists).
+func (t *Table) RecordLen(off uint32) int {
+	nTrue := t.data[off]
+	nCand := t.data[off+1+nTrue]
+	return int(2 + nTrue + nCand)
+}
+
 // SizeBytes returns the encoded size of the table's payload array.
 func (t *Table) SizeBytes() int { return 4 * len(t.data) }
 

@@ -1,0 +1,205 @@
+package supercover
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/refs"
+)
+
+// randomCell returns a random cell id between levels 1 and maxLevel.
+func randomCell(rng *rand.Rand, maxLevel int) cellid.CellID {
+	face := rng.Intn(cellid.NumFaces)
+	level := 1 + rng.Intn(maxLevel)
+	id := cellid.FaceCell(face)
+	for l := 0; l < level; l++ {
+		id = id.Child(rng.Intn(4))
+	}
+	return id
+}
+
+func randomRefs(rng *rand.Rand) []refs.Ref {
+	n := 1 + rng.Intn(3)
+	out := make([]refs.Ref, n)
+	for i := range out {
+		out[i] = refs.MakeRef(uint32(rng.Intn(20)), rng.Intn(2) == 0)
+	}
+	return out
+}
+
+// patchCells replicates the incremental publish splice: previous frozen
+// cells outside every dirty root, plus a scoped re-emit per root.
+func patchCells(t *testing.T, sc *SuperCovering, prev []Cell, roots []cellid.CellID) []Cell {
+	t.Helper()
+	var out []Cell
+	i := 0
+	for _, r := range roots {
+		lo, hi := r.RangeMin(), r.RangeMax()
+		for i < len(prev) && prev[i].ID < lo {
+			out = append(out, prev[i])
+			i++
+		}
+		if n := len(out); n > 0 && out[n-1].ID.RangeMax() >= lo {
+			t.Fatalf("clean cell %v straddles dirty root %v", out[n-1].ID, r)
+		}
+		for i < len(prev) && prev[i].ID <= hi {
+			i++ // replaced by the re-emit
+		}
+		var ok bool
+		out, ok = sc.AppendRegion(out, r)
+		if !ok {
+			t.Fatalf("AppendRegion(%v) refused: coarser cell covers a coalesced dirty root", r)
+		}
+	}
+	return append(out, prev[i:]...)
+}
+
+// TestDirtyPatchEquivalence drives random Insert/RemovePolygon batches and
+// checks that splicing the previous freeze with the dirty regions yields
+// exactly a full freeze — the invariant the incremental publish rests on.
+func TestDirtyPatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		sc := New()
+		for i := 0; i < 100; i++ {
+			sc.Insert(randomCell(rng, 8), randomRefs(rng))
+		}
+		prev := sc.Cells()
+		sc.TakeDirty()
+
+		for batch := 0; batch < 15; batch++ {
+			nops := 1 + rng.Intn(5)
+			for op := 0; op < nops; op++ {
+				if rng.Intn(3) == 0 {
+					sc.RemovePolygon(uint32(rng.Intn(20)))
+				} else {
+					sc.Insert(randomCell(rng, 9), randomRefs(rng))
+				}
+			}
+			roots, all := sc.TakeDirty()
+			if all {
+				t.Fatalf("round %d batch %d: unexpected dirty overflow", round, batch)
+			}
+			got := patchCells(t, sc, prev, roots)
+			want := sc.Cells()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d batch %d: patched freeze diverges: %d vs %d cells",
+					round, batch, len(got), len(want))
+			}
+			prev = want
+		}
+	}
+}
+
+// TestResetRegionRestores mutates a covering, then resets every dirty root
+// from the previously frozen cells and checks the covering is back to its
+// frozen state — the aborted-transaction undo path.
+func TestResetRegionRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		sc := New()
+		for i := 0; i < 80; i++ {
+			sc.Insert(randomCell(rng, 8), randomRefs(rng))
+		}
+		prev := sc.Cells()
+		sc.TakeDirty()
+
+		for op := 0; op < 8; op++ {
+			if rng.Intn(3) == 0 {
+				sc.RemovePolygon(uint32(rng.Intn(20)))
+			} else {
+				sc.Insert(randomCell(rng, 9), randomRefs(rng))
+			}
+		}
+		roots, all := sc.TakeDirty()
+		if all {
+			t.Fatal("unexpected dirty overflow")
+		}
+		for _, r := range roots {
+			lo, hi := r.RangeMin(), r.RangeMax()
+			var cells []Cell
+			for _, c := range prev {
+				if c.ID >= lo && c.ID <= hi {
+					cells = append(cells, c)
+				}
+			}
+			if !sc.ResetRegion(r, cells) {
+				t.Fatalf("round %d: ResetRegion(%v) refused", round, r)
+			}
+		}
+		sc.TakeDirty()
+		if got := sc.Cells(); !reflect.DeepEqual(got, prev) {
+			t.Fatalf("round %d: reset did not restore the frozen state: %d vs %d cells",
+				round, len(got), len(prev))
+		}
+		if sc.NumCells() != len(prev) {
+			t.Fatalf("round %d: NumCells %d after reset, want %d", round, sc.NumCells(), len(prev))
+		}
+	}
+}
+
+// TestResetRegionRejectsBadInput covers the defensive refusals.
+func TestResetRegionRejectsBadInput(t *testing.T) {
+	sc := New()
+	root := cellid.FaceCell(1).Child(2).Child(1)
+	sc.Insert(root.Parent(1), []refs.Ref{refs.MakeRef(3, true)})
+	// A cell outside the root must be refused.
+	if sc.ResetRegion(root, []Cell{{ID: cellid.FaceCell(0).Child(1), Refs: []refs.Ref{refs.MakeRef(1, true)}}}) {
+		t.Fatal("accepted a cell outside the region root")
+	}
+	// An ancestor cell covering the region must be refused.
+	if sc.ResetRegion(root, nil) {
+		t.Fatal("accepted a region covered by an ancestor cell")
+	}
+}
+
+// TestTakeDirtyCoalesce checks sorting, deduplication and nesting collapse.
+func TestTakeDirtyCoalesce(t *testing.T) {
+	sc := New()
+	a := cellid.FaceCell(0).Child(1)
+	sc.markDirty(a.Child(2).Child(3))
+	sc.markDirty(a)
+	sc.markDirty(a.Child(2))
+	b := cellid.FaceCell(3).Child(0)
+	sc.markDirty(b)
+	sc.markDirty(b)
+
+	roots, all := sc.TakeDirty()
+	if all {
+		t.Fatal("unexpected dirtyAll")
+	}
+	if want := []cellid.CellID{a, b}; !reflect.DeepEqual(roots, want) {
+		t.Fatalf("coalesced roots = %v, want %v", roots, want)
+	}
+	if roots, all = sc.TakeDirty(); all || roots != nil {
+		t.Fatal("TakeDirty did not reset the log")
+	}
+}
+
+// TestTakeDirtyOverflow checks the bulk-load escape hatch.
+func TestTakeDirtyOverflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sc := New()
+	for i := 0; i < maxDirtyRoots+10; i++ {
+		sc.markDirty(randomCell(rng, 12))
+	}
+	if _, all := sc.TakeDirty(); !all {
+		t.Fatal("mark-log overflow did not declare everything dirty")
+	}
+}
+
+// TestCellsAppendMatchesCells checks the buffer-reusing freeze variant.
+func TestCellsAppendMatchesCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sc := New()
+	for i := 0; i < 200; i++ {
+		sc.Insert(randomCell(rng, 8), randomRefs(rng))
+	}
+	buf := make([]Cell, 0, 16)
+	got := sc.CellsAppend(buf)
+	if want := sc.Cells(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CellsAppend diverges from Cells: %d vs %d cells", len(got), len(want))
+	}
+}

@@ -27,6 +27,7 @@ func (sc *SuperCovering) RefineToPrecision(polys []*geom.Polygon, minLevel int) 
 	if minLevel > cover.MaxSupportedLevel {
 		minLevel = cover.MaxSupportedLevel
 	}
+	sc.markAllDirty()
 	edgesOf := newEdgeCache(polys)
 	for f := 0; f < cellid.NumFaces; f++ {
 		if sc.roots[f] != nil {
@@ -68,6 +69,10 @@ func (sc *SuperCovering) RefineCells(polys []*geom.Polygon, seeds []cellid.CellI
 			id = id.Child(pos)
 		}
 		if cur != nil {
+			// The refinement rewrites this subtree in place; record its root
+			// (usually re-marking the seed Insert already marked, but the
+			// ancestor-cell break above can land coarser).
+			sc.markDirty(id)
 			sc.refineNode(cur, id, minLevel, polys, edgesOf)
 		}
 	}

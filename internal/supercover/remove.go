@@ -1,5 +1,7 @@
 package supercover
 
+import "actjoin/internal/cellid"
+
 // RemovePolygon deletes every reference to the polygon from the covering
 // and drops cells that end up with no references, pruning emptied subtrees.
 // It returns the number of cells that still referenced the polygon.
@@ -7,15 +9,19 @@ package supercover
 // This implements the update path the paper sketches as future work
 // ("removing polygons would follow the same logic [as inserting], with the
 // only difference being that we may want to periodically reorganize the
-// lookup table" — our lookup table is rebuilt on every freeze, so no
-// compaction step is needed).
+// lookup table" — the incremental publish path reorganizes the lookup table
+// with threshold-triggered compaction, see internal/cellindex).
+//
+// Each edited cell is recorded as its own dirty region, so the cost of the
+// next incremental freeze is proportional to the polygon's footprint, not to
+// the covering.
 func (sc *SuperCovering) RemovePolygon(id uint32) int {
 	touched := 0
 	for f := range sc.roots {
 		if sc.roots[f] == nil {
 			continue
 		}
-		sc.removeFromNode(sc.roots[f], id, &touched)
+		sc.removeFromNode(sc.roots[f], cellid.FaceCell(f), id, &touched)
 		if !sc.roots[f].hasCell && !sc.roots[f].hasChildren() {
 			sc.roots[f] = nil
 		}
@@ -25,7 +31,7 @@ func (sc *SuperCovering) RemovePolygon(id uint32) int {
 
 // removeFromNode filters the subtree and reports whether the node is now
 // completely empty (no cell, no children).
-func (sc *SuperCovering) removeFromNode(n *node, id uint32, touched *int) bool {
+func (sc *SuperCovering) removeFromNode(n *node, c cellid.CellID, id uint32, touched *int) bool {
 	if n.hasCell {
 		kept := n.refs[:0]
 		found := false
@@ -38,6 +44,7 @@ func (sc *SuperCovering) removeFromNode(n *node, id uint32, touched *int) bool {
 		}
 		if found {
 			*touched++
+			sc.markDirty(c)
 			n.refs = kept
 			if len(kept) == 0 {
 				n.hasCell = false
@@ -52,7 +59,7 @@ func (sc *SuperCovering) removeFromNode(n *node, id uint32, touched *int) bool {
 		if n.children[i] == nil {
 			continue
 		}
-		if sc.removeFromNode(n.children[i], id, touched) {
+		if sc.removeFromNode(n.children[i], c.Child(i), id, touched) {
 			n.children[i] = nil
 		} else {
 			empty = false

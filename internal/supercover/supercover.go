@@ -59,6 +59,14 @@ func (n *node) hasChildren() bool {
 type SuperCovering struct {
 	roots    [cellid.NumFaces]*node
 	numCells int
+
+	// Dirty tracking for incremental freezes (see dirty.go): every mutation
+	// records the root of the subtree it touched, so a publish can re-emit
+	// only those regions and splice everything else from the previous frozen
+	// snapshot. dirtyAll is the overflow/bulk flag: when set, the next freeze
+	// must walk everything.
+	dirty    []cellid.CellID
+	dirtyAll bool
 }
 
 // New returns an empty super covering.
@@ -83,7 +91,9 @@ func (sc *SuperCovering) Insert(id cellid.CellID, rs []refs.Ref) {
 			// Conflict: an existing ancestor cell c1 contains the new cell
 			// c2. Replace c1 with c2 plus the difference d (three sibling
 			// cells per level between them), copying c1's references to
-			// every piece (Figure 4).
+			// every piece (Figure 4). The whole subtree under c1 changes, so
+			// c1 is the dirty root.
+			sc.markDirty(id.Parent(l - 1))
 			oldRefs := cur.refs
 			cur.hasCell = false
 			cur.refs = nil
@@ -113,6 +123,7 @@ func (sc *SuperCovering) Insert(id cellid.CellID, rs []refs.Ref) {
 		cur = cur.children[pos]
 	}
 
+	sc.markDirty(id)
 	switch {
 	case cur.hasCell:
 		// Duplicate cell: merge the reference lists.
@@ -257,13 +268,19 @@ func merge(polys []*geom.Polygon, coverings, interiors [][]cellid.CellID) *Super
 // on (Insert, RemovePolygon and Train all edit node reference lists in
 // place).
 func (sc *SuperCovering) Cells() []Cell {
-	out := make([]Cell, 0, sc.numCells)
+	return sc.CellsAppend(make([]Cell, 0, sc.numCells))
+}
+
+// CellsAppend is Cells appending into dst (reusing its capacity), for
+// callers that freeze repeatedly and want to recycle the cell buffer instead
+// of allocating a covering-sized slice per freeze.
+func (sc *SuperCovering) CellsAppend(dst []Cell) []Cell {
 	for f := 0; f < cellid.NumFaces; f++ {
 		if sc.roots[f] != nil {
-			emit(sc.roots[f], cellid.FaceCell(f), &out)
+			emit(sc.roots[f], cellid.FaceCell(f), &dst)
 		}
 	}
-	return out
+	return dst
 }
 
 func emit(n *node, id cellid.CellID, out *[]Cell) {

@@ -45,6 +45,7 @@ func (sc *SuperCovering) Train(polys []*geom.Polygon, points []cellid.CellID, ma
 		if id.Level() >= cover.MaxSupportedLevel {
 			continue
 		}
+		sc.markDirty(id)
 		sc.splitCellOnce(n, id, polys)
 		res.Splits++
 	}

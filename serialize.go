@@ -70,12 +70,14 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
-	body = binary.LittleEndian.AppendUint64(body, uint64(len(s.cells)))
-	for _, c := range s.cells {
-		body = binary.LittleEndian.AppendUint64(body, uint64(c.ID))
-		body = binary.LittleEndian.AppendUint32(body, uint32(len(c.Refs)))
-		for _, r := range c.Refs {
-			body = binary.LittleEndian.AppendUint32(body, uint32(r))
+	body = binary.LittleEndian.AppendUint64(body, uint64(s.cells.Len()))
+	for _, run := range s.cells.runs {
+		for _, c := range run {
+			body = binary.LittleEndian.AppendUint64(body, uint64(c.ID))
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(c.Refs)))
+			for _, r := range c.Refs {
+				body = binary.LittleEndian.AppendUint32(body, uint32(r))
+			}
 		}
 	}
 

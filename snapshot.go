@@ -24,12 +24,18 @@ import (
 // a fresher view is wanted.
 type Snapshot struct {
 	polys []*geom.Polygon
-	cells []supercover.Cell // frozen super covering, owned; serialization input
+	cells *cellRope // frozen super covering; serialization input
 	tree  *act.Tree
 	table *refs.Table
 	opt   options
 
 	precisionLevel int
+}
+
+// frozenCells materializes the snapshot's cell list (tests and tools; the
+// hot paths iterate the rope's runs directly).
+func (s *Snapshot) frozenCells() []supercover.Cell {
+	return s.cells.appendAll(make([]supercover.Cell, 0, s.cells.Len()))
 }
 
 // QueryOptions is the one options struct shared by every bulk query entry
@@ -173,7 +179,7 @@ type Stats struct {
 func (s *Snapshot) Stats() Stats {
 	return Stats{
 		NumPolygons:    len(s.polys),
-		NumCells:       len(s.cells),
+		NumCells:       s.cells.Len(),
 		NumTrieNodes:   s.tree.NumNodes(),
 		TrieSizeBytes:  s.tree.SizeBytes(),
 		TableSizeBytes: s.table.SizeBytes(),

@@ -149,7 +149,7 @@ func (ix *Index) Train(points []Point, maxCells int) TrainStats {
 	defer ix.mu.Unlock()
 	st := ix.trainLocked(points, maxCells)
 	s := ix.publish()
-	st.NumCells = len(s.cells)
+	st.NumCells = s.cells.Len()
 	return st
 }
 

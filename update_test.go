@@ -85,7 +85,7 @@ func TestAddAtLowerLatitudeKeepsBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	checked := 0
-	for _, c := range idx.Current().cells {
+	for _, c := range idx.Current().frozenCells() {
 		for _, r := range c.Refs {
 			if r.PolygonID() != id || r.Interior() {
 				continue
