@@ -1,38 +1,3 @@
-// Package actjoin is a main-memory point-polygon join library built on an
-// Adaptive Cell Trie (ACT), reproducing Kipf et al., "Adaptive Main-Memory
-// Indexing for High-Performance Point-Polygon Joins" (EDBT 2020).
-//
-// The library indexes a mostly-static set of largely disjoint polygons
-// (city neighborhoods, tax zones, geofences) and answers "which polygons
-// cover this point" at tens of millions of points per second per core.
-//
-// Two operating modes mirror the paper's two join algorithms:
-//
-//   - With a precision bound (WithPrecision), the index refines polygon
-//     boundaries until every false positive is within the bound, and
-//     queries never perform geometric point-in-polygon (PIP) tests.
-//   - Without one, queries are exact: the index identifies most results via
-//     true-hit filtering and falls back to PIP tests only for points near
-//     polygon boundaries. Train adapts the index to an expected query
-//     distribution to make that fallback rare.
-//
-// # Concurrency model
-//
-// The API splits reads from writes. An Index is a writer handle: mutations
-// (Add, Remove, Train, Apply) build the next version of the index off to
-// the side and publish it as an immutable Snapshot with one atomic pointer
-// swap. Queries run against a Snapshot obtained from Index.Current; they
-// are lock-free, never block on updates, and an in-flight batch join keeps
-// one consistent view of the polygon set for its whole run. The query
-// methods still present on Index are deprecated forwarders that delegate to
-// Current().
-//
-// Quick start:
-//
-//	idx, err := actjoin.NewIndex(polygons, actjoin.WithPrecision(4))
-//	if err != nil { ... }
-//	snap := idx.Current()
-//	ids := snap.CoversApprox(actjoin.Point{Lon: -73.98, Lat: 40.75})
 package actjoin
 
 import (
@@ -82,6 +47,7 @@ type options struct {
 	coveringCells   int
 	interiorCells   int
 	fullPublish     bool
+	walkRemoval     bool
 }
 
 // Option configures NewIndex.
@@ -126,6 +92,21 @@ func WithGranularity(delta int) Option {
 func WithIncrementalPublish(enabled bool) Option {
 	return func(o *options) error {
 		o.fullPublish = !enabled
+		return nil
+	}
+}
+
+// WithWalkRemoval controls how Remove locates a polygon's cells. When
+// disabled (the default), removal descends only the cells recorded in the
+// writer's per-polygon directory, making Remove — and the incremental
+// publish that follows it — O(polygon footprint). Enabling it forces the
+// pre-directory behaviour, a full walk of the super covering's quadtree on
+// every Remove; it exists for benchmarking the two paths against each other
+// and as an operational escape hatch. Results, published snapshots and dirty
+// accounting are identical either way.
+func WithWalkRemoval(enabled bool) Option {
+	return func(o *options) error {
+		o.walkRemoval = enabled
 		return nil
 	}
 }
@@ -216,6 +197,7 @@ func NewIndex(polygons []Polygon, opts ...Option) (*Index, error) {
 		Covering: cover.Options{MaxCells: o.coveringCells},
 		Interior: cover.Options{MaxCells: o.interiorCells, MaxLevel: 20},
 	})
+	sc.SetWalkRemoval(o.walkRemoval)
 
 	ix := &Index{polys: internal, sc: sc, opt: o}
 	if o.precisionMeters > 0 {
@@ -446,7 +428,10 @@ func (ix *Index) restore() {
 	s := ix.cur.Load()
 	roots, all := ix.sc.TakeDirty()
 	if all || !ix.restoreRegions(s, roots) {
+		// Re-inserting the frozen cells rebuilds every piece of writer-side
+		// state, including the per-polygon cell directory.
 		sc := supercover.New()
+		sc.SetWalkRemoval(ix.opt.walkRemoval)
 		for _, run := range s.cells.runs {
 			for _, c := range run {
 				sc.Insert(c.ID, c.Refs)

@@ -125,6 +125,60 @@ func BenchmarkSnapshotPublishFullRebuildAddRemove(b *testing.B) {
 	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(2*b.N), "ms/publish")
 }
 
+// BenchmarkSnapshotRemovePublish isolates the Remove+publish pair — the
+// write-path operation the per-polygon cell directory makes O(footprint).
+// Each iteration adds a small polygon outside the timer, then times its
+// Remove (locate the polygon's cells via the directory, edit them, publish
+// incrementally). Compare against the Walk variant below, which forces the
+// pre-directory full-quadtree search on the same ~0.9M-cell index; the
+// recorded pair is in BENCH_remove.json.
+func BenchmarkSnapshotRemovePublish(b *testing.B) {
+	f := snapshotBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		id, err := f.idx.Add(benchChurnSquare(f.bound, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := f.idx.Remove(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "ms/remove")
+}
+
+// BenchmarkSnapshotRemovePublishWalk is the same Remove+publish pair with
+// the directory bypassed: every Remove walks the whole quadtree to find the
+// polygon's cells, the behaviour the directory replaced (equivalent to
+// building with WithWalkRemoval(true)). It flips the fixture's removal mode
+// for its duration (benchmarks in this file run sequentially).
+func BenchmarkSnapshotRemovePublishWalk(b *testing.B) {
+	f := snapshotBenchFixture(b)
+	f.idx.mu.Lock()
+	f.idx.sc.SetWalkRemoval(true)
+	f.idx.mu.Unlock()
+	defer func() {
+		f.idx.mu.Lock()
+		f.idx.sc.SetWalkRemoval(false)
+		f.idx.mu.Unlock()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		id, err := f.idx.Add(benchChurnSquare(f.bound, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := f.idx.Remove(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "ms/remove")
+}
+
 // BenchmarkSnapshotApplyBatch10 is the Apply counterpart: ten Add/Remove
 // pairs staged in one transaction, one publish at the end — the batching
 // that amortizes the rebuild cost across mutations.

@@ -75,9 +75,10 @@ func (r *cellRope) flatten() *cellRope {
 	return ropeFromCells(r.appendAll(make([]supercover.Cell, 0, r.total)))
 }
 
-// appendRange appends the cells with lo <= ID <= hi to dst (the frozen
-// contents of one region, for transaction rollback).
-func (r *cellRope) appendRange(dst []supercover.Cell, lo, hi cellid.CellID) []supercover.Cell {
+// rangeRuns calls fn with each run segment whose cells satisfy
+// lo <= ID <= hi, in rope order — the shared intersection walk behind
+// appendRange and countRange.
+func (r *cellRope) rangeRuns(lo, hi cellid.CellID, fn func(seg []supercover.Cell)) {
 	for _, run := range r.runs {
 		if run[len(run)-1].ID < lo {
 			continue
@@ -87,8 +88,14 @@ func (r *cellRope) appendRange(dst []supercover.Cell, lo, hi cellid.CellID) []su
 		}
 		a := sort.Search(len(run), func(i int) bool { return run[i].ID >= lo })
 		b := sort.Search(len(run), func(i int) bool { return run[i].ID > hi })
-		dst = append(dst, run[a:b]...)
+		fn(run[a:b])
 	}
+}
+
+// appendRange appends the cells with lo <= ID <= hi to dst (the frozen
+// contents of one region, for transaction rollback).
+func (r *cellRope) appendRange(dst []supercover.Cell, lo, hi cellid.CellID) []supercover.Cell {
+	r.rangeRuns(lo, hi, func(seg []supercover.Cell) { dst = append(dst, seg...) })
 	return dst
 }
 
@@ -96,17 +103,7 @@ func (r *cellRope) appendRange(dst []supercover.Cell, lo, hi cellid.CellID) []su
 // copy, for sizing decisions before any splice work happens.
 func (r *cellRope) countRange(lo, hi cellid.CellID) int {
 	total := 0
-	for _, run := range r.runs {
-		if run[len(run)-1].ID < lo {
-			continue
-		}
-		if run[0].ID > hi {
-			break
-		}
-		a := sort.Search(len(run), func(i int) bool { return run[i].ID >= lo })
-		b := sort.Search(len(run), func(i int) bool { return run[i].ID > hi })
-		total += b - a
-	}
+	r.rangeRuns(lo, hi, func(seg []supercover.Cell) { total += len(seg) })
 	return total
 }
 

@@ -5,9 +5,10 @@
 // Beyond the paper's tables and figures, `-exp batch` measures the batch
 // probe pipeline behind the public CoversBatch/JoinCount API (per-point vs
 // batch probing, sorted vs unsorted, with cache-hit rates), `-exp snapshot`
-// measures the snapshot API under a live writer, and `-exp publish`
-// compares incremental snapshot patching against the full-rebuild publish
-// across covering sizes.
+// measures the snapshot API under a live writer, `-exp publish` compares
+// incremental snapshot patching against the full-rebuild publish across
+// covering sizes, and `-exp remove` compares directory-driven polygon
+// removal against the pre-directory full-quadtree walk.
 //
 // Usage:
 //

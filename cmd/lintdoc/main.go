@@ -1,0 +1,217 @@
+// Command lintdoc enforces the godoc contract of this repository: every
+// exported symbol — package, type, function, method, const and var — must
+// carry a doc comment, and the comment must start with the symbol's name
+// (leading articles allowed), the same convention revive's `exported` rule
+// and the original golint check. It exists so the CI docs step can fail a
+// change that lets the godoc pass rot, without pulling an external linter
+// into the build image.
+//
+// Usage:
+//
+//	lintdoc [dir ...]
+//
+// With no arguments it walks the current directory. Test files, generated
+// files, testdata and example programs are skipped. Exit status is 1 when
+// any symbol is missing (or mis-starts) its comment, with one line per
+// finding.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := lintTree(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintdoc: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d exported symbols without proper doc comments\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks every package directory under root and lints its non-test
+// files.
+func lintTree(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "examples" || name == "vendor" || name == "docs") {
+			return filepath.SkipDir
+		}
+		fs, err := lintDir(path)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	return findings, err
+}
+
+// lintDir parses one directory's package files and reports every exported
+// symbol without a proper doc comment.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		lintPackageDoc(pkg, report)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lintDecl(decl, report)
+			}
+		}
+	}
+	return findings, nil
+}
+
+// lintPackageDoc requires one package comment per package (main packages
+// included — a command's package comment is its usage documentation).
+func lintPackageDoc(pkg *ast.Package, report func(token.Pos, string, ...interface{})) {
+	for _, file := range pkg.Files {
+		if file.Doc != nil {
+			return
+		}
+	}
+	for _, file := range pkg.Files {
+		report(file.Package, "package %s has no package comment", pkg.Name)
+		return
+	}
+}
+
+// lintDecl checks one top-level declaration.
+func lintDecl(decl ast.Decl, report func(token.Pos, string, ...interface{})) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return
+		}
+		checkComment(d.Doc, d.Name.Name, "function", d.Pos(), report)
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+			return
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				doc := s.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				checkComment(doc, s.Name.Name, "type", s.Pos(), report)
+			case *ast.ValueSpec:
+				name := exportedName(s.Names)
+				if name == "" {
+					continue
+				}
+				// A doc comment on the grouped declaration covers the whole
+				// block (the idiomatic way to document related constants).
+				if d.Doc != nil && len(d.Specs) > 1 {
+					continue
+				}
+				doc := s.Doc
+				if doc == nil {
+					doc = d.Doc
+				}
+				if doc == nil {
+					report(s.Pos(), "exported %s %s has no doc comment", strings.ToLower(d.Tok.String()), name)
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the package API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver
+			t = rt.X
+		case *ast.Ident:
+			return rt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// exportedName returns the first exported name of a value spec.
+func exportedName(names []*ast.Ident) string {
+	for _, n := range names {
+		if n.IsExported() {
+			return n.Name
+		}
+	}
+	return ""
+}
+
+// checkComment requires a doc comment whose first word is the symbol name,
+// optionally preceded by an article.
+func checkComment(doc *ast.CommentGroup, name, kind string, pos token.Pos, report func(token.Pos, string, ...interface{})) {
+	if doc == nil {
+		report(pos, "exported %s %s has no doc comment", kind, name)
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	for _, article := range []string{"A ", "An ", "The "} {
+		if strings.HasPrefix(text, article) {
+			text = text[len(article):]
+			break
+		}
+	}
+	if !strings.HasPrefix(text, name) {
+		report(pos, "doc comment of exported %s %s should start with %q", kind, name, name)
+	}
+}

@@ -1,0 +1,54 @@
+// Package actjoin is a main-memory point-polygon join library built on an
+// Adaptive Cell Trie (ACT), reproducing Kipf et al., "Adaptive Main-Memory
+// Indexing for High-Performance Point-Polygon Joins" (EDBT 2020).
+//
+// The library indexes a mostly-static set of largely disjoint polygons
+// (city neighborhoods, tax zones, geofences) and answers "which polygons
+// cover this point" at tens of millions of points per second per core.
+//
+// Two operating modes mirror the paper's two join algorithms:
+//
+//   - With a precision bound (WithPrecision), the index refines polygon
+//     boundaries until every false positive is within the bound, and
+//     queries never perform geometric point-in-polygon (PIP) tests.
+//   - Without one, queries are exact: the index identifies most results via
+//     true-hit filtering and falls back to PIP tests only for points near
+//     polygon boundaries. Train adapts the index to an expected query
+//     distribution to make that fallback rare.
+//
+// # Concurrency contract
+//
+// The API splits reads from writes around immutable snapshots:
+//
+//   - Index is the writer handle. Mutations — Add, Remove, Train, and the
+//     transactional Apply — serialize among themselves on an internal
+//     mutex, build the next version of the index off to the side, and
+//     publish it as a new Snapshot with one atomic pointer swap. Writers
+//     never block queries and queries never block writers.
+//   - Snapshot carries every read operation (Covers, CoversApprox,
+//     CoversBatch, JoinCount, Stats, WriteTo, ...). A snapshot never
+//     changes after it is published: all its methods are safe for
+//     unlimited concurrent use and take no locks, and a query sequence
+//     against one snapshot — including a long batch join — observes a
+//     single consistent polygon set. Obtain the latest via Index.Current
+//     (one atomic load) whenever a fresher view is wanted.
+//   - The query methods still present on Index are deprecated forwarders
+//     that delegate to Current(); consecutive calls through them may
+//     observe different snapshots while writers are active.
+//
+// Publishes are incremental by default: a mutation patches the previous
+// snapshot (splicing clean cell runs, delta-encoding only dirty regions,
+// copy-on-write patching of the trie arena), so its latency is
+// proportional to the mutation — O(covering) for Add, O(footprint) for
+// Remove via the per-polygon cell directory — not to the index, with
+// automatic fallback to a compacting full rebuild when garbage thresholds
+// are crossed (see WithIncrementalPublish and docs/ARCHITECTURE.md for the
+// full pipeline).
+//
+// Quick start:
+//
+//	idx, err := actjoin.NewIndex(polygons, actjoin.WithPrecision(4))
+//	if err != nil { ... }
+//	snap := idx.Current()
+//	ids := snap.CoversApprox(actjoin.Point{Lon: -73.98, Lat: 40.75})
+package actjoin

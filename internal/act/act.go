@@ -33,7 +33,10 @@
 //
 // Nodes live in a single []uint64 arena; "pointers" are arena node indices,
 // which keeps the layout exactly as compact as the paper's tagged 8-byte
-// pointers while remaining safe Go.
+// pointers while remaining safe Go. A built tree is immutable; incremental
+// snapshot publishes derive the next tree with Patch (patch.go), which
+// shares the arena append-only and rebuilds only dirty subtrees, leaving
+// orphaned nodes accounted in GarbageRatio until a compacting full Build.
 package act
 
 import (
@@ -484,8 +487,23 @@ func (t *Tree) Delta() int { return t.delta }
 // Fanout returns the node fanout (4^δ).
 func (t *Tree) Fanout() int { return t.fanout }
 
-// NumNodes returns the number of radix nodes.
-func (t *Tree) NumNodes() int { return t.numNodes }
+// NumNodes returns the number of live radix nodes: nodes reachable from the
+// face roots. Nodes orphaned by Patch (superseded copy-on-write originals
+// and unlinked subtrees) still occupy the shared arena — see ArenaNodes and
+// OrphanNodes — but are excluded here, so the count describes the tree a
+// probe can traverse.
+func (t *Tree) NumNodes() int { return t.numNodes - t.garbage/t.fanout }
+
+// ArenaNodes returns the total number of nodes allocated in the shared
+// arena, live and orphaned alike. For a freshly built tree it equals
+// NumNodes; after patches it grows past it, and SizeBytes tracks it.
+func (t *Tree) ArenaNodes() int { return t.numNodes }
+
+// OrphanNodes returns the number of arena nodes orphaned by Patch: allocated
+// but unreachable from this tree's face roots (earlier snapshots in the
+// patch chain may still reach some of them). The owner compacts with a full
+// Build once GarbageRatio crosses its threshold.
+func (t *Tree) OrphanNodes() int { return t.garbage / t.fanout }
 
 // NumCells returns the number of indexed super-covering cells.
 func (t *Tree) NumCells() int { return t.numCells }

@@ -59,7 +59,13 @@ func (t *Tree) Patch(regions []PatchRegion, totalCells int) (nt *Tree, ok bool) 
 	for _, r := range regions {
 		lo, hi := r.Root.RangeMin(), r.Root.RangeMax()
 		for _, kv := range r.KVs {
-			if kv.Key < lo || kv.Key > hi {
+			// The level guard makes the containment requirement explicit: a
+			// key coarser than Root would extend replicas outside the slots
+			// clearRegion clears. (The id ordering already places ancestor
+			// ids just outside every descendant's range, so the range check
+			// alone suffices; the guard is defense in depth and
+			// documentation.)
+			if kv.Key < lo || kv.Key > hi || kv.Key.Level() < r.Root.Level() {
 				return nil, false
 			}
 		}

@@ -247,6 +247,16 @@ func TestPatchRejections(t *testing.T) {
 	}}}, 3); ok {
 		t.Fatal("accepted a cell outside its region root")
 	}
+
+	// An ancestor of the region root: its key-extension replicas would
+	// spill outside the cleared slots, so it must be refused (by the range
+	// check — ancestor ids sit outside descendant ranges — with the level
+	// guard as defense in depth).
+	if _, ok := tr.Patch([]PatchRegion{{Root: deep.Child(0), KVs: []cellindex.KeyEntry{
+		{Key: deep, Entry: entry(5)},
+	}}}, 3); ok {
+		t.Fatal("accepted a cell coarser than its region root")
+	}
 }
 
 // TestPatchFreshFace: patching cells into a previously empty face builds
@@ -275,5 +285,110 @@ func TestPatchFreshFace(t *testing.T) {
 	// The original tree must be untouched.
 	if got := tr.Find(root.Child(3).RangeMin()); got != refs.FalseHit {
 		t.Fatalf("Patch mutated its receiver: %#x", got)
+	}
+}
+
+// countReachable walks the tree from its face roots and counts the nodes a
+// probe can visit — the ground truth NumNodes must match after any patch
+// chain.
+func countReachable(tr *Tree) int {
+	var stack []int32
+	for f := range tr.faces {
+		if tr.faces[f].root >= 0 {
+			stack = append(stack, tr.faces[f].root)
+		}
+	}
+	count := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		base := int(n) * tr.fanout
+		for s := 0; s < tr.fanout; s++ {
+			e := tr.entries[base+s]
+			if e != 0 && e&3 == 0 {
+				stack = append(stack, int32(e>>2)-1)
+			}
+		}
+	}
+	return count
+}
+
+// TestPatchNodeAccounting: NumNodes must report live (reachable) nodes only,
+// with orphans accounted separately, across a chain of random patches.
+func TestPatchNodeAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tbl := refs.NewTable()
+	var kvs []cellindex.KeyEntry
+	for len(kvs) < 50 {
+		kvs = randomDisjointCells(rng, 200)
+	}
+	cur := Build(kvs, Delta2)
+	state := append([]cellindex.KeyEntry(nil), kvs...)
+	sawOrphans := false
+	for step := 0; step < 40; step++ {
+		root := pickRegionRoot(rng, state)
+		regions := []PatchRegion{{Root: root, KVs: randomCellsUnder(rng, tbl, root, 20)}}
+		state = applyRegions(state, regions)
+		next, ok := cur.Patch(regions, len(state))
+		if !ok {
+			cur = Build(state, Delta2)
+			continue
+		}
+		if got, want := next.NumNodes(), countReachable(next); got != want {
+			t.Fatalf("step %d: NumNodes() = %d, %d nodes reachable", step, got, want)
+		}
+		if next.NumNodes()+next.OrphanNodes() != next.ArenaNodes() {
+			t.Fatalf("step %d: live %d + orphans %d != arena %d",
+				step, next.NumNodes(), next.OrphanNodes(), next.ArenaNodes())
+		}
+		if st := next.ComputeStats(); st.NumNodes != next.NumNodes() || st.OrphanNodes != next.OrphanNodes() {
+			t.Fatalf("step %d: ComputeStats reports %d/%d nodes, tree reports %d/%d",
+				step, st.NumNodes, st.OrphanNodes, next.NumNodes(), next.OrphanNodes())
+		}
+		if next.OrphanNodes() > 0 {
+			sawOrphans = true
+		}
+		cur = next
+	}
+	if !sawOrphans {
+		t.Fatal("40 random patches never orphaned a node")
+	}
+}
+
+// TestFullRebuildResetsMaxCellLevel: deleting the deepest cells through a
+// patch keeps the stale maxCellLevel (the documented drift — deletions never
+// shrink it), and a from-scratch Build over the same cell set resets it.
+func TestFullRebuildResetsMaxCellLevel(t *testing.T) {
+	tbl := refs.NewTable()
+	entry := func(id uint32) refs.Entry { return tbl.Encode([]refs.Ref{refs.MakeRef(id, true)}) }
+	shallow := cellid.FaceCell(1).Child(0).Child(1)
+	deepRoot := cellid.FaceCell(1).Child(2)
+	deep := deepRoot
+	for deep.Level() < 12 {
+		deep = deep.Child(3)
+	}
+	kvs := []cellindex.KeyEntry{
+		{Key: shallow, Entry: entry(1)},
+		{Key: deep, Entry: entry(2)},
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	tr := Build(kvs, Delta4)
+	if tr.MaxCellLevel() != deep.Level() {
+		t.Fatalf("MaxCellLevel = %d, want %d", tr.MaxCellLevel(), deep.Level())
+	}
+
+	patched, ok := tr.Patch([]PatchRegion{{Root: deepRoot}}, 1)
+	if !ok {
+		t.Fatal("deletion patch refused")
+	}
+	if patched.MaxCellLevel() != deep.Level() {
+		t.Fatalf("patched MaxCellLevel = %d; the documented drift keeps %d",
+			patched.MaxCellLevel(), deep.Level())
+	}
+	rebuilt := Build([]cellindex.KeyEntry{{Key: shallow, Entry: entry(1)}}, Delta4)
+	if rebuilt.MaxCellLevel() != shallow.Level() {
+		t.Fatalf("rebuilt MaxCellLevel = %d, want %d — full rebuild must reset the drift",
+			rebuilt.MaxCellLevel(), shallow.Level())
 	}
 }

@@ -4,7 +4,10 @@ package act
 // paper uses to explain ACT's behaviour (node counts per level, slot
 // occupancy, average value depth).
 type Stats struct {
+	// NumNodes counts live nodes (reachable from the face roots); orphans
+	// left in the arena by Patch are reported separately in OrphanNodes.
 	NumNodes      int
+	OrphanNodes   int
 	NumValueSlots int
 	NumChildSlots int
 	NumEmptySlots int
@@ -24,7 +27,8 @@ type Stats struct {
 // ComputeStats walks the arena and tallies structural statistics.
 func (t *Tree) ComputeStats() Stats {
 	st := Stats{
-		NumNodes:      t.numNodes,
+		NumNodes:      t.NumNodes(),
+		OrphanNodes:   t.OrphanNodes(),
 		NumValueSlots: 0,
 		SizeBytes:     t.SizeBytes(),
 	}

@@ -8,6 +8,7 @@ import "actjoin/internal/geom"
 // Figure 9).
 type Scale int
 
+// The three dataset scales, from smoke-test sized to paper sized.
 const (
 	ScaleTiny Scale = iota
 	ScaleSmall
@@ -27,6 +28,7 @@ func ParseScale(s string) (Scale, bool) {
 	return ScaleSmall, false
 }
 
+// String returns the CLI flag spelling of the scale.
 func (s Scale) String() string {
 	switch s {
 	case ScaleTiny:

@@ -42,6 +42,7 @@ func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
 // DistanceTo returns the Euclidean distance between p and q in degrees.
 func (p Point) DistanceTo(q Point) float64 { return p.Sub(q).Norm() }
 
+// String formats the point for test output.
 func (p Point) String() string { return fmt.Sprintf("(%.6f, %.6f)", p.X, p.Y) }
 
 // Rect is a closed axis-aligned rectangle [Lo.X, Hi.X] x [Lo.Y, Hi.Y].
@@ -160,6 +161,7 @@ func (r Rect) Vertices() [4]Point {
 	}
 }
 
+// String formats the rect for test output.
 func (r Rect) String() string {
 	return fmt.Sprintf("[%v, %v]", r.Lo, r.Hi)
 }

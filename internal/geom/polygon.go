@@ -164,6 +164,7 @@ const (
 	RectInside
 )
 
+// String names the relation for test output.
 func (rr RectRelation) String() string {
 	switch rr {
 	case RectDisjoint:

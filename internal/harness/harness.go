@@ -102,6 +102,7 @@ var registry = []Experiment{
 	{"batch", "Batch engine: per-point vs batch probing, sorted vs unsorted", (*Env).Batch},
 	{"snapshot", "Snapshot API: publish latency and join throughput under a live writer", (*Env).Snapshot},
 	{"publish", "Publish paths: incremental snapshot patching vs full rebuild, by covering size", (*Env).Publish},
+	{"remove", "Removal paths: per-polygon cell directory vs full-quadtree walk, by covering size", (*Env).Remove},
 }
 
 // All returns every experiment in paper order.

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"actjoin"
+	"actjoin/internal/geom"
+)
+
+// Remove compares the two polygon-removal strategies of the public API —
+// the per-polygon cell directory (the default) against the pre-directory
+// full-quadtree walk (WithWalkRemoval) — across covering sizes, by building
+// the neighborhoods index at several precision bounds. The walk's cost grows
+// with the covering (it visits every node to find the polygon's cells); the
+// directory's cost tracks the removed polygon's footprint, which the churn
+// polygon keeps roughly constant across precisions — so the gap, like the
+// incremental-publish gap it composes with, widens with index size.
+//
+// Not a figure of the paper: removal is sketched in Section 3.1.2 as
+// following "the same logic" as insertion; this quantifies what locating a
+// polygon's cells costs with and without the reverse mapping.
+func (e *Env) Remove(w io.Writer) error {
+	const ds = "neighborhoods"
+	polys := toPublicPolygons(e.Polygons(ds))
+	bound := e.Bound(ds)
+
+	t := newTable(w)
+	t.row("precision", "cells", "footprint", "walk ms/remove", "directory ms/remove", "speedup")
+	t.rule(6)
+	for _, meters := range []float64{64, 16, 4} {
+		var cells, footprint int
+		var lat [2]time.Duration // [walk, directory]
+		for mode := 0; mode < 2; mode++ {
+			opts := []actjoin.Option{actjoin.WithPrecision(meters)}
+			if mode == 0 {
+				opts = append(opts, actjoin.WithWalkRemoval(true))
+			}
+			idx, err := actjoin.NewIndex(polys, opts...)
+			if err != nil {
+				return err
+			}
+			cells = idx.Current().Stats().NumCells
+			lat[mode], footprint, err = removeLatency(idx, bound)
+			if err != nil {
+				return err
+			}
+		}
+		speedup := float64(lat[0]) / float64(lat[1])
+		t.row(
+			fmt.Sprintf("%gm", meters),
+			fmt.Sprintf("%d", cells),
+			fmt.Sprintf("%d", footprint),
+			fmt.Sprintf("%.2f", lat[0].Seconds()*1e3),
+			fmt.Sprintf("%.2f", lat[1].Seconds()*1e3),
+			fmtSpeedup(speedup),
+		)
+	}
+	t.flush()
+	return nil
+}
+
+// removeLatency measures the per-Remove latency (locating the polygon's
+// cells, editing them, publishing the snapshot) of an Add/Remove churn with
+// only the Remove halves timed, fastest of measureRepeats passes. It also
+// reports the largest churn-polygon footprint seen, the directory path's
+// cost driver.
+func removeLatency(idx *actjoin.Index, bound geom.Rect) (time.Duration, int, error) {
+	const churn = 4
+	best := time.Duration(0)
+	footprint := 0
+	for rep := 0; rep < measureRepeats; rep++ {
+		var total time.Duration
+		for i := 0; i < churn; i++ {
+			id, err := idx.Add(churnSquare(bound, rep*churn+i))
+			if err != nil {
+				return 0, 0, err
+			}
+			if fp := idx.FootprintCells(id); fp > footprint {
+				footprint = fp
+			}
+			start := time.Now()
+			if err := idx.Remove(id); err != nil {
+				return 0, 0, err
+			}
+			total += time.Since(start)
+		}
+		if d := total / churn; rep == 0 || d < best {
+			best = d
+		}
+	}
+	return best, footprint, nil
+}

@@ -47,6 +47,7 @@ func (r Ref) PolygonID() uint32 { return uint32(r) >> 1 }
 // Interior reports whether the reference is a true hit.
 func (r Ref) Interior() bool { return r&1 != 0 }
 
+// String formats the reference as kind(id) for test output.
 func (r Ref) String() string {
 	kind := "cand"
 	if r.Interior() {

@@ -1,0 +1,127 @@
+package supercover
+
+import (
+	"fmt"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/refs"
+)
+
+// directory is the per-polygon footprint index of a SuperCovering: for every
+// polygon id it records the exact set of cells whose reference list mentions
+// the polygon. It is the reverse of the cell→references mapping the quadtree
+// stores, and it is what makes every per-polygon operation O(footprint):
+// RemovePolygon visits only the recorded cells instead of walking all six
+// face trees, and ReferencedPolygons is a key enumeration instead of a full
+// traversal.
+//
+// The directory is writer-side state with the same synchronization contract
+// as the quadtree itself. It is maintained inline by every mutation that
+// changes a node's reference list — Insert (including conflict-resolution
+// difference cells and the distribute path), refinement, training splits,
+// removal and transaction rollback (ResetRegion) — and is rebuilt for free
+// when a covering is reconstructed by re-inserting frozen cells
+// (deserialization, the full-rebuild restore path). Invariant: cell c is in
+// cells[p] if and only if the tree holds a cell c whose reference list
+// contains polygon p; ValidateDirectory checks it in tests.
+type directory struct {
+	cells map[uint32]map[cellid.CellID]struct{}
+}
+
+// newDirectory returns an empty directory.
+func newDirectory() directory {
+	return directory{cells: make(map[uint32]map[cellid.CellID]struct{})}
+}
+
+// addRefs records that cell id references every polygon in rs. rs need not
+// be normalized: duplicate polygon ids collapse in the set.
+func (d *directory) addRefs(id cellid.CellID, rs []refs.Ref) {
+	for _, r := range rs {
+		p := r.PolygonID()
+		set := d.cells[p]
+		if set == nil {
+			set = make(map[cellid.CellID]struct{})
+			d.cells[p] = set
+		}
+		set[id] = struct{}{}
+	}
+}
+
+// removeRefs drops cell id from every polygon in rs. Empty per-polygon sets
+// are deleted so ReferencedPolygons never reports a polygon without cells.
+func (d *directory) removeRefs(id cellid.CellID, rs []refs.Ref) {
+	for _, r := range rs {
+		d.removeOne(id, r.PolygonID())
+	}
+}
+
+// removeOne drops cell id from polygon p's set.
+func (d *directory) removeOne(id cellid.CellID, p uint32) {
+	set := d.cells[p]
+	if set == nil {
+		return
+	}
+	delete(set, id)
+	if len(set) == 0 {
+		delete(d.cells, p)
+	}
+}
+
+// Footprint returns the number of cells currently referencing the polygon —
+// the cost driver of RemovePolygon and of the incremental publish that
+// follows it.
+func (sc *SuperCovering) Footprint(id uint32) int { return len(sc.dir.cells[id]) }
+
+// SetWalkRemoval selects RemovePolygon's implementation: false (the default)
+// descends only the cells recorded in the per-polygon directory; true forces
+// the pre-directory full-quadtree walk. The walk exists for benchmarking the
+// two paths against each other and as the reference implementation the
+// differential tests compare against; results and dirty marks are identical
+// either way, and the directory stays maintained in both modes.
+func (sc *SuperCovering) SetWalkRemoval(walk bool) { sc.walkRemoval = walk }
+
+// ValidateDirectory recomputes the polygon→cells mapping from the quadtree
+// and compares it against the maintained directory, returning an error on
+// the first divergence. Testing hook: every mutation path is required to
+// keep the two in lockstep.
+func (sc *SuperCovering) ValidateDirectory() error {
+	want := make(map[uint32]map[cellid.CellID]struct{})
+	var walk func(n *node, id cellid.CellID)
+	walk = func(n *node, id cellid.CellID) {
+		if n.hasCell {
+			for _, r := range n.refs {
+				p := r.PolygonID()
+				if want[p] == nil {
+					want[p] = make(map[cellid.CellID]struct{})
+				}
+				want[p][id] = struct{}{}
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if n.children[i] != nil {
+				walk(n.children[i], id.Child(i))
+			}
+		}
+	}
+	for f := range sc.roots {
+		if sc.roots[f] != nil {
+			walk(sc.roots[f], cellid.FaceCell(f))
+		}
+	}
+
+	if len(want) != len(sc.dir.cells) {
+		return fmt.Errorf("supercover: directory tracks %d polygons, tree references %d", len(sc.dir.cells), len(want))
+	}
+	for p, cells := range want {
+		got := sc.dir.cells[p]
+		if len(got) != len(cells) {
+			return fmt.Errorf("supercover: polygon %d: directory holds %d cells, tree holds %d", p, len(got), len(cells))
+		}
+		for c := range cells {
+			if _, ok := got[c]; !ok {
+				return fmt.Errorf("supercover: polygon %d: cell %v referenced by the tree but missing from the directory", p, c)
+			}
+		}
+	}
+	return nil
+}

@@ -134,7 +134,7 @@ func (sc *SuperCovering) ResetRegion(root cellid.CellID, cells []Cell) bool {
 			cur = cur.children[pos]
 		}
 		if cur != nil {
-			sc.numCells -= countCells(cur)
+			sc.numCells -= sc.detachCells(cur, root)
 			if len(path) == 0 {
 				sc.roots[face] = nil
 			} else {
@@ -163,15 +163,19 @@ func (sc *SuperCovering) ResetRegion(root cellid.CellID, cells []Cell) bool {
 	return true
 }
 
-// countCells counts the cells held in the subtree.
-func countCells(n *node) int {
+// detachCells counts the cells held in the subtree rooted at id and strips
+// their references from the per-polygon directory: the subtree is about to
+// be discarded, and the frozen cells re-inserted in its place re-register
+// themselves through Insert.
+func (sc *SuperCovering) detachCells(n *node, id cellid.CellID) int {
 	if n.hasCell {
+		sc.dir.removeRefs(id, n.refs)
 		return 1
 	}
 	total := 0
 	for i := 0; i < 4; i++ {
 		if n.children[i] != nil {
-			total += countCells(n.children[i])
+			total += sc.detachCells(n.children[i], id.Child(i))
 		}
 	}
 	return total

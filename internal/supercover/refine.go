@@ -32,6 +32,7 @@ func (sc *SuperCovering) RefineToPrecision(polys []*geom.Polygon, minLevel int) 
 	for f := 0; f < cellid.NumFaces; f++ {
 		if sc.roots[f] != nil {
 			sc.refineNode(sc.roots[f], cellid.FaceCell(f), minLevel, polys, edgesOf)
+			sc.pruneEmptyAt(cellid.FaceCell(f))
 		}
 	}
 }
@@ -74,6 +75,7 @@ func (sc *SuperCovering) RefineCells(polys []*geom.Polygon, seeds []cellid.CellI
 			// ancestor-cell break above can land coarser).
 			sc.markDirty(id)
 			sc.refineNode(cur, id, minLevel, polys, edgesOf)
+			sc.pruneEmptyAt(id)
 		}
 	}
 }
@@ -106,6 +108,11 @@ func (sc *SuperCovering) refineNode(n *node, id cellid.CellID, minLevel int, pol
 		for i := 0; i < 4; i++ {
 			if n.children[i] != nil {
 				sc.refineNode(n.children[i], id.Child(i), minLevel, polys, edgesOf)
+				if c := n.children[i]; !c.hasCell && !c.hasChildren() {
+					// Every reference in the child's subtree turned out
+					// disjoint: drop the emptied node (see pruneEmptyAt).
+					n.children[i] = nil
+				}
 			}
 		}
 		return
@@ -139,12 +146,14 @@ func (sc *SuperCovering) refineNode(n *node, id cellid.CellID, minLevel int, pol
 	if len(boundary) == 0 {
 		// Nothing left to refine: either drop the cell or keep it as a
 		// (possibly promoted) pure true-hit cell.
+		sc.dir.removeRefs(id, n.refs)
 		if len(interior) == 0 {
 			n.hasCell = false
 			n.refs = nil
 			sc.numCells--
 		} else {
 			n.refs = refs.Normalize(interior)
+			sc.dir.addRefs(id, n.refs)
 		}
 		return
 	}
@@ -155,11 +164,14 @@ func (sc *SuperCovering) refineNode(n *node, id cellid.CellID, minLevel int, pol
 		for _, bc := range boundary {
 			all = append(all, bc.ref)
 		}
+		sc.dir.removeRefs(id, n.refs)
 		n.refs = refs.Normalize(all)
+		sc.dir.addRefs(id, n.refs)
 		return
 	}
 
 	// Replace the boundary cell with classified descendants.
+	sc.dir.removeRefs(id, n.refs)
 	n.hasCell = false
 	n.refs = nil
 	sc.numCells--
@@ -201,9 +213,15 @@ func (sc *SuperCovering) splitBoundary(n *node, id cellid.CellID, interior []ref
 			}
 			child.hasCell = true
 			child.refs = refs.Normalize(all)
+			sc.dir.addRefs(childID, child.refs)
 			sc.numCells++
 			continue
 		}
 		sc.splitBoundary(child, childID, childInterior, childBoundary, minLevel)
+		if !child.hasCell && !child.hasChildren() {
+			// The recursion classified every grandchild as disjoint: no cell
+			// materialized, so the node must not stay (see pruneEmptyAt).
+			n.children[i] = nil
+		}
 	}
 }

@@ -12,10 +12,82 @@ import "actjoin/internal/cellid"
 // lookup table" — the incremental publish path reorganizes the lookup table
 // with threshold-triggered compaction, see internal/cellindex).
 //
-// Each edited cell is recorded as its own dirty region, so the cost of the
-// next incremental freeze is proportional to the polygon's footprint, not to
-// the covering.
+// The per-polygon directory records exactly which cells reference the
+// polygon, so the removal descends only to those cells: the cost is
+// O(footprint · depth), independent of the covering size. Each edited cell
+// is recorded as its own dirty region, so the cost of the next incremental
+// freeze is proportional to the polygon's footprint too. SetWalkRemoval
+// forces the pre-directory full-quadtree walk instead (benchmarking and
+// differential testing); the two implementations produce identical trees and
+// identical dirty marks.
 func (sc *SuperCovering) RemovePolygon(id uint32) int {
+	if sc.walkRemoval {
+		return sc.removePolygonWalk(id)
+	}
+	set := sc.dir.cells[id]
+	if len(set) == 0 {
+		return 0
+	}
+	// Snapshot and sort the footprint before editing: removeRefAt mutates the
+	// set through the directory, and sorted descent keeps the node accesses
+	// coherent.
+	cells := make([]cellid.CellID, 0, len(set))
+	for c := range set {
+		cells = append(cells, c)
+	}
+	cellid.SortCellIDs(cells)
+	for _, c := range cells {
+		sc.removeRefAt(c, id)
+	}
+	return len(cells)
+}
+
+// removeRefAt descends to the directory-recorded cell c, strips polygon p
+// from its reference list, and — when the cell ends up empty — drops it and
+// prunes the emptied node chain. Panics when the tree holds no cell at c:
+// that means the directory diverged from the tree, which is a programming
+// error in the maintenance hooks, not a data error.
+func (sc *SuperCovering) removeRefAt(c cellid.CellID, p uint32) {
+	cur := sc.roots[c.Face()]
+	level := c.Level()
+	for l := 1; cur != nil && l <= level; l++ {
+		if cur.hasCell {
+			cur = nil // an ancestor cell covers c: the directory lied
+			break
+		}
+		cur = cur.children[c.ChildPosition(l)]
+	}
+	if cur == nil || !cur.hasCell {
+		panic("supercover: directory points at a cell the tree does not hold")
+	}
+
+	kept := cur.refs[:0]
+	for _, r := range cur.refs {
+		if r.PolygonID() == p {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	sc.markDirty(c)
+	sc.dir.removeOne(c, p)
+	cur.refs = kept
+	if len(kept) > 0 {
+		return
+	}
+	cur.hasCell = false
+	cur.refs = nil
+	sc.numCells--
+	// Prune the emptied chain bottom-up, exactly as the walk-based removal
+	// prunes empty subtrees on its way out.
+	sc.pruneEmptyAt(c)
+}
+
+// removePolygonWalk is the pre-directory RemovePolygon: a full walk of all
+// six face trees, filtering every reference list. O(index) instead of
+// O(footprint); kept as the reference implementation the differential tests
+// compare against and for benchmarking via SetWalkRemoval. It maintains the
+// directory just like the fast path, so the two modes are interchangeable.
+func (sc *SuperCovering) removePolygonWalk(id uint32) int {
 	touched := 0
 	for f := range sc.roots {
 		if sc.roots[f] == nil {
@@ -45,6 +117,7 @@ func (sc *SuperCovering) removeFromNode(n *node, c cellid.CellID, id uint32, tou
 		if found {
 			*touched++
 			sc.markDirty(c)
+			sc.dir.removeOne(c, id)
 			n.refs = kept
 			if len(kept) == 0 {
 				n.hasCell = false
@@ -69,23 +142,12 @@ func (sc *SuperCovering) removeFromNode(n *node, c cellid.CellID, id uint32, tou
 }
 
 // ReferencedPolygons returns the set of polygon ids still referenced
-// anywhere in the covering (used by tests and the update API).
+// anywhere in the covering. Directory-backed: O(live polygons), no tree
+// walk.
 func (sc *SuperCovering) ReferencedPolygons() map[uint32]bool {
-	out := map[uint32]bool{}
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n == nil {
-			return
-		}
-		for _, r := range n.refs {
-			out[r.PolygonID()] = true
-		}
-		for i := 0; i < 4; i++ {
-			walk(n.children[i])
-		}
-	}
-	for f := range sc.roots {
-		walk(sc.roots[f])
+	out := make(map[uint32]bool, len(sc.dir.cells))
+	for p := range sc.dir.cells {
+		out[p] = true
 	}
 	return out
 }

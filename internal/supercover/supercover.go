@@ -22,9 +22,20 @@
 //     expected query distribution needs it.
 //
 // Internally the super covering is a mutable pointer quadtree per face; it
-// is frozen into a sorted (cell id, references) list for indexing. The
-// invariant maintained throughout: a node holding a cell has no ancestor and
-// no descendant holding a cell.
+// is frozen into a sorted (cell id, references) list for indexing. Two
+// invariants are maintained throughout: a node holding a cell has no
+// ancestor and no descendant holding a cell, and the tree never contains a
+// node with neither a cell nor children (refinement and training prune the
+// chains they empty, see pruneEmptyAt).
+//
+// Two pieces of writer-side bookkeeping ride along with every mutation:
+//
+//   - Dirty-region tracking (dirty.go) records the subtree roots each
+//     mutation touched, so an incremental freeze re-emits only those
+//     regions and a transaction abort resets only them (ResetRegion).
+//   - The per-polygon cell directory (directory.go) maintains the reverse
+//     polygon→cells mapping, making RemovePolygon and ReferencedPolygons
+//     O(footprint) instead of O(index).
 package supercover
 
 import (
@@ -67,10 +78,17 @@ type SuperCovering struct {
 	// must walk everything.
 	dirty    []cellid.CellID
 	dirtyAll bool
+
+	// dir is the per-polygon footprint directory (see directory.go): the
+	// reverse polygon→cells mapping every mutation maintains, making
+	// RemovePolygon and ReferencedPolygons O(footprint). walkRemoval forces
+	// the pre-directory full-tree removal walk (see SetWalkRemoval).
+	dir         directory
+	walkRemoval bool
 }
 
 // New returns an empty super covering.
-func New() *SuperCovering { return &SuperCovering{} }
+func New() *SuperCovering { return &SuperCovering{dir: newDirectory()} }
 
 // NumCells returns the current number of cells.
 func (sc *SuperCovering) NumCells() int { return sc.numCells }
@@ -93,18 +111,22 @@ func (sc *SuperCovering) Insert(id cellid.CellID, rs []refs.Ref) {
 			// cells per level between them), copying c1's references to
 			// every piece (Figure 4). The whole subtree under c1 changes, so
 			// c1 is the dirty root.
-			sc.markDirty(id.Parent(l - 1))
+			ancestor := id.Parent(l - 1)
+			sc.markDirty(ancestor)
 			oldRefs := cur.refs
+			sc.dir.removeRefs(ancestor, oldRefs)
 			cur.hasCell = false
 			cur.refs = nil
 			sc.numCells--
 			for m := l; m <= level; m++ {
 				pos := id.ChildPosition(m)
+				parent := id.Parent(m - 1)
 				for i := 0; i < 4; i++ {
 					if i == pos {
 						continue
 					}
 					cur.children[i] = &node{hasCell: true, refs: copyRefs(oldRefs)}
+					sc.dir.addRefs(parent.Child(i), oldRefs)
 					sc.numCells++
 				}
 				next := &node{}
@@ -113,6 +135,7 @@ func (sc *SuperCovering) Insert(id cellid.CellID, rs []refs.Ref) {
 			}
 			cur.hasCell = true
 			cur.refs = refs.Normalize(append(copyRefs(oldRefs), rs...))
+			sc.dir.addRefs(id, cur.refs)
 			sc.numCells++
 			return
 		}
@@ -128,37 +151,75 @@ func (sc *SuperCovering) Insert(id cellid.CellID, rs []refs.Ref) {
 	case cur.hasCell:
 		// Duplicate cell: merge the reference lists.
 		cur.refs = refs.Normalize(append(cur.refs, rs...))
+		sc.dir.addRefs(id, rs)
 	case cur.hasChildren():
 		// Conflict: the new cell c1 is an ancestor of existing cells.
 		// Distribute c1's references into the subtree, turning uncovered
 		// gaps into difference cells.
-		sc.distribute(cur, rs)
+		sc.distribute(cur, id, rs)
 	default:
 		cur.hasCell = true
 		cur.refs = copyRefs(rs)
+		sc.dir.addRefs(id, rs)
 		sc.numCells++
 	}
 }
 
-func (sc *SuperCovering) distribute(n *node, rs []refs.Ref) {
+// distribute pushes rs down the subtree rooted at n (cell id), merging into
+// existing cells and turning uncovered gaps into difference cells.
+func (sc *SuperCovering) distribute(n *node, id cellid.CellID, rs []refs.Ref) {
 	if n.hasCell {
 		n.refs = refs.Normalize(append(n.refs, rs...))
+		sc.dir.addRefs(id, rs)
 		return
 	}
 	if !n.hasChildren() {
 		n.hasCell = true
 		n.refs = copyRefs(rs)
+		sc.dir.addRefs(id, rs)
 		sc.numCells++
 		return
 	}
 	for i := 0; i < 4; i++ {
+		child := id.Child(i)
 		if n.children[i] == nil {
 			n.children[i] = &node{hasCell: true, refs: copyRefs(rs)}
+			sc.dir.addRefs(child, rs)
 			sc.numCells++
 		} else {
-			sc.distribute(n.children[i], rs)
+			sc.distribute(n.children[i], child, rs)
 		}
 	}
+}
+
+// pruneEmptyAt detaches the node at c when it ended up holding no cell and
+// no children, then prunes the emptied ancestor chain bottom-up. Refinement
+// and training call it after rewriting a subtree: a cell whose references
+// all turn out disjoint is dropped, and the node (and chain) it occupied
+// must go with it — an empty node left behind would divert a later Insert of
+// an ancestor cell into the distribute path and shatter a cell that a clean
+// tree stores whole. The invariant this maintains: the tree never contains a
+// node with neither a cell nor children.
+func (sc *SuperCovering) pruneEmptyAt(c cellid.CellID) {
+	face := c.Face()
+	level := c.Level()
+	var path [cellid.MaxLevel]*node // path[l] is the node at quadtree level l
+	cur := sc.roots[face]
+	for l := 1; cur != nil && l <= level; l++ {
+		path[l-1] = cur
+		cur = cur.children[c.ChildPosition(l)]
+	}
+	if cur == nil || cur.hasCell || cur.hasChildren() {
+		return
+	}
+	for l := level; l >= 1; l-- {
+		parent := path[l-1]
+		parent.children[c.ChildPosition(l)] = nil
+		if parent.hasCell || parent.hasChildren() {
+			return
+		}
+	}
+	sc.roots[face] = nil
 }
 
 func copyRefs(rs []refs.Ref) []refs.Ref {

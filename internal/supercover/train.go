@@ -47,6 +47,11 @@ func (sc *SuperCovering) Train(polys []*geom.Polygon, points []cellid.CellID, ma
 		}
 		sc.markDirty(id)
 		sc.splitCellOnce(n, id, polys)
+		if !n.hasCell && !n.hasChildren() {
+			// Every child was classified as a false hit: the split dissolved
+			// the cell entirely, so drop its emptied node chain too.
+			sc.pruneEmptyAt(id)
+		}
 		res.Splits++
 	}
 	return res
@@ -85,6 +90,7 @@ func (sc *SuperCovering) lookupNode(leaf cellid.CellID) (*node, cellid.CellID) {
 // polygon are dropped entirely (they become false hits).
 func (sc *SuperCovering) splitCellOnce(n *node, id cellid.CellID, polys []*geom.Polygon) {
 	oldRefs := n.refs
+	sc.dir.removeRefs(id, oldRefs)
 	n.hasCell = false
 	n.refs = nil
 	sc.numCells--
@@ -109,6 +115,7 @@ func (sc *SuperCovering) splitCellOnce(n *node, id cellid.CellID, polys []*geom.
 			continue
 		}
 		n.children[i] = &node{hasCell: true, refs: refs.Normalize(childRefs)}
+		sc.dir.addRefs(childID, n.children[i].refs)
 		sc.numCells++
 	}
 }

@@ -366,3 +366,101 @@ func TestIncrementalPublishDisabled(t *testing.T) {
 	}
 	assertSnapshotsEqual(t, "full-only", ix.Current(), fullFreeze(ix), probes)
 }
+
+// TestStatsExcludeOrphans: snapshot statistics must report live trie nodes,
+// with patch-orphaned arena nodes in their own counter that together account
+// for the whole arena. (Live counts of a patched tree and a fresh build may
+// differ slightly — the patch preserves the frozen prefix layout — so the
+// cross-check against reachable nodes lives in internal/act's
+// TestPatchNodeAccounting; here we check the public wiring.)
+func TestStatsExcludeOrphans(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	polys := make([]Polygon, 20)
+	for i := range polys {
+		polys[i] = randSquare(rng)
+	}
+	ix, err := NewIndex(polys, WithCoveringBudget(8, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawOrphans := false
+	for i := 0; i < 12; i++ {
+		id, err := ix.Add(randSquare(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+		st := ix.Current().Stats()
+		if st.OrphanTrieNodes > 0 {
+			sawOrphans = true
+		}
+		// Live + orphaned nodes must account for the entire arena.
+		nodeBytes := 8 << uint(2*st.Granularity)
+		if (st.NumTrieNodes+st.OrphanTrieNodes)*nodeBytes != st.TrieSizeBytes {
+			t.Fatalf("churn %d: %d live + %d orphaned nodes don't cover the %d-byte arena",
+				i, st.NumTrieNodes, st.OrphanTrieNodes, st.TrieSizeBytes)
+		}
+		if refStats := fullFreeze(ix).Stats(); refStats.OrphanTrieNodes != 0 {
+			t.Fatalf("churn %d: full freeze reports %d orphans", i, refStats.OrphanTrieNodes)
+		}
+	}
+	if !sawOrphans {
+		t.Fatal("Add/Remove churn never orphaned a trie node")
+	}
+	if patched, _ := ix.publishCounters(); patched == 0 {
+		t.Fatal("incremental path never engaged")
+	}
+}
+
+// TestFullRebuildResetsSnapshotMaxCellLevel: removing the polygon with the
+// deepest covering keeps the stale probe-sort depth on the incremental path
+// (the documented drift) and resets it on the full-rebuild path.
+func TestFullRebuildResetsSnapshotMaxCellLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	polys := make([]Polygon, 10)
+	for i := range polys {
+		polys[i] = randSquare(rng)
+	}
+	// One polygon orders of magnitude smaller than the rest: its covering
+	// cells are the deepest in the index.
+	tiny := Polygon{Exterior: Ring{
+		{Lon: -74.0, Lat: 40.7}, {Lon: -73.999995, Lat: 40.7},
+		{Lon: -73.999995, Lat: 40.700005}, {Lon: -74.0, Lat: 40.700005},
+	}}
+	tinyID := PolygonID(len(polys))
+	polys = append(polys, tiny)
+
+	build := func(opts ...Option) *Index {
+		ix, err := NewIndex(polys, append([]Option{WithCoveringBudget(8, 16)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	inc := build()
+	full := build(WithIncrementalPublish(false))
+	deepLevel := inc.Current().tree.MaxCellLevel()
+
+	if err := inc.Remove(tinyID); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Remove(tinyID); err != nil {
+		t.Fatal(err)
+	}
+	if got := inc.Current().tree.MaxCellLevel(); got != deepLevel {
+		t.Fatalf("incremental MaxCellLevel = %d after removal; the documented drift keeps %d", got, deepLevel)
+	}
+	fresh, err := NewIndex(polys[:tinyID], WithCoveringBudget(8, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Current().tree.MaxCellLevel()
+	if want >= deepLevel {
+		t.Fatalf("fixture broken: remaining polygons reach level %d >= tiny polygon's %d", want, deepLevel)
+	}
+	if got := full.Current().tree.MaxCellLevel(); got != want {
+		t.Fatalf("full rebuild MaxCellLevel = %d after removal, want reset to %d", got, want)
+	}
+}

@@ -20,6 +20,11 @@ import (
 // from — so a loaded index is bit-identical in behaviour to the saved one
 // (including training effects, which live in the super covering). The trie
 // is rebuilt on load, which keeps the format independent of arena layout.
+// The same goes for the writer's per-polygon cell directory: re-inserting
+// the frozen cells rebuilds it as a side effect, so it needs no on-disk
+// representation and a loaded index removes polygons in O(footprint) just
+// like the index that was saved (tombstoned polygons have no cells and thus
+// no directory entries).
 //
 // Serialization reads from a Snapshot, which owns a frozen copy of exactly
 // those two inputs: WriteTo can therefore run concurrently with writers on

@@ -166,24 +166,30 @@ type JoinResult struct {
 
 // Stats describes a published snapshot.
 type Stats struct {
-	NumPolygons    int
-	NumCells       int // super covering cells
-	NumTrieNodes   int
-	TrieSizeBytes  int // node arena
-	TableSizeBytes int // shared lookup table
-	Granularity    int // quadtree levels per radix level (δ)
-	PrecisionLevel int // refinement level, 0 when exact-only
+	NumPolygons int
+	NumCells    int // super covering cells
+	// NumTrieNodes counts live trie nodes: nodes a probe can reach. On
+	// snapshots produced by incremental publishes the shared arena also
+	// holds nodes orphaned by patching — reported in OrphanTrieNodes and
+	// included in TrieSizeBytes — which a compacting full rebuild reclaims.
+	NumTrieNodes    int
+	OrphanTrieNodes int
+	TrieSizeBytes   int // node arena, including orphaned nodes
+	TableSizeBytes  int // shared lookup table
+	Granularity     int // quadtree levels per radix level (δ)
+	PrecisionLevel  int // refinement level, 0 when exact-only
 }
 
 // Stats returns structural statistics of the snapshot.
 func (s *Snapshot) Stats() Stats {
 	return Stats{
-		NumPolygons:    len(s.polys),
-		NumCells:       s.cells.Len(),
-		NumTrieNodes:   s.tree.NumNodes(),
-		TrieSizeBytes:  s.tree.SizeBytes(),
-		TableSizeBytes: s.table.SizeBytes(),
-		Granularity:    s.opt.delta,
-		PrecisionLevel: s.precisionLevel,
+		NumPolygons:     len(s.polys),
+		NumCells:        s.cells.Len(),
+		NumTrieNodes:    s.tree.NumNodes(),
+		OrphanTrieNodes: s.tree.OrphanNodes(),
+		TrieSizeBytes:   s.tree.SizeBytes(),
+		TableSizeBytes:  s.table.SizeBytes(),
+		Granularity:     s.opt.delta,
+		PrecisionLevel:  s.precisionLevel,
 	}
 }

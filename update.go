@@ -108,6 +108,12 @@ func equatorNearestLat(r geom.Rect) float64 {
 // id is never reused; queries on later snapshots never report it again.
 // Counts slices from joins keep their length (the removed id's slot stays
 // zero).
+//
+// Cost: O(polygon footprint), not O(index) — the writer's per-polygon cell
+// directory records exactly which covering cells reference the polygon, so
+// both the removal and the incremental publish that follows touch only those
+// cells (see FootprintCells; WithWalkRemoval forces the old full-walk
+// behaviour).
 func (ix *Index) Remove(id PolygonID) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
@@ -129,6 +135,18 @@ func (ix *Index) removeLocked(id PolygonID) error {
 	ix.mutablePolys(0)[id] = nil // tombstone: ids stay stable
 	ix.staged = true
 	return nil
+}
+
+// FootprintCells returns the number of super-covering cells currently
+// referencing the polygon in the writer-side state — the cost driver of
+// Remove and of the incremental publish that follows it. Removed (or never
+// referenced) polygons report 0. The count reflects staged mutations that
+// may not be published yet; it is a writer-side diagnostic, not a snapshot
+// property.
+func (ix *Index) FootprintCells(id PolygonID) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.sc.Footprint(id)
 }
 
 // TrainStats reports the outcome of Train.
