@@ -48,6 +48,7 @@ type options struct {
 	interiorCells   int
 	fullPublish     bool
 	walkRemoval     bool
+	noBgCompact     bool
 }
 
 // Option configures NewIndex.
@@ -92,6 +93,25 @@ func WithGranularity(delta int) Option {
 func WithIncrementalPublish(enabled bool) Option {
 	return func(o *options) error {
 		o.fullPublish = !enabled
+		return nil
+	}
+}
+
+// WithBackgroundCompaction controls how the garbage that incremental
+// publishes accumulate gets compacted. When enabled (the default), crossing
+// a garbage threshold kicks off a background goroutine that rebuilds the
+// frozen structures from the current snapshot with no writer lock held,
+// while the writer keeps patching (up to hard caps); the finished rebuild is
+// reconciled with the publishes that happened meanwhile and swapped in under
+// the writer mutex. Publish latency then stays bounded by the mutation even
+// across compactions. Disabling it forces the pre-compactor behaviour — a
+// stop-the-writer full rebuild at every threshold crossing (~hundreds of
+// milliseconds at large coverings) — and exists for benchmarking, as the
+// differential-test reference, and as an operational escape hatch. Published
+// snapshots are byte-identical either way.
+func WithBackgroundCompaction(enabled bool) Option {
+	return func(o *options) error {
+		o.noBgCompact = !enabled
 		return nil
 	}
 }
@@ -152,13 +172,29 @@ type Index struct {
 	staged      bool
 
 	// enc carries the shared lookup table across incremental publishes
-	// (garbage-tracked, compacted on full rebuilds); kvScratch recycles the
+	// (garbage-tracked, compacted on full rebuilds and replaced wholesale
+	// when a background compaction lands); kvScratch recycles the
 	// per-publish dirty-region encoding buffer. patched/full count the
 	// publishes each path served (diagnostics, read under mu).
 	enc       *cellindex.Encoder
 	kvScratch []cellindex.KeyEntry
 	patched   int
 	full      int
+
+	// compacting is the in-flight background compaction, nil when none (see
+	// compaction.go). The counters track cycle starts and landings. All
+	// guarded by mu; the compactor goroutine takes mu to land its result.
+	compacting         *compaction
+	compactionsStarted int
+	compactionsLanded  int
+
+	// Test hooks (same-package tests only): holdCompaction, when non-nil,
+	// parks every finished compaction until the channel is closed, so tests
+	// can deterministically observe the pending-ready state; failPatches
+	// forces the next n patch attempts to abort after staging, exercising
+	// the encoder rollback path.
+	holdCompaction chan struct{}
+	failPatches    int
 
 	opt            options // immutable after NewIndex
 	precisionLevel int     // immutable after NewIndex
@@ -245,8 +281,10 @@ func (ix *Index) Current() *Snapshot { return ix.cur.Load() }
 // Publish thresholds: a patch is only attempted while the mutation's dirty
 // footprint stays a small fraction of the index and while the garbage that
 // patching accumulates (orphaned trie nodes, tombstoned lookup-table
-// records) stays below its compaction triggers. Everything past these lines
-// rebuilds from scratch, which also resets the garbage.
+// records) stays below its compaction triggers. Crossing a garbage trigger
+// starts a background compaction (the default) or falls back to an inline
+// rebuild (WithBackgroundCompaction(false)); while a compaction is in
+// flight the writer keeps patching up to the hard caps in compaction.go.
 const (
 	publishMaxDirtyFraction = 0.25 // dirty cells vs previous snapshot cells
 	arenaMaxGarbageFraction = 0.25 // orphaned arena slots before compaction
@@ -263,18 +301,25 @@ const (
 // only dirty regions are re-emitted and re-encoded, and the trie arena is
 // copied flat and rebuilt only under the dirty roots. The full rebuild
 // remains the fallback for bulk mutations (including the first publish) and
-// for the compaction triggers above.
+// for whatever the incremental paths — patching and background compaction —
+// cannot absorb.
 func (ix *Index) publish() *Snapshot {
 	if ix.enc == nil {
 		ix.enc = cellindex.NewEncoder()
 	}
 	prev := ix.cur.Load()
 	roots, all := ix.sc.TakeDirty()
+	if c := ix.compacting; c != nil {
+		// Whatever this publish changes must be re-applied onto the fresh
+		// base before the in-flight compaction may land.
+		c.addReplay(roots, all)
+	}
 	var s *Snapshot
 	if prev != nil && !all && !ix.opt.fullPublish {
-		s = ix.publishPatched(prev, roots)
+		s = ix.publishIncremental(prev, roots)
 	}
 	if s == nil {
+		ix.abandonCompactionLocked()
 		ix.full++
 		// The snapshot takes ownership of the frozen cells (via the rope),
 		// so the full path allocates a fresh, exactly-sized buffer; only the
@@ -299,51 +344,125 @@ func (ix *Index) publish() *Snapshot {
 	return s
 }
 
-// publishPatched assembles the next snapshot by patching prev with the
-// coalesced dirty regions. It returns nil when the patch cannot (or should
-// not) be applied, leaving the caller to rebuild; the encoder may have
-// staged partial work by then, which the full rebuild's EncodeAll resets.
-func (ix *Index) publishPatched(prev *Snapshot, roots []cellid.CellID) *Snapshot {
+// publishIncremental serves one publish without a full rebuild, choosing
+// among patching prev, starting a background compaction, and landing an
+// in-flight one. It returns nil only when every incremental avenue is
+// exhausted and the caller must rebuild inline. Callers must hold mu.
+func (ix *Index) publishIncremental(prev *Snapshot, roots []cellid.CellID) *Snapshot {
 	if len(roots) == 0 {
 		// Nothing structural changed (e.g. a transaction that only touched
 		// tombstones, or a no-op Train): reuse the frozen state wholesale,
 		// publishing only the new polygon slice.
+		return ix.patchSnapshot(prev, ix.enc, nil, 0)
+	}
+	c := ix.compacting
+	arenaCap, tableCap := arenaMaxGarbageFraction, tableMaxGarbageFraction
+	if c != nil {
+		// A compaction is already rebuilding: keep patching past the soft
+		// thresholds, bounded by the hard caps. (Rope fragmentation needs no
+		// hard cap of its own — the splice tolerates high run counts and
+		// maxCellRuns bounds it with an inline flatten as the last resort.)
+		arenaCap, tableCap = arenaHardGarbageFraction, tableHardGarbageFraction
+	}
+	if prev.tree.GarbageRatio() > arenaCap || ix.enc.GarbageRatio() > tableCap ||
+		(c == nil && !ix.opt.noBgCompact && len(prev.cells.runs) > ropeCompactRuns) {
+		switch {
+		case c != nil && c.replayAll:
+			// The in-flight compaction is already poisoned: waiting for its
+			// build would buy nothing (reconcile must fail). Abandon it and
+			// rebuild inline.
+			return nil
+		case c != nil:
+			// Hard cap: patching may not outrun the compactor any further.
+			// Its build is already under way and needs no lock, so waiting
+			// for it and landing it here is bounded by the build's remaining
+			// time — never worse than the inline rebuild it replaces.
+			<-c.done
+			return ix.reconcileLocked(c)
+		case ix.opt.noBgCompact:
+			return nil // compact inline via the full rebuild
+		default:
+			// Soft threshold: publish this mutation as an ordinary patch and
+			// compact from the resulting snapshot in the background.
+			s := ix.patchSnapshot(prev, ix.enc, roots, publishMaxDirtyFraction)
+			if s == nil {
+				return nil
+			}
+			ix.startCompactionLocked(s)
+			return s
+		}
+	}
+	s := ix.patchSnapshot(prev, ix.enc, roots, publishMaxDirtyFraction)
+	if s == nil && c != nil && !c.replayAll {
+		// The frozen layout (or the dirty budget) refused the patch. With a
+		// (non-poisoned) compaction in flight the fallback is deferred to it
+		// instead of rebuilding inline: wait for the build and reconcile —
+		// the fresh base often absorbs what the stale layout could not. The
+		// aborted patch's encoder staging was rolled back by patchSnapshot,
+		// so the live table's accounting stays exact however long the
+		// fallback takes to land.
+		<-c.done
+		return ix.reconcileLocked(c)
+	}
+	return s
+}
+
+// patchSnapshot assembles a snapshot of the current writer state by patching
+// base with the dirty regions under roots, re-encoding through enc (the
+// encoder that produced base's entries: the live encoder when base is the
+// previous snapshot, the fresh one when base is a compaction result being
+// reconciled). maxDirtyFraction budgets the patch against base's size. It
+// returns nil when the patch cannot (or should not) be applied — the
+// encoder's staged work is rolled back exactly, so any fallback may be
+// deferred indefinitely without leaking table garbage.
+func (ix *Index) patchSnapshot(base *Snapshot, enc *cellindex.Encoder, roots []cellid.CellID, maxDirtyFraction float64) *Snapshot {
+	if len(roots) == 0 {
 		return &Snapshot{
 			polys:          ix.polys,
-			cells:          prev.cells,
-			tree:           prev.tree,
-			table:          prev.table,
+			cells:          base.cells,
+			tree:           base.tree,
+			table:          base.table,
 			opt:            ix.opt,
 			precisionLevel: ix.precisionLevel,
 		}
 	}
-	if prev.tree.GarbageRatio() > arenaMaxGarbageFraction ||
-		ix.enc.GarbageRatio() > tableMaxGarbageFraction {
-		return nil // compact via full rebuild
-	}
-	// Bail before any splice or encoder work when the mutation's footprint
+	// Bail before any splice or encoder work when the regions' footprint
 	// alone disqualifies a patch — bulk mutations should pay for one full
 	// rebuild, not for a discarded patch on top of it. (The emitted side is
 	// only known after the splice; the check below re-tests it.)
-	maxDirty := int(publishMaxDirtyFraction * float64(prev.cells.Len()))
-	preDirtyOld := 0
-	for _, r := range roots {
-		preDirtyOld += prev.cells.countRange(r.RangeMin(), r.RangeMax())
+	maxDirty := int(maxDirtyFraction * float64(base.cells.Len()))
+	if len(roots) > mergeRootsMin {
+		// mergePatchRoots counts every region it emits, so its estimate
+		// doubles as the budget pre-check.
+		var preDirtyOld int
+		roots, preDirtyOld = mergePatchRoots(base.cells, roots, maxDirty)
 		if preDirtyOld > maxDirty {
 			return nil
 		}
+	} else {
+		preDirtyOld := 0
+		for _, r := range roots {
+			preDirtyOld += base.cells.countRange(r.RangeMin(), r.RangeMax())
+			if preDirtyOld > maxDirty {
+				return nil
+			}
+		}
 	}
 
-	// Splice the new cell rope: clean runs come over from the previous
-	// snapshot as subslices (reference lists shared — both sides are
-	// immutable), dirty regions are re-emitted from the writer tree into one
-	// fresh buffer. In the same pass the encoder releases every replaced
-	// entry (the previous tree maps any leaf of a cell back to its entry)
-	// and re-encodes the regions' new cells. An abort below simply falls
-	// back to the full rebuild, whose EncodeAll resets the encoder, so
-	// partially staged encoder work never leaks.
+	// Splice the new cell rope: clean runs come over from the base snapshot
+	// as subslices (reference lists shared — both sides are immutable),
+	// dirty regions are re-emitted from the writer tree into one fresh
+	// buffer. In the same pass the encoder releases every replaced entry
+	// (the base tree maps any leaf of a cell back to its entry) and
+	// re-encodes the regions' new cells, journaled between Begin and
+	// Commit/Rollback so an abort restores the accounting exactly.
+	enc.Begin()
+	abort := func() *Snapshot {
+		enc.Rollback()
+		return nil
+	}
 	newCells := &cellRope{}
-	cur := ropeCursor{rope: prev.cells}
+	cur := ropeCursor{rope: base.cells}
 	dirtyBuf := make([]supercover.Cell, 0, 256)
 	kvbuf := ix.kvScratch[:0]
 	regions := make([]act.PatchRegion, len(roots))
@@ -353,16 +472,16 @@ func (ix *Index) publishPatched(prev *Snapshot, roots []cellid.CellID) *Snapshot
 		if last := cur.copyBefore(lo, newCells); last != nil && last.ID.RangeMax() >= lo {
 			// A clean cell straddles the region boundary — the dirty-tracking
 			// invariant should make this impossible; rebuild to be safe.
-			return nil
+			return abort()
 		}
 		dirtyOld += cur.skipThrough(hi, func(c supercover.Cell) {
-			ix.enc.Release(prev.tree.Find(c.ID.RangeMin()))
+			enc.Release(base.tree.Find(c.ID.RangeMin()))
 		})
 		start := len(dirtyBuf)
 		var ok bool
 		dirtyBuf, ok = ix.sc.AppendRegion(dirtyBuf, r)
 		if !ok {
-			return nil
+			return abort()
 		}
 		// Not capacity-capped: adjacent regions emit contiguously into
 		// dirtyBuf and appendRun merges their rope runs. The buffer is owned
@@ -371,7 +490,7 @@ func (ix *Index) publishPatched(prev *Snapshot, roots []cellid.CellID) *Snapshot
 		newCells.appendRun(region)
 		dirtyNew += len(region)
 		kvStart := len(kvbuf)
-		kvbuf = ix.enc.AppendCells(kvbuf, region)
+		kvbuf = enc.AppendCells(kvbuf, region)
 		regions[ri] = act.PatchRegion{Root: r, KVs: kvbuf[kvStart:len(kvbuf):len(kvbuf)]}
 	}
 	cur.copyRest(newCells)
@@ -382,24 +501,90 @@ func (ix *Index) publishPatched(prev *Snapshot, roots []cellid.CellID) *Snapshot
 		dirty = dirtyNew
 	}
 	if dirty > maxDirty {
-		return nil // the emitted side grew too large for a patch to pay off
+		return abort() // the emitted side grew too large for a patch to pay off
+	}
+	if ix.failPatches > 0 {
+		ix.failPatches-- // test hook: force an abort after staging
+		return abort()
 	}
 
-	tree, ok := prev.tree.Patch(regions, newCells.Len())
+	tree, ok := base.tree.Patch(regions, newCells.Len())
 	if !ok {
-		return nil
+		return abort()
 	}
-	if len(newCells.runs) > maxCellRuns {
-		newCells = newCells.flatten() // splice fragmentation: compact the rope
+	enc.Commit()
+	// Splice fragmentation: with the background compactor on, crossing
+	// ropeCompactRuns starts a compaction (whose result is a single run)
+	// and the inline flatten is only the distant last resort; with it off,
+	// flatten at the old pre-compactor bound so the escape hatch really
+	// restores the old behaviour.
+	flattenAt := maxCellRuns
+	if ix.opt.noBgCompact {
+		flattenAt = ropeCompactRuns
+	}
+	if len(newCells.runs) > flattenAt {
+		newCells = newCells.flatten()
 	}
 	return &Snapshot{
 		polys:          ix.polys,
 		cells:          newCells,
 		tree:           tree,
-		table:          ix.enc.Table().Freeze(),
+		table:          enc.Table().Freeze(),
 		opt:            ix.opt,
 		precisionLevel: ix.precisionLevel,
 	}
+}
+
+// mergeRootsMin is the dirty-root count below which a patch keeps the roots
+// as-is: merging pays off when a mutation shatters into hundreds of tiny
+// regions, not for the handful a small edit produces.
+const mergeRootsMin = 32
+
+// mergePatchRoots greedily absorbs runs of spatially adjacent dirty roots
+// into their common ancestor, as long as the clean cells the coarser region
+// re-emits stay a small multiple of the dirty ones. A single Add at a fine
+// precision shatters into hundreds of tiny regions (one per covering cell);
+// patching them individually fragments the cell rope by ~2 runs each and
+// pays per-region patch overhead, while their common ancestors cover the
+// same dirt in a handful of regions. Re-emitting a clean cell is the
+// identity (same bytes, same encoder record via dedup), so merging changes
+// patch cost, never results. Roots arrive sorted and disjoint (CoalesceRoots
+// order) and leave the same way; emitted is the total cell count of the
+// returned regions (the caller's budget pre-check, already computed here).
+func mergePatchRoots(base *cellRope, roots []cellid.CellID, maxDirty int) (merged []cellid.CellID, emitted int) {
+	count := func(c cellid.CellID) int { return base.countRange(c.RangeMin(), c.RangeMax()) }
+	out := make([]cellid.CellID, 0, len(roots))
+	var lastMax cellid.CellID // range end of the last emitted group
+	total := 0                // emitted cells across closed groups
+	cur := roots[0]
+	curCount := count(cur)
+	dirty := curCount
+	for _, r := range roots[1:] {
+		if cur.Contains(r) {
+			continue
+		}
+		rc := count(r)
+		if lca, ok := cellid.CommonAncestor(cur, r); ok {
+			// The level-0 guard keeps a merged region from swallowing a
+			// whole face (which the frozen trie layout would refuse); the
+			// lastMax guard keeps the coarser ancestor from reaching back
+			// over the previously emitted group (regions must stay
+			// disjoint); the remaining guards bound the re-emitted clean
+			// cells per group, per merged region, and across the whole patch
+			// — merging must never turn a patchable publish into a
+			// budget-exceeded rebuild.
+			if lc := count(lca); lca.Level() > 0 && lca.RangeMin() > lastMax &&
+				lc <= 4*(dirty+rc)+64 && lc <= maxDirty/8 && total+lc <= maxDirty/2 {
+				cur, curCount, dirty = lca, lc, dirty+rc
+				continue
+			}
+		}
+		out = append(out, cur)
+		total += curCount
+		lastMax = cur.RangeMax()
+		cur, curCount, dirty = r, rc, rc
+	}
+	return append(out, cur), total + curCount
 }
 
 // mutablePolys returns ix.polys ready for in-place mutation, copying it

@@ -20,10 +20,16 @@ type cellRope struct {
 	total int
 }
 
-// maxCellRuns bounds splice fragmentation: past this many runs the next
-// patched publish flattens the rope into a single run (one covering-sized
-// copy, amortized over the publishes that fragmented it).
-const maxCellRuns = 1 << 14
+// ropeCompactRuns is the fragmentation level at which a publish asks for a
+// compaction (a background one by default): a compacted snapshot's rope is a
+// single run. maxCellRuns is the inline last-resort bound — if fragmentation
+// outruns the compactor (or background compaction is disabled), the next
+// patched publish flattens the rope itself with one covering-sized copy, a
+// write stall the background path exists to avoid.
+const (
+	ropeCompactRuns = 1 << 14
+	maxCellRuns     = 1 << 17
+)
 
 // ropeFromCells wraps an owned, sorted cell slice.
 func ropeFromCells(cells []supercover.Cell) *cellRope {
@@ -77,12 +83,16 @@ func (r *cellRope) flatten() *cellRope {
 
 // rangeRuns calls fn with each run segment whose cells satisfy
 // lo <= ID <= hi, in rope order — the shared intersection walk behind
-// appendRange and countRange.
+// appendRange and countRange. The first overlapping run is found by binary
+// search over the (sorted, disjoint) run list, so a lookup on a heavily
+// fragmented rope — fragmentation is only bounded by the compaction cadence
+// — costs O(log runs + overlapping runs), not a scan of every run.
 func (r *cellRope) rangeRuns(lo, hi cellid.CellID, fn func(seg []supercover.Cell)) {
-	for _, run := range r.runs {
-		if run[len(run)-1].ID < lo {
-			continue
-		}
+	first := sort.Search(len(r.runs), func(i int) bool {
+		run := r.runs[i]
+		return run[len(run)-1].ID >= lo
+	})
+	for _, run := range r.runs[first:] {
 		if run[0].ID > hi {
 			break
 		}

@@ -7,8 +7,10 @@
 // batch probing, sorted vs unsorted, with cache-hit rates), `-exp snapshot`
 // measures the snapshot API under a live writer, `-exp publish` compares
 // incremental snapshot patching against the full-rebuild publish across
-// covering sizes, and `-exp remove` compares directory-driven polygon
-// removal against the pre-directory full-quadtree walk.
+// covering sizes, `-exp remove` compares directory-driven polygon removal
+// against the pre-directory full-quadtree walk, and `-exp compact` compares
+// the publish-latency tail across compaction cycles with the background
+// compactor on vs the inline stop-the-writer rebuild.
 //
 // Usage:
 //

@@ -1,0 +1,248 @@
+package actjoin
+
+import (
+	"actjoin/internal/act"
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/supercover"
+)
+
+// Background compaction: the stop-the-writer escape from patch garbage.
+//
+// Incremental publishes accumulate garbage — orphaned trie arena nodes,
+// tombstoned lookup-table records, rope fragmentation — and the classic
+// answer, a full compacting rebuild, stalls the writer for hundreds of
+// milliseconds at large coverings (~300-470 ms at the 0.9M-cell NYC
+// benchmark). The background compactor moves that reorganization off the
+// writer's critical path, the way LSM engines and concurrent garbage
+// collectors do:
+//
+//  1. When a publish crosses a *soft* garbage threshold, it still patches
+//     (publish latency stays bounded by the mutation) and kicks off a
+//     goroutine that rebuilds everything from the snapshot it just
+//     published: flatten the frozen cell rope into one owned run, re-encode
+//     it into a fresh Encoder/lookup table, and act.Build a fresh trie
+//     arena. The build reads only immutable snapshot state, so it runs with
+//     no lock held and never disturbs concurrently-held frozen views — the
+//     old arena and table are left exactly as every published snapshot
+//     sees them.
+//  2. Meanwhile the writer keeps patching the old chain, recording every
+//     publish's dirty roots in a replay log, with the garbage thresholds
+//     raised to *hard caps* so memory stays bounded if the compaction is
+//     slow.
+//  3. On completion the compactor takes the writer mutex, re-applies the
+//     replay log against the fresh base through the ordinary patch
+//     machinery (the regions are re-emitted from the current writer state,
+//     so the result is byte-identical to an inline rebuild of that state),
+//     and swaps the reconciled snapshot in. The fresh encoder replaces the
+//     live one; the old chain's garbage becomes unreferenced memory that
+//     the Go runtime reclaims once the last reader of the old snapshots
+//     lets go.
+//
+// A publish that reaches a hard cap, or whose patch the frozen layout
+// refuses while a compaction is in flight, waits for the in-flight build
+// (bounded by its remaining time — it is already under way) and lands it
+// synchronously instead of paying for an inline rebuild. The inline rebuild
+// remains the fallback of last resort: bulk mutations, replay overflow, and
+// WithBackgroundCompaction(false), which exists as the differential-test
+// reference and operational escape hatch.
+
+// Background-compaction tuning. The soft thresholds (arenaMaxGarbageFraction,
+// tableMaxGarbageFraction in actjoin.go) start a compaction; the hard caps
+// below bound how far patching may outrun a slow compaction before the
+// writer blocks on it. reconcileMaxDirtyFraction is the patch budget for
+// replaying accumulated churn onto the fresh base — laxer than the
+// per-publish budget because the alternative is the inline rebuild the
+// compactor exists to avoid. maxReplayRoots bounds the replay log; past it
+// the compaction is abandoned and the next threshold crossing rebuilds
+// inline (bulk churn has outrun the compactor).
+const (
+	arenaHardGarbageFraction  = 0.60
+	tableHardGarbageFraction  = 0.80
+	reconcileMaxDirtyFraction = 0.50
+	coalesceReplayRoots       = 1 << 14
+	maxReplayRoots            = 1 << 20
+)
+
+// compactionArenaHeadroom returns the spare node capacity a freshly built
+// compaction arena reserves so the first patches after the swap append
+// without a whole-arena growth copy (act.Build sizes arenas exactly).
+func compactionArenaHeadroom(arenaNodes int) int {
+	const minHeadroom = 1 << 10
+	if h := arenaNodes / 8; h > minHeadroom {
+		return h
+	}
+	return minHeadroom
+}
+
+// compaction is one in-flight background compaction. The goroutine owns
+// result until it closes done; base is an immutable published snapshot; the
+// replay log is guarded by the owning index's mutex.
+type compaction struct {
+	base   *Snapshot      // the frozen snapshot the compactor rebuilds from
+	done   chan struct{}  // closed by the goroutine once result is set
+	result *compactResult // written before done closes; read only after <-done
+
+	// replay collects the dirty roots of every publish since the compaction
+	// started — the regions that must be re-applied to the fresh base before
+	// it can replace the live chain. replayAll poisons the log (a bulk
+	// publish or overflow landed meanwhile): the result must be discarded.
+	// coalescedAt is the log length after the last in-place coalesce, so
+	// re-coalescing only happens once the log has grown well past it.
+	replay      []cellid.CellID
+	replayAll   bool
+	coalescedAt int
+}
+
+// compactResult is the freshly rebuilt state a compaction hands back: a
+// single-run cell rope, a trie over a fresh arena, and the fresh encoder
+// whose table replaces the live one at the swap.
+type compactResult struct {
+	cells *cellRope
+	tree  *act.Tree
+	enc   *cellindex.Encoder
+}
+
+// addReplay appends one publish's dirty roots to the replay log,
+// re-coalescing it in place when it grows large (churn revisits the same
+// regions, so the raw log is vastly more redundant than the disjoint root
+// set it describes). all — or a log that stays huge even coalesced — poisons
+// the compaction: a bulk rebuild changed state the roots no longer describe,
+// or the churn has genuinely outrun what a replay can express.
+func (c *compaction) addReplay(roots []cellid.CellID, all bool) {
+	if all || c.replayAll {
+		c.replayAll = true
+		c.replay = nil
+		return
+	}
+	c.replay = append(c.replay, roots...)
+	// Coalesce once the log has grown well past its last coalesced size —
+	// not on every append, or a log that stays large (because the churn
+	// really is that disjoint) would pay a full O(n log n) sweep per
+	// publish.
+	if n := len(c.replay); n > coalesceReplayRoots && n > 2*c.coalescedAt {
+		c.replay = supercover.CoalesceRoots(c.replay)
+		c.coalescedAt = len(c.replay)
+	}
+	if len(c.replay) > maxReplayRoots {
+		c.replayAll = true
+		c.replay = nil
+	}
+}
+
+// compactBase rebuilds every frozen structure from the base snapshot:
+// rope flattened into one owned run, cells re-encoded into a fresh lookup
+// table, trie rebuilt into a fresh exactly-sized arena (plus patch
+// headroom). It reads only immutable state — the rope's cells and their
+// normalized reference lists are shared with published snapshots and are
+// never written — so it is safe to run concurrently with readers of any
+// snapshot and with the writer patching the old chain.
+func compactBase(base *Snapshot) *compactResult {
+	cells := base.cells.appendAll(make([]supercover.Cell, 0, base.cells.Len()))
+	enc := cellindex.NewEncoder()
+	kvs := enc.AppendFrozenCells(make([]cellindex.KeyEntry, 0, len(cells)), cells)
+	tree := act.Build(kvs, base.opt.delta)
+	tree.GrowArena(compactionArenaHeadroom(tree.ArenaNodes()))
+	return &compactResult{cells: ropeFromCells(cells), tree: tree, enc: enc}
+}
+
+// startCompactionLocked launches a background compaction from base (the
+// snapshot the caller just published). Callers must hold mu and must have
+// no compaction in flight.
+func (ix *Index) startCompactionLocked(base *Snapshot) {
+	c := &compaction{base: base, done: make(chan struct{})}
+	ix.compacting = c
+	ix.compactionsStarted++
+	hold := ix.holdCompaction
+	go func() {
+		c.result = compactBase(base)
+		close(c.done)
+		if hold != nil {
+			<-hold // test hook: keep the result pending until released
+		}
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+		if ix.compacting != c {
+			return // abandoned, or landed by the writer while we built
+		}
+		if s := ix.reconcileLocked(c); s != nil {
+			// The reconciled snapshot is byte-identical to the currently
+			// published one (same cells, same polygons — only the backing
+			// arena, table and rope are fresh), so swapping it in is
+			// invisible to readers and needs no writer involvement.
+			ix.cur.Store(s)
+		}
+	}()
+}
+
+// reconcileLocked lands a finished compaction: it re-applies the replay log
+// to the fresh base through the ordinary patch machinery and, on success,
+// installs the fresh encoder as the live one. Callers must hold mu and must
+// have observed c.done closed. On any failure (poisoned replay, a region
+// the fresh layout cannot absorb, replay past its dirty budget) the
+// compaction is abandoned and nil is returned — the caller falls back to
+// the inline rebuild, or simply carries on patching the old chain until the
+// next threshold crossing starts a new compaction.
+func (ix *Index) reconcileLocked(c *compaction) *Snapshot {
+	if ix.compacting != c {
+		return nil
+	}
+	ix.compacting = nil
+	if c.replayAll {
+		return nil
+	}
+	res := c.result
+	base := &Snapshot{
+		polys:          ix.polys,
+		cells:          res.cells,
+		tree:           res.tree,
+		table:          res.enc.Table().Freeze(),
+		opt:            ix.opt,
+		precisionLevel: ix.precisionLevel,
+	}
+	s := ix.patchSnapshot(base, res.enc, supercover.CoalesceRoots(c.replay), reconcileMaxDirtyFraction)
+	if s == nil {
+		return nil
+	}
+	ix.enc = res.enc
+	ix.compactionsLanded++
+	return s
+}
+
+// abandonCompactionLocked discards any in-flight compaction; the goroutine
+// notices at its swap attempt and drops its result. Callers must hold mu.
+func (ix *Index) abandonCompactionLocked() { ix.compacting = nil }
+
+// PublishStats reports, per publish path, how many snapshots the index has
+// published, plus the background-compaction cycle counts. Diagnostics: the
+// ratio of Patched to Full publishes shows whether the incremental path is
+// engaging, and CompactionsLanded counts the garbage-collection cycles that
+// ran off the writer's critical path (each one resets arena, table and rope
+// garbage the way an inline Full rebuild would, without the write stall).
+type PublishStats struct {
+	// Patched counts publishes served by patching a previous snapshot
+	// (including reconciliations that landed a background compaction).
+	Patched int
+	// Full counts publishes served by the inline full rebuild (the first
+	// publish, bulk mutations, and compaction fallbacks).
+	Full int
+	// CompactionsStarted counts background compactions kicked off by a
+	// soft-threshold crossing.
+	CompactionsStarted int
+	// CompactionsLanded counts background compactions whose result was
+	// reconciled and swapped in; started minus landed were abandoned
+	// (superseded by an inline rebuild or poisoned by bulk churn).
+	CompactionsLanded int
+}
+
+// PublishStats returns the publish-path counters.
+func (ix *Index) PublishStats() PublishStats {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return PublishStats{
+		Patched:            ix.patched,
+		Full:               ix.full,
+		CompactionsStarted: ix.compactionsStarted,
+		CompactionsLanded:  ix.compactionsLanded,
+	}
+}

@@ -145,12 +145,8 @@ func TestDirectoryRemovalDifferential(t *testing.T) {
 						i, len(dirPub[i]), len(walkPub[i]))
 				}
 			}
-			if err := dir.sc.ValidateDirectory(); err != nil {
-				t.Fatalf("directory index writer state: %v", err)
-			}
-			if err := walk.sc.ValidateDirectory(); err != nil {
-				t.Fatalf("walk index writer state: %v", err)
-			}
+			validateWriterDirectory(t, dir, "directory index writer state")
+			validateWriterDirectory(t, walk, "walk index writer state")
 		})
 	}
 }
@@ -212,11 +208,11 @@ func TestSerializeRoundTripDirectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := loaded.sc.ValidateDirectory(); err != nil {
-		t.Fatalf("loaded directory: %v", err)
-	}
+	validateWriterDirectory(t, loaded, "loaded directory")
 
+	loaded.mu.Lock()
 	ref := loaded.sc.ReferencedPolygons()
+	loaded.mu.Unlock()
 	for _, id := range []PolygonID{2, 9} {
 		if ref[id] {
 			t.Fatalf("tombstoned polygon %d still referenced after reload", id)

@@ -40,10 +40,13 @@
 // snapshot (splicing clean cell runs, delta-encoding only dirty regions,
 // copy-on-write patching of the trie arena), so its latency is
 // proportional to the mutation — O(covering) for Add, O(footprint) for
-// Remove via the per-polygon cell directory — not to the index, with
-// automatic fallback to a compacting full rebuild when garbage thresholds
-// are crossed (see WithIncrementalPublish and docs/ARCHITECTURE.md for the
-// full pipeline).
+// Remove via the per-polygon cell directory — not to the index. The
+// garbage patching accumulates is reorganized by a background compactor
+// goroutine that rebuilds from a frozen snapshot with no writer lock held
+// and reconciles under the mutex when done, keeping even
+// threshold-crossing publishes mutation-sized (see WithIncrementalPublish,
+// WithBackgroundCompaction and docs/ARCHITECTURE.md for the full
+// pipeline).
 //
 // Quick start:
 //

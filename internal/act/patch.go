@@ -145,6 +145,26 @@ func (t *Tree) Patch(regions []PatchRegion, totalCells int) (nt *Tree, ok bool) 
 	return nt, true
 }
 
+// GrowArena reallocates the node arena with spare capacity for extraNodes
+// more nodes, so the next patches append without triggering a growth copy of
+// the whole arena. It must only be called while the tree is still private to
+// its builder (a freshly Built compaction result, before any snapshot is
+// published from it): a shared arena must never be reallocated out from
+// under a patch chain, and published trees keep their own array on growth
+// anyway. Compared to letting append double the arena lazily, the explicit
+// reallocation keeps the first post-compaction publish as cheap as every
+// other patch — the whole point of compacting off the critical path — and it
+// never orphans concurrently-held frozen views, which retain the arena they
+// were built over.
+func (t *Tree) GrowArena(extraNodes int) {
+	if extraNodes <= 0 || cap(t.entries)-len(t.entries) >= extraNodes*t.fanout {
+		return
+	}
+	grown := make([]uint64, len(t.entries), len(t.entries)+extraNodes*t.fanout)
+	copy(grown, t.entries)
+	t.entries = grown
+}
+
 // cow returns a node index safe to write through: nodes created by this
 // patch are returned as-is, nodes belonging to the previous tree are copied
 // to a fresh index (the original keeps serving earlier snapshots and is

@@ -270,6 +270,23 @@ func (c CellID) ChildPosition(level int) int {
 // significant positions. ACT consumes lookup keys from this form.
 func (c CellID) Path() uint64 { return uint64(c) << faceBits }
 
+// CommonAncestor returns the deepest cell containing both a and b, and
+// false when they share no ancestor (different faces). The publish pipeline
+// uses it to merge spatially adjacent dirty regions into one coarser one.
+func CommonAncestor(a, b CellID) (CellID, bool) {
+	if a.Face() != b.Face() {
+		return 0, false
+	}
+	level := bits.LeadingZeros64(a.Path()^b.Path()) / 2
+	if al := a.Level(); al < level {
+		level = al
+	}
+	if bl := b.Level(); bl < level {
+		level = bl
+	}
+	return a.Parent(level), true
+}
+
 // faceIJ decodes the cell into face, leaf-aligned (i, j) of its minimum
 // corner, and level.
 func (c CellID) faceIJ() (face, i, j, level int) {

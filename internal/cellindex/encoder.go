@@ -1,6 +1,7 @@
 package cellindex
 
 import (
+	"actjoin/internal/cellid"
 	"actjoin/internal/refs"
 	"actjoin/internal/supercover"
 )
@@ -12,8 +13,17 @@ import (
 // the live table (deduplicated against everything already stored), while
 // records whose last referencing entry was dropped become tombstoned
 // garbage — still present, because earlier frozen snapshots may point at
-// them, but counted so the owner can trigger a compacting full re-encode
-// once GarbageRatio crosses its threshold.
+// them, but counted so the owner can trigger a compacting re-encode once
+// GarbageRatio crosses its threshold.
+//
+// A patch attempt is transactional: Begin opens a journal, AppendCells and
+// Release log their refcount changes into it, and the owner either Commit()s
+// the attempt or Rollback()s it when the patch is abandoned mid-way. The
+// rollback restores the accounting exactly — staged records drop back to
+// tombstones (still resurrectable through the dedup map), released records
+// regain their reference — so an aborted patch leaks no table garbage even
+// when no compacting re-encode follows it (with background compaction the
+// fallback may land much later, or replace this encoder wholesale).
 //
 // The live table grows append-only; snapshots must capture it through
 // refs.Table.Freeze, which makes concurrent reads safe against later
@@ -26,6 +36,18 @@ type Encoder struct {
 	// a later encode resurrects it through the dedup map.
 	live    map[uint32]int
 	garbage int // words reachable only from dropped entries
+
+	// Patch journal (between Begin and Commit/Rollback): every refcount
+	// increment (staged=true) and decrement (staged=false) since Begin, so
+	// Rollback can apply the exact inverses.
+	journaling bool
+	journal    []journalOp
+}
+
+// journalOp is one refcount change recorded during an open patch.
+type journalOp struct {
+	off    uint32
+	staged bool // true: incRef (AppendCells), false: decRef (Release)
 }
 
 // NewEncoder returns an Encoder with an empty table.
@@ -39,13 +61,41 @@ func (e *Encoder) Table() *refs.Table { return e.table }
 
 // EncodeAll compacts: it discards the table (earlier frozen views keep their
 // arrays) and re-encodes the full cell set from scratch, resetting the
-// garbage accounting. Cells must be sorted and disjoint (a supercover
-// freeze).
+// garbage accounting and discarding any open patch journal. Cells must be
+// sorted and disjoint (a supercover freeze).
 func (e *Encoder) EncodeAll(cells []supercover.Cell) []KeyEntry {
 	e.table = refs.NewTable()
 	e.live = make(map[uint32]int, len(e.live))
 	e.garbage = 0
+	e.journaling = false
+	e.journal = nil
 	return e.AppendCells(make([]KeyEntry, 0, len(cells)), cells)
+}
+
+// incRef adds one referencing entry to the record at off, resurrecting it
+// from the tombstone state when it had none.
+func (e *Encoder) incRef(off uint32) {
+	n, seen := e.live[off]
+	if seen && n == 0 {
+		e.garbage -= e.table.RecordLen(off)
+	}
+	e.live[off] = n + 1
+	if e.journaling {
+		e.journal = append(e.journal, journalOp{off: off, staged: true})
+	}
+}
+
+// decRef drops one referencing entry from the record at off, tombstoning it
+// when the count reaches zero.
+func (e *Encoder) decRef(off uint32) {
+	n := e.live[off] - 1
+	e.live[off] = n
+	if n == 0 {
+		e.garbage += e.table.RecordLen(off)
+	}
+	if e.journaling {
+		e.journal = append(e.journal, journalOp{off: off, staged: false})
+	}
 }
 
 // AppendCells encodes the cells of one freshly frozen region, appending the
@@ -54,21 +104,29 @@ func (e *Encoder) EncodeAll(cells []supercover.Cell) []KeyEntry {
 // normalizes them in place.
 func (e *Encoder) AppendCells(dst []KeyEntry, cells []supercover.Cell) []KeyEntry {
 	for _, c := range cells {
-		rs := refs.Normalize(c.Refs)
-		entry := e.table.Encode(rs)
-		if entry.Tag() == refs.TagOffset {
-			off := entry.Offset()
-			n, seen := e.live[off]
-			if seen && n == 0 {
-				// Resurrected: a dropped record regained a referencing entry
-				// through deduplication.
-				e.garbage -= e.table.RecordLen(off)
-			}
-			e.live[off] = n + 1
-		}
-		dst = append(dst, KeyEntry{Key: c.ID, Entry: entry})
+		dst = e.appendCell(dst, c.ID, refs.Normalize(c.Refs))
 	}
 	return dst
+}
+
+// AppendFrozenCells is AppendCells for cells taken from a published
+// snapshot: their reference lists are already normalized (freezes emit
+// normalized, owned slices), so this path never writes through them and is
+// safe to run concurrently with readers of the snapshots sharing the slices.
+// The background compactor re-encodes a frozen rope through it.
+func (e *Encoder) AppendFrozenCells(dst []KeyEntry, cells []supercover.Cell) []KeyEntry {
+	for _, c := range cells {
+		dst = e.appendCell(dst, c.ID, c.Refs)
+	}
+	return dst
+}
+
+func (e *Encoder) appendCell(dst []KeyEntry, id cellid.CellID, rs []refs.Ref) []KeyEntry {
+	entry := e.table.Encode(rs)
+	if entry.Tag() == refs.TagOffset {
+		e.incRef(entry.Offset())
+	}
+	return append(dst, KeyEntry{Key: id, Entry: entry})
 }
 
 // Release drops one previously encoded entry (a cell replaced or removed by
@@ -80,25 +138,73 @@ func (e *Encoder) Release(entry refs.Entry) {
 		return
 	}
 	off := entry.Offset()
-	n, ok := e.live[off]
-	if !ok || n <= 0 {
+	if n, ok := e.live[off]; !ok || n <= 0 {
 		panic("cellindex: Release of an entry the encoder never produced")
 	}
-	n--
-	e.live[off] = n
-	if n == 0 {
-		e.garbage += e.table.RecordLen(off)
+	e.decRef(off)
+}
+
+// Begin opens a patch journal: every AppendCells/Release refcount change
+// until Commit or Rollback is recorded so an abandoned patch can be undone
+// exactly. Panics if a patch is already open — patches never nest.
+func (e *Encoder) Begin() {
+	if e.journaling {
+		panic("cellindex: Begin with a patch already open")
 	}
+	e.journaling = true
+	e.journal = e.journal[:0]
+}
+
+// Commit closes the open patch journal, keeping its effects.
+func (e *Encoder) Commit() {
+	if !e.journaling {
+		panic("cellindex: Commit without an open patch")
+	}
+	e.journaling = false
+}
+
+// Rollback closes the open patch journal and applies the exact inverse of
+// every recorded refcount change: records staged by the aborted patch drop
+// back to tombstoned garbage (their words stay in the table — frozen views
+// cannot be shrunk — but the dedup map resurrects them if a later patch
+// re-encodes the same list), and records the patch released regain their
+// reference. Table words appended by the aborted patch are thereby counted
+// as garbage, so the compaction thresholds see them.
+func (e *Encoder) Rollback() {
+	if !e.journaling {
+		panic("cellindex: Rollback without an open patch")
+	}
+	e.journaling = false
+	for i := len(e.journal) - 1; i >= 0; i-- {
+		if op := e.journal[i]; op.staged {
+			e.decRef(op.off)
+		} else {
+			e.incRef(op.off)
+		}
+	}
+	e.journal = e.journal[:0]
 }
 
 // GarbageWords returns the number of tombstoned table words.
 func (e *Encoder) GarbageWords() int { return e.garbage }
 
 // GarbageRatio returns the tombstoned fraction of the table; the owner
-// compacts (EncodeAll) once it exceeds its threshold.
+// compacts (EncodeAll, or a background re-encode into a fresh Encoder) once
+// it exceeds its threshold.
 func (e *Encoder) GarbageRatio() float64 {
 	if e.table.Len() == 0 {
 		return 0
 	}
 	return float64(e.garbage) / float64(e.table.Len())
+}
+
+// LiveEntries returns a copy of the per-record reference counts, keyed by
+// table offset (records at count zero are tombstones). Diagnostic accessor
+// for tests that verify the accounting against a published snapshot.
+func (e *Encoder) LiveEntries() map[uint32]int {
+	out := make(map[uint32]int, len(e.live))
+	for off, n := range e.live {
+		out[off] = n
+	}
+	return out
 }

@@ -119,6 +119,122 @@ func TestEncoderGarbageLifecycle(t *testing.T) {
 	}
 }
 
+// TestEncoderRollback: an aborted patch must restore the refcount and
+// garbage accounting exactly — staged records drop back to tombstones,
+// released records regain their reference — and a later patch re-encoding
+// the same lists must resurrect the rolled-back records through dedup
+// instead of appending duplicates (the "no leaked table garbage" guarantee
+// when the abort's fallback is deferred rather than an immediate EncodeAll).
+func TestEncoderRollback(t *testing.T) {
+	e := NewEncoder()
+	kvs := e.EncodeAll(clone([]supercover.Cell{
+		cell(0, []int{0}, bigRefs(1, 2, 3)...),
+		cell(0, []int{1}, bigRefs(7, 8, 9, 10)...),
+	}))
+	baseLive := e.LiveEntries()
+	baseLen := e.Table().Len()
+
+	// Aborted patch: releases one existing record, stages one brand-new
+	// record and one duplicate of a released record (a resurrection).
+	e.Begin()
+	e.Release(kvs[0].Entry)
+	staged := e.AppendCells(nil, clone([]supercover.Cell{
+		cell(1, []int{0}, bigRefs(20, 21, 22, 23)...), // fresh record
+		cell(1, []int{1}, bigRefs(1, 2, 3)...),        // resurrects kvs[0]'s record
+	}))
+	e.Rollback()
+
+	if got := e.LiveEntries(); len(got) != 0 {
+		// Compare only non-zero counts: rolled-back fresh records stay in
+		// the map at count zero (tombstoned, resurrectable).
+		for off, n := range got {
+			if n != baseLive[off] {
+				t.Fatalf("offset %d live count %d after rollback, want %d", off, n, baseLive[off])
+			}
+		}
+	}
+	// The fresh record's words were appended (frozen views cannot shrink)
+	// but must now be counted as garbage.
+	freshWords := e.Table().Len() - baseLen
+	if freshWords <= 0 {
+		t.Fatal("aborted patch appended no words — fixture broken")
+	}
+	if e.GarbageWords() != freshWords {
+		t.Fatalf("garbage %d after rollback, want the %d rolled-back words", e.GarbageWords(), freshWords)
+	}
+
+	// "More patched publishes": committing the same region afterwards must
+	// reuse the rolled-back record (dedup resurrection), return to exact
+	// accounting, and not grow the table again.
+	e.Begin()
+	e.Release(kvs[0].Entry)
+	again := e.AppendCells(nil, clone([]supercover.Cell{
+		cell(1, []int{0}, bigRefs(20, 21, 22, 23)...),
+		cell(1, []int{1}, bigRefs(1, 2, 3)...),
+	}))
+	e.Commit()
+	if !reflect.DeepEqual(again, staged) {
+		t.Fatal("re-encode after rollback produced different entries")
+	}
+	if e.Table().Len() != baseLen+freshWords {
+		t.Fatalf("table grew to %d words on re-encode — rolled-back records leaked", e.Table().Len())
+	}
+	if e.GarbageWords() != 0 {
+		t.Fatalf("garbage %d after committed re-encode", e.GarbageWords())
+	}
+}
+
+// TestEncoderRollbackRestoresReleases: a rollback of a patch that only
+// released entries restores their counts (no staging involved).
+func TestEncoderRollbackRestoresReleases(t *testing.T) {
+	e := NewEncoder()
+	kvs := e.EncodeAll(clone([]supercover.Cell{
+		cell(0, []int{0}, bigRefs(1, 2, 3)...),
+	}))
+	e.Begin()
+	e.Release(kvs[0].Entry)
+	if e.GarbageWords() == 0 {
+		t.Fatal("release did not tombstone")
+	}
+	e.Rollback()
+	if e.GarbageWords() != 0 {
+		t.Fatalf("garbage %d after rollback of a release", e.GarbageWords())
+	}
+	// The restored reference must be releasable again without panicking.
+	e.Release(kvs[0].Entry)
+	if e.GarbageWords() == 0 {
+		t.Fatal("restored reference did not release")
+	}
+}
+
+// TestEncoderAppendFrozenCells: the no-normalize path must produce the same
+// entries as AppendCells on pre-normalized input, without ever writing
+// through the shared reference slices.
+func TestEncoderAppendFrozenCells(t *testing.T) {
+	cells := []supercover.Cell{
+		cell(0, []int{0}, refs.Normalize(bigRefs(3, 1, 2))...),
+		cell(0, []int{1}, refs.Normalize(bigRefs(9, 7, 8, 6))...),
+	}
+	shared := clone(cells)
+	we := NewEncoder()
+	want := we.AppendCells(nil, clone(cells))
+	e := NewEncoder()
+	got := e.AppendFrozenCells(nil, shared)
+	for i := range got {
+		if got[i].Key != want[i].Key {
+			t.Fatalf("key %d mismatch", i)
+		}
+		if !reflect.DeepEqual(decode(e.Table(), got[i].Entry), decode(we.Table(), want[i].Entry)) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+	for i := range shared {
+		if !reflect.DeepEqual(shared[i].Refs, cells[i].Refs) {
+			t.Fatalf("AppendFrozenCells mutated shared reference slice %d", i)
+		}
+	}
+}
+
 // TestEncoderReleaseUnknownPanics: releasing an entry the encoder never
 // produced is a programming error.
 func TestEncoderReleaseUnknownPanics(t *testing.T) {

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"actjoin"
+)
+
+// Compact measures the publish-latency tail across compaction cycles — the
+// stop-the-writer spike the background compactor removes. For each mode
+// (inline rebuild at every garbage-threshold crossing vs the default
+// background compactor) it drives an Add/Remove churn long enough to cross
+// at least two compaction cycles and reports the mean and worst per-publish
+// latency plus the cycle count. The mean shows the steady-state patch cost
+// is unchanged; the worst column is where the two modes diverge — the
+// inline mode pays a full rebuild inside one unlucky publish, the
+// background mode bounds every publish by the mutation (plus scheduler
+// interference from the concurrent rebuild on small machines).
+//
+// Not a figure of the paper: the paper's index is static; this quantifies
+// the maintenance seam of our live-update extension.
+func (e *Env) Compact(w io.Writer) error {
+	const ds = "neighborhoods"
+	polys := toPublicPolygons(e.Polygons(ds))
+	bound := e.Bound(ds)
+
+	t := newTable(w)
+	t.row("mode", "cells", "publishes", "cycles", "mean ms/publish", "worst ms/publish")
+	t.rule(6)
+	for _, bg := range []bool{false, true} {
+		opts := []actjoin.Option{
+			actjoin.WithPrecision(4),
+			actjoin.WithBackgroundCompaction(bg),
+		}
+		idx, err := actjoin.NewIndex(polys, opts...)
+		if err != nil {
+			return err
+		}
+		cells := idx.Current().Stats().NumCells
+
+		const (
+			minCycles = 2
+			maxPairs  = 2000
+		)
+		var total, worst time.Duration
+		publishes := 0
+		for i := 0; i < maxPairs && compactionCycles(idx, bg) < minCycles; i++ {
+			for _, op := range [2]func() error{
+				func() error { _, err := idx.Add(churnSquare(bound, i)); return err },
+				func() error { return idx.Remove(actjoin.PolygonID(idx.Current().NumPolygons() - 1)) },
+			} {
+				start := time.Now()
+				if err := op(); err != nil {
+					return err
+				}
+				d := time.Since(start)
+				total += d
+				publishes++
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+		mode := "inline"
+		if bg {
+			mode = "background"
+		}
+		t.row(
+			mode,
+			fmt.Sprintf("%d", cells),
+			fmt.Sprintf("%d", publishes),
+			fmt.Sprintf("%d", compactionCycles(idx, bg)),
+			fmt.Sprintf("%.2f", (total/time.Duration(publishes)).Seconds()*1e3),
+			fmt.Sprintf("%.2f", worst.Seconds()*1e3),
+		)
+	}
+	t.flush()
+	return nil
+}
+
+// compactionCycles counts the garbage-collection cycles the index has run:
+// landed background compactions in background mode, inline compacting
+// rebuilds (full publishes beyond the initial build) otherwise.
+func compactionCycles(idx *actjoin.Index, bg bool) int {
+	st := idx.PublishStats()
+	if bg {
+		return st.CompactionsLanded
+	}
+	return st.Full - 1
+}

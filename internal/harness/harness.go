@@ -103,6 +103,7 @@ var registry = []Experiment{
 	{"snapshot", "Snapshot API: publish latency and join throughput under a live writer", (*Env).Snapshot},
 	{"publish", "Publish paths: incremental snapshot patching vs full rebuild, by covering size", (*Env).Publish},
 	{"remove", "Removal paths: per-polygon cell directory vs full-quadtree walk, by covering size", (*Env).Remove},
+	{"compact", "Compaction paths: publish tail latency, background compactor vs inline rebuild", (*Env).Compact},
 }
 
 // All returns every experiment in paper order.

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig7left", "fig7mid", "fig7right", "fig8", "fig9", "fig10", "fig11",
-		"batch", "snapshot", "publish", "remove",
+		"batch", "snapshot", "publish", "remove", "compact",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
@@ -111,6 +111,7 @@ func TestExperimentsRunTiny(t *testing.T) {
 		"batch":     {"per-point", "batch sorted", "taxi", "uniform", "cache-hit%"},
 		"publish":   {"full ms/publish", "incremental ms/publish", "speedup"},
 		"remove":    {"footprint", "walk ms/remove", "directory ms/remove", "speedup"},
+		"compact":   {"inline", "background", "cycles", "worst ms/publish"},
 	}
 	for _, exp := range All() {
 		exp := exp

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"actjoin/internal/cellid"
+	"actjoin/internal/refs"
 )
 
 // Dirty-region tracking for incremental freezes.
@@ -58,6 +59,19 @@ func (sc *SuperCovering) TakeDirty() (roots []cellid.CellID, all bool) {
 	if all || len(roots) == 0 {
 		return nil, all
 	}
+	return CoalesceRoots(roots), false
+}
+
+// CoalesceRoots sorts dirty roots in place into cell-id range order and
+// drops roots nested in (or equal to) an earlier one, returning the disjoint
+// prefix. The containment guarantee of per-publish marks survives the merge:
+// a union of mark sets taken across several publishes coalesces to roots
+// that jointly cover every cell changed since the first of those publishes
+// (the background compactor's replay log relies on this).
+func CoalesceRoots(roots []cellid.CellID) []cellid.CellID {
+	if len(roots) == 0 {
+		return roots
+	}
 	// Order by range start; ties (same corner) put the coarser root first so
 	// the containment sweep below keeps it.
 	sort.Slice(roots, func(i, j int) bool {
@@ -76,15 +90,17 @@ func (sc *SuperCovering) TakeDirty() (roots []cellid.CellID, all bool) {
 		out = append(out, r)
 		lastMax = r.RangeMax()
 	}
-	return out, false
+	return out
 }
 
 // AppendRegion appends the frozen cells contained in root's extent to dst,
 // in sorted order — the scoped counterpart of CellsAppend for one dirty
-// subtree. ok is false when a cell coarser than root covers the region: its
-// cells cannot be expressed within root's range and the caller must fall
-// back to a full freeze. (The dirty-tracking invariant makes that case
-// unreachable for coalesced TakeDirty roots; the check is defense in depth.)
+// subtree, with the same flat packing of reference lists (one allocation
+// per call, not per cell). ok is false when a cell coarser than root covers
+// the region: its cells cannot be expressed within root's range and the
+// caller must fall back to a full freeze. (The dirty-tracking invariant
+// makes that case unreachable for coalesced TakeDirty roots; the check is
+// defense in depth.)
 func (sc *SuperCovering) AppendRegion(dst []Cell, root cellid.CellID) ([]Cell, bool) {
 	cur := sc.roots[root.Face()]
 	level := root.Level()
@@ -97,7 +113,10 @@ func (sc *SuperCovering) AppendRegion(dst []Cell, root cellid.CellID) ([]Cell, b
 	if cur == nil {
 		return dst, true // region holds no cells
 	}
-	emit(cur, root, &dst)
+	cells, rs := 0, 0
+	countEmit(cur, &cells, &rs)
+	flat := make([]refs.Ref, 0, rs)
+	emit(cur, root, &dst, &flat)
 	return dst, true
 }
 

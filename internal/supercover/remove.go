@@ -24,18 +24,14 @@ func (sc *SuperCovering) RemovePolygon(id uint32) int {
 	if sc.walkRemoval {
 		return sc.removePolygonWalk(id)
 	}
-	set := sc.dir.cells[id]
-	if len(set) == 0 {
-		return 0
-	}
-	// Snapshot and sort the footprint before editing: removeRefAt mutates the
-	// set through the directory, and sorted descent keeps the node accesses
-	// coherent.
-	cells := make([]cellid.CellID, 0, len(set))
-	for c := range set {
-		cells = append(cells, c)
-	}
-	cellid.SortCellIDs(cells)
+	// Detach the polygon's sorted cell slice and walk it directly: the
+	// directory keeps it sorted, so the footprint snapshot costs no
+	// allocation and no sort, and the sorted descent keeps the node accesses
+	// coherent. Detaching up front is also the directory maintenance for
+	// this removal — removeRefAt below edits only the tree and the dirty
+	// marks, since no other polygon's entries change (a cell dropped
+	// entirely had no other references by definition).
+	cells := sc.dir.take(id)
 	for _, c := range cells {
 		sc.removeRefAt(c, id)
 	}
@@ -44,9 +40,11 @@ func (sc *SuperCovering) RemovePolygon(id uint32) int {
 
 // removeRefAt descends to the directory-recorded cell c, strips polygon p
 // from its reference list, and — when the cell ends up empty — drops it and
-// prunes the emptied node chain. Panics when the tree holds no cell at c:
-// that means the directory diverged from the tree, which is a programming
-// error in the maintenance hooks, not a data error.
+// prunes the emptied node chain. The caller has already detached p's own
+// directory entry (take), so only the dirty mark is recorded here. Panics
+// when the tree holds no cell at c: that means the directory diverged from
+// the tree, which is a programming error in the maintenance hooks, not a
+// data error.
 func (sc *SuperCovering) removeRefAt(c cellid.CellID, p uint32) {
 	cur := sc.roots[c.Face()]
 	level := c.Level()
@@ -69,7 +67,6 @@ func (sc *SuperCovering) removeRefAt(c cellid.CellID, p uint32) {
 		kept = append(kept, r)
 	}
 	sc.markDirty(c)
-	sc.dir.removeOne(c, p)
 	cur.refs = kept
 	if len(kept) > 0 {
 		return

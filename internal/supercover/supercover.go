@@ -335,23 +335,63 @@ func (sc *SuperCovering) Cells() []Cell {
 // CellsAppend is Cells appending into dst (reusing its capacity), for
 // callers that freeze repeatedly and want to recycle the cell buffer instead
 // of allocating a covering-sized slice per freeze.
+//
+// All emitted reference lists are packed into one flat backing array (a
+// counting pre-pass sizes it exactly), not one allocation per cell: frozen
+// cells are resident for as long as any snapshot splices them forward, and
+// at ~10⁶ cells a slice object per cell would dominate the garbage
+// collector's mark work — and the write tail with it.
 func (sc *SuperCovering) CellsAppend(dst []Cell) []Cell {
+	cells, rs := 0, 0
 	for f := 0; f < cellid.NumFaces; f++ {
 		if sc.roots[f] != nil {
-			emit(sc.roots[f], cellid.FaceCell(f), &dst)
+			countEmit(sc.roots[f], &cells, &rs)
+		}
+	}
+	flat := make([]refs.Ref, 0, rs)
+	if free := cap(dst) - len(dst); free < cells {
+		grown := make([]Cell, len(dst), len(dst)+cells)
+		copy(grown, dst)
+		dst = grown
+	}
+	for f := 0; f < cellid.NumFaces; f++ {
+		if sc.roots[f] != nil {
+			emit(sc.roots[f], cellid.FaceCell(f), &dst, &flat)
 		}
 	}
 	return dst
 }
 
-func emit(n *node, id cellid.CellID, out *[]Cell) {
+// countEmit tallies the cells and (pre-normalization, so possibly slightly
+// over-counted) references a subtree will emit.
+func countEmit(n *node, cells, rs *int) {
 	if n.hasCell {
-		*out = append(*out, Cell{ID: id, Refs: copyRefs(refs.Normalize(n.refs))})
+		*cells++
+		*rs += len(n.refs)
 		return
 	}
 	for i := 0; i < 4; i++ {
 		if n.children[i] != nil {
-			emit(n.children[i], id.Child(i), out)
+			countEmit(n.children[i], cells, rs)
+		}
+	}
+}
+
+// emit appends the subtree's cells to out, packing every normalized
+// reference list into flat. flat must have capacity for all of them (see
+// countEmit): the packed subslices alias it, so it must never reallocate
+// mid-emit.
+func emit(n *node, id cellid.CellID, out *[]Cell, flat *[]refs.Ref) {
+	if n.hasCell {
+		rs := refs.Normalize(n.refs)
+		start := len(*flat)
+		*flat = append(*flat, rs...)
+		*out = append(*out, Cell{ID: id, Refs: (*flat)[start:len(*flat):len(*flat)]})
+		return
+	}
+	for i := 0; i < 4; i++ {
+		if n.children[i] != nil {
+			emit(n.children[i], id.Child(i), out, flat)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"actjoin/internal/act"
 	"actjoin/internal/cellindex"
+	"actjoin/internal/supercover"
 )
 
 // Differential coverage of the incremental publish path: every published
@@ -19,9 +20,13 @@ import (
 
 // fullFreeze builds a snapshot of the writer's current state through the
 // one-shot pipeline the pre-incremental publish used: full cell walk, full
-// encode, full trie build. The single-goroutine tests below call it while
-// no writer is active.
+// encode, full trie build. It takes the writer mutex: the caller's own
+// goroutine must be between mutations, but a background compactor may be
+// landing its result concurrently (it is a writer too, and freezing the
+// covering normalizes node reference lists in place).
 func fullFreeze(ix *Index) *Snapshot {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	cells := ix.sc.Cells()
 	kvs, table := cellindex.Encode(cells)
 	return &Snapshot{
@@ -31,6 +36,26 @@ func fullFreeze(ix *Index) *Snapshot {
 		table:          table,
 		opt:            ix.opt,
 		precisionLevel: ix.precisionLevel,
+	}
+}
+
+// writerCells freezes the writer-side covering under the mutex: a background
+// compactor landing its result counts as a writer, and freezing normalizes
+// node reference lists in place.
+func writerCells(ix *Index) []supercover.Cell {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.sc.Cells()
+}
+
+// validateWriterDirectory runs ValidateDirectory under the writer mutex.
+func validateWriterDirectory(t *testing.T, ix *Index, ctx string) {
+	t.Helper()
+	ix.mu.Lock()
+	err := ix.sc.ValidateDirectory()
+	ix.mu.Unlock()
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
 	}
 }
 
@@ -301,21 +326,23 @@ func TestAbortedApplyLeavesNoTrace(t *testing.T) {
 			a.Current(), b.Current(), probes)
 	}
 	// Writer-side equivalence: both freeze to the same cells.
-	if !reflect.DeepEqual(a.sc.Cells(), b.sc.Cells()) {
+	if !reflect.DeepEqual(writerCells(a), writerCells(b)) {
 		t.Fatal("writer-side coverings diverged after the aborted transactions")
 	}
 }
 
-// TestPublishCompactionTriggers: sustained churn must eventually cross a
-// garbage threshold and fall back to a compacting full rebuild, and the
-// snapshots stay correct across the transition.
+// TestPublishCompactionTriggers: with background compaction disabled,
+// sustained churn must eventually cross a garbage threshold and fall back
+// to a compacting full rebuild, and the snapshots stay correct across the
+// transition. (The default background path is covered by the tests in
+// compaction_test.go.)
 func TestPublishCompactionTriggers(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
 	polys := make([]Polygon, 40)
 	for i := range polys {
 		polys[i] = randSquare(rng)
 	}
-	ix, err := NewIndex(polys, WithCoveringBudget(8, 16))
+	ix, err := NewIndex(polys, WithCoveringBudget(8, 16), WithBackgroundCompaction(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,6 +366,9 @@ func TestPublishCompactionTriggers(t *testing.T) {
 	if full < 2 { // the initial build plus at least one compaction
 		t.Fatalf("garbage thresholds never triggered a compacting rebuild (patched %d, full %d)",
 			patched, full)
+	}
+	if st := ix.PublishStats(); st.CompactionsStarted != 0 {
+		t.Fatalf("%d background compactions despite WithBackgroundCompaction(false)", st.CompactionsStarted)
 	}
 	assertSnapshotsEqual(t, "final", ix.Current(), fullFreeze(ix), probes)
 }

@@ -171,7 +171,10 @@ type Stats struct {
 	// NumTrieNodes counts live trie nodes: nodes a probe can reach. On
 	// snapshots produced by incremental publishes the shared arena also
 	// holds nodes orphaned by patching — reported in OrphanTrieNodes and
-	// included in TrieSizeBytes — which a compacting full rebuild reclaims.
+	// included in TrieSizeBytes — which a compaction (background by
+	// default, or the inline full rebuild) leaves behind with the old
+	// arena: post-compaction snapshots report zero orphans again, while
+	// earlier snapshots keep the arena they were built over.
 	NumTrieNodes    int
 	OrphanTrieNodes int
 	TrieSizeBytes   int // node arena, including orphaned nodes

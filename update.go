@@ -22,6 +22,12 @@ import (
 // Snapshot with one atomic pointer store. Queries running against the
 // previous snapshot are never blocked and never observe a half-applied
 // update.
+//
+// Publish latency is bounded by the mutation, not the index: steady-state
+// publishes patch the previous snapshot, and the garbage that patching
+// accumulates is compacted by a background goroutine (see compaction.go and
+// WithBackgroundCompaction) rather than by a stop-the-writer rebuild, so
+// even the publish that crosses a compaction threshold stays mutation-sized.
 
 // ErrRemoved is returned when operating on a polygon id that was removed.
 var ErrRemoved = errors.New("actjoin: polygon already removed")
