@@ -156,54 +156,66 @@ func WithCoveringBudget(coveringCells, interiorCells int) Option {
 // Snapshot it returns, including the deprecated query forwarders on Index)
 // takes no locks.
 type Index struct {
-	mu  sync.Mutex // serializes writers; never held on any query path
+	noCopy noCopy
+
+	mu sync.Mutex // serializes writers; never held on any query path
+
+	//act:published
 	cur atomic.Pointer[Snapshot]
 
-	// Writer-side state, guarded by mu. polys is copy-on-write: published
-	// snapshots share the slice, so the first mutation after a publish
-	// replaces it instead of editing it in place (polysShared tracks
-	// whether the current slice is aliased by a snapshot). staged records
-	// whether any mutation landed since the last publish, so an aborted
-	// Apply only pays for a state rebuild when there is something to
-	// discard.
-	sc          *supercover.SuperCovering
-	polys       []*geom.Polygon
-	polysShared bool
-	staged      bool
+	// Writer-side state. polys is copy-on-write: published snapshots share
+	// the slice, so the first mutation after a publish replaces it instead
+	// of editing it in place (polysShared tracks whether the current slice
+	// is aliased by a snapshot). staged records whether any mutation landed
+	// since the last publish, so an aborted Apply only pays for a state
+	// rebuild when there is something to discard.
+	sc          *supercover.SuperCovering //act:guarded mu
+	polys       []*geom.Polygon           //act:guarded mu
+	polysShared bool                      //act:guarded mu
+	staged      bool                      //act:guarded mu
 
 	// enc carries the shared lookup table across incremental publishes
 	// (garbage-tracked, compacted on full rebuilds and replaced wholesale
 	// when a background compaction lands); kvScratch recycles the
 	// per-publish dirty-region encoding buffer. patched/full count the
 	// publishes each path served (diagnostics, read under mu).
-	enc       *cellindex.Encoder
-	kvScratch []cellindex.KeyEntry
-	patched   int
-	full      int
+	enc       *cellindex.Encoder   //act:guarded mu
+	kvScratch []cellindex.KeyEntry //act:guarded mu
+	patched   int                  //act:guarded mu
+	full      int                  //act:guarded mu
 
 	// compacting is the in-flight background compaction, nil when none (see
-	// compaction.go). The counters track cycle starts and landings. All
-	// guarded by mu; the compactor goroutine takes mu to land its result.
-	compacting         *compaction
-	compactionsStarted int
-	compactionsLanded  int
+	// compaction.go). The counters track cycle starts and landings. The
+	// compactor goroutine takes mu to land its result.
+	compacting         *compaction //act:guarded mu
+	compactionsStarted int         //act:guarded mu
+	compactionsLanded  int         //act:guarded mu
 
 	// Test hooks (same-package tests only): holdCompaction, when non-nil,
 	// parks every finished compaction until the channel is closed, so tests
 	// can deterministically observe the pending-ready state; failPatches
 	// forces the next n patch attempts to abort after staging, exercising
 	// the encoder rollback path.
-	holdCompaction chan struct{}
-	failPatches    int
+	holdCompaction chan struct{} //act:guarded mu
+	failPatches    int           //act:guarded mu
 
 	opt            options // immutable after NewIndex
 	precisionLevel int     // immutable after NewIndex
 }
 
+// noCopy triggers go vet's copylocks analyzer on by-value copies of the
+// struct embedding it. It has no runtime effect.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
 // NewIndex builds an index over the polygons and publishes its first
 // snapshot. Polygon ids are slice positions. The build computes per-polygon
 // coverings, merges them into the super covering and freezes the Adaptive
 // Cell Trie.
+//
+//act:exclusive
 func NewIndex(polygons []Polygon, opts ...Option) (*Index, error) {
 	o := options{delta: act.Delta4, coveringCells: 128, interiorCells: 256}
 	for _, fn := range opts {
@@ -303,6 +315,9 @@ const (
 // remains the fallback for bulk mutations (including the first publish) and
 // for whatever the incremental paths — patching and background compaction —
 // cannot absorb.
+//
+//act:requires mu
+//act:publisher
 func (ix *Index) publish() *Snapshot {
 	if ix.enc == nil {
 		ix.enc = cellindex.NewEncoder()
@@ -324,9 +339,13 @@ func (ix *Index) publish() *Snapshot {
 		// The snapshot takes ownership of the frozen cells (via the rope),
 		// so the full path allocates a fresh, exactly-sized buffer; only the
 		// patched path above amortizes freeze allocations (dirty-sized
-		// buffers, clean runs spliced by reference).
+		// buffers, clean runs spliced by reference). EncodeFrozen, not
+		// EncodeAll: the freeze's reference lists go straight into the new
+		// snapshot, and EncodeAll would re-sort them in place — harmless
+		// today only because they are not published yet, but a write through
+		// frozen state all the same.
 		cells := ix.sc.Cells()
-		kvs := ix.enc.EncodeAll(cells)
+		kvs := ix.enc.EncodeFrozen(cells)
 		s = &Snapshot{
 			polys:          ix.polys,
 			cells:          ropeFromCells(cells),
@@ -348,6 +367,8 @@ func (ix *Index) publish() *Snapshot {
 // among patching prev, starting a background compaction, and landing an
 // in-flight one. It returns nil only when every incremental avenue is
 // exhausted and the caller must rebuild inline. Callers must hold mu.
+//
+//act:requires mu
 func (ix *Index) publishIncremental(prev *Snapshot, roots []cellid.CellID) *Snapshot {
 	if len(roots) == 0 {
 		// Nothing structural changed (e.g. a transaction that only touched
@@ -415,6 +436,9 @@ func (ix *Index) publishIncremental(prev *Snapshot, roots []cellid.CellID) *Snap
 // returns nil when the patch cannot (or should not) be applied — the
 // encoder's staged work is rolled back exactly, so any fallback may be
 // deferred indefinitely without leaking table garbage.
+//
+//act:requires mu
+//act:freezer
 func (ix *Index) patchSnapshot(base *Snapshot, enc *cellindex.Encoder, roots []cellid.CellID, maxDirtyFraction float64) *Snapshot {
 	if len(roots) == 0 {
 		return &Snapshot{
@@ -590,6 +614,8 @@ func mergePatchRoots(base *cellRope, roots []cellid.CellID, maxDirty int) (merge
 // mutablePolys returns ix.polys ready for in-place mutation, copying it
 // first when a published snapshot still aliases it. extraCap reserves
 // append room for the copy.
+//
+//act:requires mu
 func (ix *Index) mutablePolys(extraCap int) []*geom.Polygon {
 	if ix.polysShared {
 		polys := make([]*geom.Polygon, len(ix.polys), len(ix.polys)+extraCap)
@@ -609,6 +635,8 @@ func (ix *Index) mutablePolys(extraCap int) []*geom.Polygon {
 // instead of re-inserting every frozen cell through conflict resolution.
 // Bulk mutations (or a region the splice cannot express) fall back to the
 // full rebuild.
+//
+//act:requires mu
 func (ix *Index) restore() {
 	s := ix.cur.Load()
 	roots, all := ix.sc.TakeDirty()
@@ -633,6 +661,8 @@ func (ix *Index) restore() {
 // restoreRegions resets every dirty subtree from the snapshot's frozen
 // cells. On any failure the covering may be partially reset — still safe,
 // because the caller then rebuilds it from scratch.
+//
+//act:requires mu
 func (ix *Index) restoreRegions(s *Snapshot, roots []cellid.CellID) bool {
 	var scratch []supercover.Cell
 	for _, r := range roots {

@@ -45,6 +45,8 @@ func (r *cellRope) Len() int { return r.total }
 // appendRun splices a run, merging it with the tail run when the two are
 // contiguous views of the same backing array (adjacent dirty regions emit
 // into one buffer; clean runs split around an empty region rejoin).
+//
+//act:hotpath
 func (r *cellRope) appendRun(run []supercover.Cell) {
 	if len(run) == 0 {
 		return
@@ -65,7 +67,10 @@ func (r *cellRope) appendRun(run []supercover.Cell) {
 	r.runs = append(r.runs, run)
 }
 
-// appendAll materializes the rope into dst.
+// appendAll materializes the rope into dst. The returned cells' reference
+// lists stay aliased to the frozen runs.
+//
+//act:frozen
 func (r *cellRope) appendAll(dst []supercover.Cell) []supercover.Cell {
 	for _, run := range r.runs {
 		dst = append(dst, run...)
@@ -87,6 +92,8 @@ func (r *cellRope) flatten() *cellRope {
 // search over the (sorted, disjoint) run list, so a lookup on a heavily
 // fragmented rope — fragmentation is only bounded by the compaction cadence
 // — costs O(log runs + overlapping runs), not a scan of every run.
+//
+//act:hotpath
 func (r *cellRope) rangeRuns(lo, hi cellid.CellID, fn func(seg []supercover.Cell)) {
 	first := sort.Search(len(r.runs), func(i int) bool {
 		run := r.runs[i]
@@ -103,7 +110,10 @@ func (r *cellRope) rangeRuns(lo, hi cellid.CellID, fn func(seg []supercover.Cell
 }
 
 // appendRange appends the cells with lo <= ID <= hi to dst (the frozen
-// contents of one region, for transaction rollback).
+// contents of one region, for transaction rollback). As with appendAll, the
+// result's reference lists alias the frozen runs.
+//
+//act:frozen
 func (r *cellRope) appendRange(dst []supercover.Cell, lo, hi cellid.CellID) []supercover.Cell {
 	r.rangeRuns(lo, hi, func(seg []supercover.Cell) { dst = append(dst, seg...) })
 	return dst
@@ -128,6 +138,8 @@ type ropeCursor struct {
 // copyBefore advances the cursor to the first cell with ID >= bound,
 // splicing the skipped-over cells into out as subslice runs. It returns the
 // last copied cell (nil when none was copied).
+//
+//act:hotpath
 func (c *ropeCursor) copyBefore(bound cellid.CellID, out *cellRope) *supercover.Cell {
 	var last *supercover.Cell
 	for c.ri < len(c.rope.runs) {
@@ -158,6 +170,8 @@ func (c *ropeCursor) copyBefore(bound cellid.CellID, out *cellRope) *supercover.
 
 // skipThrough advances the cursor past every cell with ID <= bound, calling
 // fn for each skipped cell, and returns the count.
+//
+//act:hotpath
 func (c *ropeCursor) skipThrough(bound cellid.CellID, fn func(supercover.Cell)) int {
 	skipped := 0
 	for c.ri < len(c.rope.runs) {
@@ -186,6 +200,8 @@ func (c *ropeCursor) skipThrough(bound cellid.CellID, fn func(supercover.Cell)) 
 }
 
 // copyRest splices everything after the cursor into out.
+//
+//act:hotpath
 func (c *ropeCursor) copyRest(out *cellRope) {
 	for ; c.ri < len(c.rope.runs); c.ri++ {
 		run := c.rope.runs[c.ri][c.off:]

@@ -1,0 +1,231 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// frozencheck enforces the //act:frozen contract: a value obtained from a
+// frozen function (refs.Table.Freeze, supercover.Cells, ...) or a frozen
+// field (the slices a published Snapshot shares with its predecessors) must
+// never be written through. Flagged, per function outside the //act:freezer
+// machinery:
+//
+//   - element or field assignment through a frozen base: frozen[i] = v,
+//     frozen.f = v
+//   - assignment to a frozen field itself: snap.cells = v
+//   - append(frozen, ...) — append may write into the shared backing array
+//     when capacity allows
+//   - copy(frozen, ...) with a frozen destination
+//   - passing a frozen value at an //act:mutates argument index
+//
+// Provenance is tracked flow-insensitively per function body: local
+// variables assigned from a frozen source become frozen, and frozenness
+// propagates through indexing, slicing, selection, dereference and
+// address-of, iterated to a fixpoint so chains of assignments are covered.
+func frozencheck(l *loader, p *pkgData, ann *annotations) []diagnostic {
+	var diags []diagnostic
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if ann.freezer[l.info.Defs[fd.Name]] {
+				continue
+			}
+			diags = append(diags, frozenWalk(l, ann, fd)...)
+		}
+	}
+	return diags
+}
+
+// frozenWalk analyzes one function declaration (including nested literals —
+// closures share the enclosing frozen set, which is sound because the
+// provenance pass scans the whole body).
+func frozenWalk(l *loader, ann *annotations, fd *ast.FuncDecl) []diagnostic {
+	frozen := map[types.Object]bool{}
+
+	// isFrozen reports whether the expression denotes frozen data under the
+	// current provenance set.
+	var isFrozen func(e ast.Expr) bool
+	isFrozen = func(e ast.Expr) bool {
+		switch e := unparen(e).(type) {
+		case *ast.Ident:
+			return frozen[l.objOf(e)]
+		case *ast.SelectorExpr:
+			if fld := l.fieldOf(e); fld != nil && ann.frozenFields[fld] {
+				return true
+			}
+			return isFrozen(e.X)
+		case *ast.IndexExpr:
+			return isFrozen(e.X)
+		case *ast.SliceExpr:
+			return isFrozen(e.X)
+		case *ast.StarExpr:
+			return isFrozen(e.X)
+		case *ast.UnaryExpr:
+			return isFrozen(e.X)
+		case *ast.CallExpr:
+			if callee := l.calleeOf(e); callee != nil && ann.frozenFns[callee] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Provenance fixpoint: mark objects assigned from frozen sources.
+	for {
+		changed := false
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						id, ok := unparen(lhs).(*ast.Ident)
+						if !ok || id.Name == "_" {
+							continue
+						}
+						obj := l.objOf(id)
+						if obj != nil && !frozen[obj] && isFrozen(n.Rhs[i]) {
+							frozen[obj] = true
+							changed = true
+						}
+					}
+				} else if len(n.Rhs) == 1 && isFrozen(n.Rhs[0]) {
+					// x, y := f() with a frozen call: taint every lhs.
+					for _, lhs := range n.Lhs {
+						if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+							if obj := l.objOf(id); obj != nil && !frozen[obj] {
+								frozen[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, v := range frozenSlice: v aliases frozen elements
+				// only for reference element types; flag conservatively by
+				// tainting v when the range source is frozen.
+				if n.X != nil && isFrozen(n.X) && n.Value != nil {
+					if id, ok := unparen(n.Value).(*ast.Ident); ok && id.Name != "_" {
+						if obj := l.objOf(id); obj != nil && !frozen[obj] && isRefElem(l.typeOf(n.X)) {
+							frozen[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if name.Name == "_" || i >= len(n.Values) {
+						continue
+					}
+					obj := l.objOf(name)
+					if obj != nil && !frozen[obj] && isFrozen(n.Values[i]) {
+						frozen[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Violation scan.
+	var diags []diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, diagnostic{pos: l.position(n.Pos()), analyzer: "frozencheck", msg: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch lhs := unparen(lhs).(type) {
+				case *ast.IndexExpr:
+					if isFrozen(lhs.X) {
+						report(lhs, "assignment through frozen value %s", exprString(lhs.X))
+					}
+				case *ast.SelectorExpr:
+					if fld := l.fieldOf(lhs); fld != nil && ann.frozenFields[fld] {
+						report(lhs, "assignment to frozen field %s", fld.Name())
+					} else if isFrozen(lhs.X) {
+						report(lhs, "field assignment through frozen value %s", exprString(lhs.X))
+					}
+				case *ast.StarExpr:
+					if isFrozen(lhs.X) {
+						report(lhs, "store through pointer into frozen value %s", exprString(lhs.X))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && len(n.Args) > 0 && isFrozen(n.Args[0]) {
+					report(n, "append to frozen value %s may write its shared backing array", exprString(n.Args[0]))
+				}
+				if fun.Name == "copy" && len(n.Args) == 2 && isFrozen(n.Args[0]) {
+					report(n, "copy into frozen value %s", exprString(n.Args[0]))
+				}
+			}
+			if callee := l.calleeOf(n); callee != nil {
+				for _, idx := range ann.mutates[callee] {
+					if idx < len(n.Args) && isFrozen(n.Args[idx]) {
+						report(n.Args[idx], "frozen value %s passed to %s, which mutates argument %d",
+							exprString(n.Args[idx]), callee.Name(), idx)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isRefElem reports whether ranging over t yields values that alias the
+// container's storage (pointers, slices, maps).
+func isRefElem(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Map:
+		elem = t.Elem()
+	default:
+		return false
+	}
+	switch elem.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// exprString renders a small expression for a diagnostic message.
+func exprString(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	}
+	return "value"
+}

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotpath enforces the //act:hotpath contract on the per-probe code paths
+// (batch probe loop, cell-id conversion, rope splicing): no allocation or
+// indirection that the compiler cannot eliminate. Flagged inside an
+// annotated function:
+//
+//   - map composite literals and make(map...) — map allocation per call
+//   - function literals capturing a variable that the function mutates —
+//     such captures force the variable to escape; read-only captures (the
+//     sort.Search idiom) are fine
+//   - concrete-to-interface conversions (explicit conversions, interface
+//     arguments, assignments and returns) — they allocate and add dynamic
+//     dispatch
+//   - append into a slice declared locally without capacity (var s []T,
+//     s := []T{}) — growth reallocates per probe; appends into
+//     caller-provided or preallocated (make with capacity) slices are the
+//     amortized-reuse idiom and pass
+func hotpath(l *loader, p *pkgData, ann *annotations) []diagnostic {
+	var diags []diagnostic
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !ann.hotpath[l.info.Defs[fd.Name]] {
+				continue
+			}
+			diags = append(diags, hotWalk(l, fd)...)
+		}
+	}
+	return diags
+}
+
+func hotWalk(l *loader, fd *ast.FuncDecl) []diagnostic {
+	var diags []diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, diagnostic{pos: l.position(n.Pos()), analyzer: "hotpath", msg: fmt.Sprintf(format, args...)})
+	}
+
+	mutated := mutatedObjects(l, fd)
+	noCap := sliceVarsWithoutCapacity(l, fd)
+
+	// Return statements are checked against the signature of the nearest
+	// enclosing function, which Inspect alone cannot track; record each
+	// literal's signature first.
+	retSig := map[*ast.ReturnStmt]*types.Signature{}
+	var bindReturns func(body ast.Node, sig *types.Signature)
+	bindReturns = func(body ast.Node, sig *types.Signature) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if litSig, ok := l.typeOf(n).(*types.Signature); ok {
+					bindReturns(n.Body, litSig)
+				}
+				return false
+			case *ast.ReturnStmt:
+				retSig[n] = sig
+			}
+			return true
+		})
+	}
+	bindReturns(fd.Body, funcSignature(l, fd))
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if t := l.typeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					report(n, "map literal allocates on every call")
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+				if t := l.typeOf(n.Args[0]); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						report(n, "make(map) allocates on every call")
+					}
+				}
+			}
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if obj := rootObject(l, n.Args[0]); obj != nil && noCap[obj] {
+					report(n, "append to %s, declared without preallocated capacity", obj.Name())
+				}
+			}
+			// Interface conversions at call arguments.
+			if sig := callSignature(l, n); sig != nil {
+				params := sig.Params()
+				for i, arg := range n.Args {
+					var pt types.Type
+					if sig.Variadic() && i >= params.Len()-1 {
+						if n.Ellipsis == token.NoPos {
+							pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+						}
+					} else if i < params.Len() {
+						pt = params.At(i).Type()
+					}
+					if pt != nil && isInterfaceConversion(l.typeOf(arg), pt) {
+						report(arg, "implicit conversion of %s to interface %s", exprString(arg), pt.String())
+					}
+				}
+			}
+			// Explicit conversion to an interface type: T(x) where T is an
+			// interface.
+			if tv, ok := l.info.Types[n.Fun]; ok && tv.IsType() {
+				if len(n.Args) == 1 && isInterfaceConversion(l.typeOf(n.Args[0]), tv.Type) {
+					report(n, "conversion to interface %s", tv.Type.String())
+				}
+			}
+		case *ast.FuncLit:
+			for obj := range capturedObjects(l, n, fd) {
+				if mutated[obj] {
+					report(n, "closure captures %s, which is mutated — the capture forces it to escape", obj.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if lt := l.typeOf(lhs); lt != nil && isInterfaceConversion(l.typeOf(n.Rhs[i]), lt) {
+						report(n.Rhs[i], "implicit conversion of %s to interface %s", exprString(n.Rhs[i]), lt.String())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := retSig[n]
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					rt := sig.Results().At(i).Type()
+					if isInterfaceConversion(l.typeOf(res), rt) {
+						report(res, "implicit conversion of %s to interface %s on return", exprString(res), rt.String())
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// rootObject resolves the base variable of an expression: x in x, x[i],
+// x.f is not followed (field appends are caller-owned scratch).
+func rootObject(l *loader, e ast.Expr) types.Object {
+	if id, ok := unparen(e).(*ast.Ident); ok {
+		return l.objOf(id)
+	}
+	return nil
+}
+
+// mutatedObjects collects every variable object assigned or inc/dec'd
+// anywhere in fd (including inside nested literals).
+func mutatedObjects(l *loader, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if obj := l.objOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				for _, lhs := range n.Lhs {
+					mark(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		}
+		return true
+	})
+	return out
+}
+
+// sliceVarsWithoutCapacity collects local slice variables declared with no
+// preallocated capacity: var s []T, s := []T{}, s := make([]T, n) with no
+// cap argument is treated as preallocated (the caller sized it). Parameters,
+// fields, and variables of unknown provenance are not included — appending
+// into caller-provided scratch is the reuse idiom hot paths are built on.
+func sliceVarsWithoutCapacity(l *loader, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	markIfEmpty := func(name *ast.Ident, val ast.Expr) {
+		if name.Name == "_" {
+			return
+		}
+		obj := l.info.Defs[name]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		if val == nil {
+			out[obj] = true // var s []T
+			return
+		}
+		switch v := unparen(val).(type) {
+		case *ast.CompositeLit:
+			if len(v.Elts) == 0 {
+				out[obj] = true // s := []T{}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(v.Fun).(*ast.Ident); ok && id.Name == "make" && len(v.Args) < 2 {
+				out[obj] = true // make([]T) — zero len, zero cap
+			}
+		}
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				var val ast.Expr
+				if i < len(n.Values) {
+					val = n.Values[i]
+				}
+				markIfEmpty(name, val)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := unparen(lhs).(*ast.Ident); ok {
+						markIfEmpty(id, n.Rhs[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedObjects returns the variable objects a function literal references
+// that are declared outside it (free variables).
+func capturedObjects(l *loader, lit *ast.FuncLit, encl *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := l.info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return true
+		}
+		// Declared outside the literal but inside the enclosing declaration.
+		if obj.Pos() < lit.Pos() && obj.Pos() > encl.Pos() {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isInterfaceConversion reports whether assigning a value of type from to a
+// location of type to converts a concrete value to a non-empty-method
+// interface (the allocating, dynamic-dispatch case).
+func isInterfaceConversion(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if _, ok := from.Underlying().(*types.Interface); ok {
+		return false // interface-to-interface: no new allocation
+	}
+	if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+// callSignature returns the signature of a call's callee, or nil for
+// builtins and conversions.
+func callSignature(l *loader, call *ast.CallExpr) *types.Signature {
+	tv, ok := l.info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// funcSignature returns the declared signature of fd.
+func funcSignature(l *loader, fd *ast.FuncDecl) *types.Signature {
+	obj, ok := l.info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return obj.Type().(*types.Signature)
+}

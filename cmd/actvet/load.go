@@ -1,0 +1,214 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// diagnostic is one analyzer finding.
+type diagnostic struct {
+	pos      token.Position
+	analyzer string
+	msg      string
+}
+
+func (d diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.pos.Filename, d.pos.Line, d.pos.Column, d.analyzer, d.msg)
+}
+
+// pkgData is one parsed and type-checked package.
+type pkgData struct {
+	path  string // import path
+	dir   string
+	files []*ast.File
+	pkg   *types.Package
+	local bool // inside the analyzed module (annotations are collected from it)
+}
+
+// loader parses and type-checks packages from source. Module-local import
+// paths resolve into the module tree, everything else into GOROOT/src — no
+// installed export data, no external tooling, so the loader works in a bare
+// build image. Type information for every module-local package accumulates
+// in one shared types.Info.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	info    *types.Info
+	pkgs    map[string]*pkgData // by import path
+	byDir   map[string]*pkgData
+	loading map[string]bool // import-cycle detection
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	return &loader{
+		fset:    token.NewFileSet(),
+		modRoot: modRoot,
+		modPath: modPath,
+		info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		},
+		pkgs:    map[string]*pkgData{},
+		byDir:   map[string]*pkgData{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer by resolving the path to a directory and
+// loading it. It makes the loader usable as the Importer of its own
+// types.Config.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, local := l.resolve(path)
+	p, err := l.load(dir, path, local)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+// resolve maps an import path to its source directory. Paths inside the
+// module map into the module tree; everything else is expected in GOROOT.
+func (l *loader) resolve(path string) (dir string, local bool) {
+	if path == l.modPath {
+		return l.modRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, filepath.FromSlash(rest)), true
+	}
+	return filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path)), false
+}
+
+// loadDir loads the package in dir (a directory inside the module),
+// deriving its import path from the module root. Directories without
+// buildable Go files return (nil, nil).
+func (l *loader) loadDir(dir string) (*pkgData, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.byDir[abs]; ok {
+		return p, nil
+	}
+	rel, err := filepath.Rel(l.modRoot, abs)
+	if err != nil {
+		return nil, err
+	}
+	path := l.modPath
+	if rel != "." {
+		path = l.modPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(abs, path, true)
+}
+
+// load parses and type-checks one package directory, caching the result.
+func (l *loader) load(dir, path string, local bool) (*pkgData, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok && local {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Type information is only recorded for module-local packages — the
+	// analyzers never look inside the standard library.
+	info := l.info
+	if !local {
+		info = nil
+	}
+	conf := types.Config{Importer: l, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &pkgData{path: path, dir: dir, files: files, pkg: pkg, local: local}
+	l.pkgs[path] = p
+	l.byDir[dir] = p
+	return p, nil
+}
+
+// position returns the token.Position of a node.
+func (l *loader) position(pos token.Pos) token.Position { return l.fset.Position(pos) }
+
+// typeOf returns the type of an expression, or nil when unknown.
+func (l *loader) typeOf(e ast.Expr) types.Type { return l.info.TypeOf(e) }
+
+// objOf resolves an identifier to its object (definition or use).
+func (l *loader) objOf(id *ast.Ident) types.Object {
+	if o := l.info.Defs[id]; o != nil {
+		return o
+	}
+	return l.info.Uses[id]
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeOf resolves the called function object of a call expression: a
+// package-level function, a method, or nil (builtin, function value,
+// conversion).
+func (l *loader) calleeOf(call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if o, ok := l.objOf(fun).(*types.Func); ok {
+			return o
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := l.info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		if o, ok := l.objOf(fun.Sel).(*types.Func); ok {
+			return o // package-qualified call
+		}
+	}
+	return nil
+}
+
+// fieldOf resolves a selector expression to the field variable it reads or
+// writes, or nil when it is not a field selection.
+func (l *loader) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := l.info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// lockcheck enforces the //act:guarded contract: a field annotated
+// //act:guarded mu may only be accessed from a function context that holds
+// mu, and a function annotated //act:requires mu may only be called from a
+// context that holds mu.
+//
+// A context holds mu when its own body contains a <path>.mu.Lock() call
+// (flow-insensitively: the analyzer assumes a function that locks does so
+// before touching guarded state, which the deferred-unlock idiom this repo
+// uses guarantees), or when the enclosing declaration is annotated
+// //act:requires mu. Function literals inherit the enclosing context's held
+// set — a deferred or immediately-invoked closure runs under the caller's
+// locks — except when launched with a go statement: a goroutine body starts
+// with no locks held and must acquire its own. Functions annotated
+// //act:exclusive (constructors of fresh, unshared values) are skipped
+// entirely.
+func lockcheck(l *loader, p *pkgData, ann *annotations) []diagnostic {
+	var diags []diagnostic
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := l.info.Defs[fd.Name]
+			if ann.exclusive[obj] {
+				continue
+			}
+			held := map[string]bool{}
+			for _, mu := range ann.requires[obj] {
+				held[mu] = true
+			}
+			diags = append(diags, lockWalk(l, ann, fd.Body, held)...)
+		}
+	}
+	return diags
+}
+
+// lockWalk analyzes one function context: body with the given base held set.
+// It first augments the held set with the locks the context itself acquires,
+// then reports guarded accesses and requires-calls not covered by it,
+// recursing into nested function literals with the inheritance rules above.
+func lockWalk(l *loader, ann *annotations, body *ast.BlockStmt, base map[string]bool) []diagnostic {
+	held := make(map[string]bool, len(base))
+	for mu := range base {
+		held[mu] = true
+	}
+	walkSameContext(body, func(n ast.Node) {
+		if mu, ok := lockedMutex(n); ok {
+			held[mu] = true
+		}
+	})
+
+	var diags []diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, diagnostic{pos: l.position(n.Pos()), analyzer: "lockcheck", msg: fmt.Sprintf(format, args...)})
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Handled at the Go/defer/call site by the parent cases below;
+			// a bare literal inherits the current held set.
+			diags = append(diags, lockWalk(l, ann, n.Body, held)...)
+			return false
+		case *ast.GoStmt:
+			// The goroutine body runs later, without the caller's locks.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				diags = append(diags, lockWalk(l, ann, lit.Body, nil)...)
+			} else if callee := l.calleeOf(n.Call); callee != nil {
+				for _, mu := range ann.requires[callee] {
+					report(n, "go statement calls %s, which requires %s held", callee.Name(), mu)
+				}
+			}
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.SelectorExpr:
+			if fld := l.fieldOf(n); fld != nil {
+				if mu, ok := ann.guarded[fld]; ok && !held[mu] {
+					report(n.Sel, "access to %s.%s requires %s held (add %s.Lock() or //act:requires %s)",
+						fieldOwner(fld), fld.Name(), mu, mu, mu)
+				}
+			}
+		case *ast.CallExpr:
+			if callee := l.calleeOf(n); callee != nil {
+				for _, mu := range ann.requires[callee] {
+					if !held[mu] {
+						report(n, "call to %s requires %s held (add %s.Lock() or //act:requires %s)",
+							callee.Name(), mu, mu, mu)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return diags
+}
+
+// walkSameContext visits every node of body without descending into nested
+// function literals.
+func walkSameContext(body ast.Node, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// lockedMutex recognizes a mutex acquisition: a call whose callee is a
+// selector ending in .Lock (sync.Mutex) or .RLock (sync.RWMutex read side —
+// good enough for guarding reads, and this repo only uses plain mutexes).
+// The held token is the name of the selector component before it, e.g.
+// "mu" in ix.mu.Lock().
+func lockedMutex(n ast.Node) (string, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", false
+	}
+	switch x := unparen(sel.X).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		return x.Sel.Name, true
+	}
+	return "", false
+}
+
+// fieldOwner names the struct type declaring a field, for diagnostics.
+func fieldOwner(fld *types.Var) string {
+	if fld.Pkg() == nil {
+		return "?"
+	}
+	// Walk the package scope for the named type whose underlying struct
+	// contains the field.
+	scope := fld.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fld {
+				return tn.Name()
+			}
+		}
+	}
+	return "?"
+}

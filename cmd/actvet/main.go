@@ -1,0 +1,213 @@
+// Command actvet is the repo-specific static-analysis suite enforcing the
+// snapshot/publish concurrency contract at build time. The engine's reader
+// path is lock-free only because a set of invariants holds everywhere:
+// writer state is touched only under the index mutex, frozen snapshot state
+// is never written through, hot probe loops stay allocation-free, and the
+// published-snapshot pointer is swapped only by the publish machinery. Those
+// rules are declared in the source as machine-readable //act: annotations,
+// and actvet checks them with four analyzers:
+//
+//   - lockcheck: fields annotated //act:guarded <mu> may only be accessed
+//     from functions that acquire the mutex (<recv>.<mu>.Lock() in the body)
+//     or are annotated //act:requires <mu> (their callers hold it). Calls to
+//     //act:requires functions are checked the same way; goroutine bodies do
+//     not inherit the caller's locks; //act:exclusive exempts constructors
+//     that own a fresh, unshared value.
+//   - frozencheck: values originating from //act:frozen functions or fields
+//     (frozen snapshot state, shared between publishes) must never be
+//     written through: no element assignment, no append, no copy-into, no
+//     passing to an //act:mutates function. //act:freezer exempts the freeze
+//     machinery itself.
+//   - hotpath: functions annotated //act:hotpath (probe loops, cell id
+//     conversion, rope splicing) must not allocate maps, build closures that
+//     capture mutated variables by reference, convert concrete values to
+//     interfaces, or append to locally declared slices without preallocated
+//     capacity.
+//   - publishcheck: Store/Swap on a field annotated //act:published (the
+//     snapshot pointer) may only appear in //act:publisher functions, and
+//     exported methods of a type with guarded fields must not return
+//     pointers, slices or maps taken directly from that guarded state.
+//
+// Usage:
+//
+//	actvet [packages]
+//
+// Packages are directories or "dir/..." patterns relative to the current
+// module; with no arguments it vets "./...". Only stdlib packages are used
+// (go/parser, go/ast, go/types); imports — including the standard library —
+// are type-checked from source, so the tool runs in the build image with no
+// installed toolchain artifacts. Exit status is 1 when any diagnostic is
+// reported, 2 on load or usage errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	diags, err := vet(".", args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "actvet: %d violations\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// vet loads and analyzes the packages matched by patterns, returning the
+// formatted diagnostics sorted by position.
+func vet(cwd string, patterns []string) ([]string, error) {
+	modRoot, modPath, err := findModule(cwd)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(cwd, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(modRoot, modPath)
+	var pkgs []*pkgData
+	for _, dir := range dirs {
+		p, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no Go packages in %s", strings.Join(patterns, " "))
+	}
+
+	ann, annDiags := collectAnnotations(l)
+	var diags []diagnostic
+	diags = append(diags, annDiags...)
+	for _, p := range pkgs {
+		diags = append(diags, lockcheck(l, p, ann)...)
+		diags = append(diags, frozencheck(l, p, ann)...)
+		diags = append(diags, hotpath(l, p, ann)...)
+		diags = append(diags, publishcheck(l, p, ann)...)
+	}
+
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	sort.Strings(out)
+	return dedup(out), nil
+}
+
+// dedup drops adjacent duplicates from a sorted slice (the same annotation
+// error can surface once per vetted package that loads the file).
+func dedup(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// findModule locates the enclosing go.mod and returns the module root
+// directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module line", filepath.Join(abs, "go.mod"))
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// expandPatterns resolves the command-line package patterns into directories:
+// a plain path names one directory, a path ending in /... names every
+// package directory under it (testdata, hidden and underscore-prefixed
+// directories are skipped, as the go tool does).
+func expandPatterns(cwd string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		root = filepath.Join(cwd, root)
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether the directory contains at least one non-test
+// .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

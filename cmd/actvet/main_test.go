@@ -1,0 +1,90 @@
+package main
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture packages live under testdata/src/<analyzer>/{bad,good}. Each is
+// loaded as its own module root and run through every analyzer; expectations
+// are "// want" comments carrying a backquoted regexp on the violating
+// line, in the style of go/analysis golden tests. A "good" package simply carries no want comments,
+// so any diagnostic fails the test.
+func TestFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	for _, dir := range dirs {
+		name := filepath.ToSlash(strings.TrimPrefix(dir, filepath.Join("testdata", "src")+string(filepath.Separator)))
+		t.Run(name, func(t *testing.T) { runFixture(t, dir) })
+	}
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+func runFixture(t *testing.T, dir string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(abs, "fixture")
+	p, err := l.loadDir(abs)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if p == nil {
+		t.Fatalf("no Go package in %s", dir)
+	}
+
+	ann, diags := collectAnnotations(l)
+	diags = append(diags, lockcheck(l, p, ann)...)
+	diags = append(diags, frozencheck(l, p, ann)...)
+	diags = append(diags, hotpath(l, p, ann)...)
+	diags = append(diags, publishcheck(l, p, ann)...)
+
+	type want struct {
+		line    int
+		re      *regexp.Regexp
+		matched bool
+	}
+	var wants []*want
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", l.position(c.Pos()), m[1], err)
+				}
+				wants = append(wants, &want{line: l.position(c.Pos()).Line, re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.line == d.pos.Line && w.re.MatchString(d.msg) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s line %d: no diagnostic matching %q", dir, w.line, w.re)
+		}
+	}
+}

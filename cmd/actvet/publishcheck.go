@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"unicode"
+)
+
+// publishcheck enforces the single-publisher contract around the atomically
+// published snapshot pointer, and keeps exported methods from leaking
+// writer-guarded state:
+//
+//   - Store and Swap on a field annotated //act:published may only appear
+//     inside functions annotated //act:publisher (publish and the
+//     compaction-landing path). Function literals inherit the enclosing
+//     declaration's publisher status — the compactor's landing goroutine is
+//     a literal inside an annotated function.
+//   - An exported method on a type that has //act:guarded fields must not
+//     return one of those fields when its type shares storage (slice, map,
+//     pointer, chan, func, interface), nor the address of any of them —
+//     callers would hold an interior pointer into state that mutates under
+//     the writer lock.
+func publishcheck(l *loader, p *pkgData, ann *annotations) []diagnostic {
+	var diags []diagnostic
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			diags = append(diags, storeSwapCheck(l, ann, fd)...)
+			diags = append(diags, leakCheck(l, ann, fd)...)
+		}
+	}
+	return diags
+}
+
+// storeSwapCheck flags Store/Swap calls on published fields outside
+// //act:publisher functions.
+func storeSwapCheck(l *loader, ann *annotations, fd *ast.FuncDecl) []diagnostic {
+	if ann.publisher[l.info.Defs[fd.Name]] {
+		return nil
+	}
+	var diags []diagnostic
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Store" && sel.Sel.Name != "Swap") {
+			return true
+		}
+		recv, ok := unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fld := l.fieldOf(recv); fld != nil && ann.published[fld] {
+			diags = append(diags, diagnostic{
+				pos:      l.position(call.Pos()),
+				analyzer: "publishcheck",
+				msg: fmt.Sprintf("%s on published field %s outside an //act:publisher function",
+					sel.Sel.Name, fld.Name()),
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+// leakCheck flags exported methods returning guarded reference-typed state.
+func leakCheck(l *loader, ann *annotations, fd *ast.FuncDecl) []diagnostic {
+	if fd.Recv == nil || !isExported(fd.Name.Name) {
+		return nil
+	}
+	var diags []diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals escape through other channels; keep to returns of the method itself
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if fld, addr := guardedFieldExpr(l, ann, res); fld != nil {
+				if addr || sharesStorage(fld.Type()) {
+					diags = append(diags, diagnostic{
+						pos:      l.position(res.Pos()),
+						analyzer: "publishcheck",
+						msg: fmt.Sprintf("exported method %s returns guarded field %s — interior pointer into writer state",
+							fd.Name.Name, fld.Name()),
+					})
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// guardedFieldExpr reports whether e denotes a //act:guarded field (or its
+// address) of the method receiver or anything else.
+func guardedFieldExpr(l *loader, ann *annotations, e ast.Expr) (fld *types.Var, addr bool) {
+	switch e := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if f := l.fieldOf(e); f != nil {
+			if _, ok := ann.guarded[f]; ok {
+				return f, false
+			}
+		}
+	case *ast.UnaryExpr:
+		if sel, ok := unparen(e.X).(*ast.SelectorExpr); ok {
+			if f := l.fieldOf(sel); f != nil {
+				if _, ok := ann.guarded[f]; ok {
+					return f, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// sharesStorage reports whether values of type t alias underlying storage
+// when copied (so returning the field hands out an interior pointer).
+func sharesStorage(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func isExported(name string) bool {
+	for _, r := range name {
+		return unicode.IsUpper(r)
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+// Package bad exercises every frozencheck diagnostic.
+package bad
+
+type view struct {
+	words []int //act:frozen
+}
+
+//act:frozen
+func freeze() []int { return nil }
+
+//act:mutates 0
+func sortInPlace(xs []int) { _ = xs }
+
+func elemWrite() {
+	f := freeze()
+	f[0] = 1 // want `assignment through frozen value f`
+}
+
+func appendTo() []int {
+	f := freeze()
+	return append(f, 1) // want `append to frozen value f`
+}
+
+func copyInto() {
+	f := freeze()
+	copy(f, []int{1}) // want `copy into frozen value f`
+}
+
+func passToMutator() {
+	f := freeze()
+	sortInPlace(f) // want `frozen value f passed to sortInPlace, which mutates argument 0`
+}
+
+func fieldWrite(v *view) {
+	v.words = nil // want `assignment to frozen field words`
+}
+
+func fieldElemWrite(v *view) {
+	v.words[0] = 1 // want `assignment through frozen value v\.words`
+}
+
+func chained() {
+	f := freeze()
+	g := f[1:]
+	g[0] = 2 // want `assignment through frozen value g`
+}

@@ -1,0 +1,35 @@
+// Package good holds the frozen-value usages frozencheck must accept.
+package good
+
+//act:frozen
+func freeze() []int { return nil }
+
+//act:mutates 0
+func sortInPlace(xs []int) { _ = xs }
+
+// Reading frozen data is the whole point.
+func read() int {
+	f := freeze()
+	return f[0]
+}
+
+// A frozen source is fine; only a frozen destination would be flagged.
+func copyOut(dst []int) {
+	f := freeze()
+	copy(dst, f)
+}
+
+// The freeze/patch machinery itself is exempt.
+//
+//act:freezer
+func patch() {
+	f := freeze()
+	f[0] = 1
+}
+
+// Fresh local data may be mutated freely.
+func fresh() {
+	xs := []int{3, 1}
+	sortInPlace(xs)
+	xs[0] = 0
+}

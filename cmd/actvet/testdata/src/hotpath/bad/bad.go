@@ -1,0 +1,48 @@
+// Package bad exercises every hotpath diagnostic.
+package bad
+
+type sized interface{ Len() int }
+
+type box struct{}
+
+func (box) Len() int { return 0 }
+
+func use(s sized) int { return s.Len() }
+
+//act:hotpath
+func mapLit() map[int]int {
+	return map[int]int{1: 2} // want `map literal allocates on every call`
+}
+
+//act:hotpath
+func makeMap() int {
+	m := make(map[int]int) // want `make\(map\) allocates on every call`
+	return len(m)
+}
+
+//act:hotpath
+func closureCapture() int {
+	total := 0
+	fn := func() { total++ } // want `closure captures total, which is mutated`
+	fn()
+	return total
+}
+
+//act:hotpath
+func convertArg() int {
+	return use(box{}) // want `implicit conversion of value to interface .*sized`
+}
+
+//act:hotpath
+func convertReturn() sized {
+	return box{} // want `implicit conversion of value to interface .*sized on return`
+}
+
+//act:hotpath
+func appendLocal() []int {
+	var out []int
+	for i := 0; i < 4; i++ {
+		out = append(out, i) // want `append to out, declared without preallocated capacity`
+	}
+	return out
+}

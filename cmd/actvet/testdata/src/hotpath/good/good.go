@@ -1,0 +1,42 @@
+// Package good holds the allocation-free idioms hotpath must accept.
+package good
+
+// search mimics the sort.Search idiom: the closure captures xs and target
+// read-only, which does not force an escape.
+//
+//act:hotpath
+func search(xs []int, target int) int {
+	return find(len(xs), func(i int) bool { return xs[i] >= target })
+}
+
+func find(n int, f func(int) bool) int {
+	for i := 0; i < n; i++ {
+		if f(i) {
+			return i
+		}
+	}
+	return n
+}
+
+// Appending into a preallocated or caller-owned slice is the amortized-reuse
+// idiom hot loops are built on.
+//
+//act:hotpath
+func appendPrealloc(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//act:hotpath
+func appendCallerOwned(dst []int, xs []int) []int {
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// Functions without the annotation may allocate freely.
+func coldPath() map[int]int { return map[int]int{1: 2} }

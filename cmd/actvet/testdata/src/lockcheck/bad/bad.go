@@ -1,0 +1,29 @@
+// Package bad exercises every lockcheck diagnostic.
+package bad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //act:guarded mu
+}
+
+//act:requires mu
+func (c *counter) bump() { c.n++ }
+
+func (c *counter) read() int {
+	return c.n // want `access to counter\.n requires mu held`
+}
+
+func (c *counter) bumpUnlocked() {
+	c.bump() // want `call to bump requires mu held`
+}
+
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `access to counter\.n requires mu held`
+	}()
+	go c.bump() // want `go statement calls bump, which requires mu held`
+}

@@ -1,0 +1,47 @@
+// Package good holds the locking idioms lockcheck must accept.
+package good
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int //act:guarded mu
+}
+
+//act:requires mu
+func (c *counter) bump() { c.n++ }
+
+// Lock-at-top with deferred unlock, plus a requires-annotated helper call.
+func (c *counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump()
+	c.n++
+}
+
+// A deferred closure runs under the caller's locks and inherits them.
+func (c *counter) AddDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer func() { c.n++ }()
+}
+
+// A goroutine body starts lock-free but may acquire the mutex itself.
+func (c *counter) AddAsync() {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}()
+}
+
+// Constructors own a fresh, unshared value; no locking applies yet.
+//
+//act:exclusive
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+var _ = newCounter

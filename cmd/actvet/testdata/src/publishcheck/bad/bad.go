@@ -1,0 +1,36 @@
+// Package bad exercises every publishcheck diagnostic.
+package bad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snap struct{ v int }
+
+type index struct {
+	mu sync.Mutex
+
+	//act:published
+	cur atomic.Pointer[snap]
+
+	buf []int //act:guarded mu
+}
+
+//act:requires mu
+func (ix *index) sneakyStore(s *snap) {
+	ix.cur.Store(s) // want `Store on published field cur outside an //act:publisher function`
+}
+
+//act:requires mu
+func (ix *index) sneakySwap(s *snap) *snap {
+	return ix.cur.Swap(s) // want `Swap on published field cur outside an //act:publisher function`
+}
+
+// Returning the guarded slice hands callers an interior pointer into state
+// that keeps mutating under mu.
+func (ix *index) Buf() []int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.buf // want `exported method Buf returns guarded field buf`
+}

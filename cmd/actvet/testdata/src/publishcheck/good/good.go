@@ -1,0 +1,51 @@
+// Package good holds the publish idioms publishcheck must accept.
+package good
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type snap struct{ v int }
+
+type index struct {
+	mu sync.Mutex
+
+	//act:published
+	cur atomic.Pointer[snap]
+
+	buf []int //act:guarded mu
+	n   int   //act:guarded mu
+}
+
+//act:requires mu
+//act:publisher
+func (ix *index) publish(s *snap) { ix.cur.Store(s) }
+
+// The landing goroutine inherits the publisher annotation from its
+// declaration, mirroring the compactor's landing path.
+//
+//act:publisher
+func (ix *index) land(s *snap) {
+	go func() {
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+		ix.cur.Swap(s)
+	}()
+}
+
+// Returning a value copy of guarded state never leaks an interior pointer.
+func (ix *index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.n
+}
+
+// Returning a fresh copy is the sanctioned accessor shape for slices.
+func (ix *index) BufCopy() []int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	out := make([]int, len(ix.buf))
+	copy(out, ix.buf)
+	return out
+}

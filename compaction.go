@@ -89,9 +89,10 @@ type compaction struct {
 	// publish or overflow landed meanwhile): the result must be discarded.
 	// coalescedAt is the log length after the last in-place coalesce, so
 	// re-coalescing only happens once the log has grown well past it.
-	replay      []cellid.CellID
-	replayAll   bool
-	coalescedAt int
+	// The mutex is the owning Index's, not the compaction's own.
+	replay      []cellid.CellID //act:guarded mu
+	replayAll   bool            //act:guarded mu
+	coalescedAt int             //act:guarded mu
 }
 
 // compactResult is the freshly rebuilt state a compaction hands back: a
@@ -109,6 +110,8 @@ type compactResult struct {
 // set it describes). all — or a log that stays huge even coalesced — poisons
 // the compaction: a bulk rebuild changed state the roots no longer describe,
 // or the churn has genuinely outrun what a replay can express.
+//
+//act:requires mu
 func (c *compaction) addReplay(roots []cellid.CellID, all bool) {
 	if all || c.replayAll {
 		c.replayAll = true
@@ -148,7 +151,11 @@ func compactBase(base *Snapshot) *compactResult {
 
 // startCompactionLocked launches a background compaction from base (the
 // snapshot the caller just published). Callers must hold mu and must have
-// no compaction in flight.
+// no compaction in flight. The publisher annotation covers the landing
+// goroutine below, which swaps the reconciled snapshot in under mu.
+//
+//act:requires mu
+//act:publisher
 func (ix *Index) startCompactionLocked(base *Snapshot) {
 	c := &compaction{base: base, done: make(chan struct{})}
 	ix.compacting = c
@@ -183,6 +190,8 @@ func (ix *Index) startCompactionLocked(base *Snapshot) {
 // compaction is abandoned and nil is returned — the caller falls back to
 // the inline rebuild, or simply carries on patching the old chain until the
 // next threshold crossing starts a new compaction.
+//
+//act:requires mu
 func (ix *Index) reconcileLocked(c *compaction) *Snapshot {
 	if ix.compacting != c {
 		return nil
@@ -211,6 +220,8 @@ func (ix *Index) reconcileLocked(c *compaction) *Snapshot {
 
 // abandonCompactionLocked discards any in-flight compaction; the goroutine
 // notices at its swap attempt and drops its result. Callers must hold mu.
+//
+//act:requires mu
 func (ix *Index) abandonCompactionLocked() { ix.compacting = nil }
 
 // PublishStats reports, per publish path, how many snapshots the index has

@@ -1,0 +1,93 @@
+package actjoin
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedGeoJSON is the shared seed document: one well-formed triangle
+// feature, enough to build a non-trivial index.
+const fuzzSeedGeoJSON = `{"type":"FeatureCollection","features":[{"type":"Feature","properties":{"name":"tri"},"geometry":{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,0]]]}}]}`
+
+// FuzzGeoJSON feeds arbitrary bytes to the GeoJSON front door. Malformed
+// documents must produce an error, never a panic; documents that parse must
+// yield an index whose exact results are a subset of the approximate
+// candidate set (the filter may over-approximate but never lose a hit).
+func FuzzGeoJSON(f *testing.F) {
+	f.Add([]byte(fuzzSeedGeoJSON))
+	f.Add([]byte(`{"type":"Polygon","coordinates":[[[8,47],[9,47],[9,48],[8,48],[8,47]]]}`))
+	f.Add([]byte(`{"type":"MultiPolygon","coordinates":[[[[0,0],[2,0],[2,2],[0,2],[0,0]]],[[[5,5],[6,5],[6,6],[5,5]]]]}`))
+	f.Add([]byte(`{"type":"GeometryCollection"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		ix, names, err := NewIndexFromGeoJSON(data)
+		if err != nil {
+			return
+		}
+		snap := ix.Current()
+		if snap.NumPolygons() != len(names) {
+			t.Fatalf("index has %d polygons but %d names", snap.NumPolygons(), len(names))
+		}
+		for _, p := range []Point{{Lon: 0.5, Lat: 0.5}, {Lon: 8.5, Lat: 47.5}, {Lon: -170, Lat: -80}} {
+			approx := snap.CoversApprox(p)
+			for _, id := range snap.Covers(p) {
+				if !fuzzContainsID(approx, id) {
+					t.Fatalf("exact hit %d at %v missing from approximate candidates %v", id, p, approx)
+				}
+			}
+		}
+	})
+}
+
+func fuzzContainsID(ids []PolygonID, id PolygonID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzSerializeRoundTrip feeds arbitrary bytes to the index deserializer.
+// Corrupt files must produce an error, never a panic or OOM; files that load
+// must re-serialize byte-stably (write → read → write yields identical
+// bytes), which is what makes on-disk indexes diffable and cacheable.
+func FuzzSerializeRoundTrip(f *testing.F) {
+	ix, _, err := NewIndexFromGeoJSON([]byte(fuzzSeedGeoJSON))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if _, err := ix.Current().WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("ACTJ"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		in, err := ReadIndexFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if _, err := in.Current().WriteTo(&first); err != nil {
+			t.Fatalf("serializing loaded index: %v", err)
+		}
+		again, err := ReadIndexFrom(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading a just-written index: %v", err)
+		}
+		var second bytes.Buffer
+		if _, err := again.Current().WriteTo(&second); err != nil {
+			t.Fatalf("serializing re-read index: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("serialization is not byte-stable: first write %d bytes, second %d bytes", first.Len(), second.Len())
+		}
+	})
+}

@@ -378,6 +378,8 @@ func (t *Tree) insert(ft *faceTree, key cellid.CellID, entry refs.Entry) {
 // the face tree, check the common prefix, then walk the bands until a value
 // or the sentinel is hit. Returns refs.FalseHit when no super-covering cell
 // contains the leaf.
+//
+//act:hotpath
 func (t *Tree) Find(leaf cellid.CellID) refs.Entry {
 	ft := &t.faces[uint64(leaf)>>61]
 	if ft.root < 0 {
@@ -414,6 +416,8 @@ func (t *Tree) Find(leaf cellid.CellID) refs.Entry {
 // super-covering cell after key extension) or a sentinel slot (a false-hit
 // gap at that band). Callers probing a cell-id-sorted point stream can skip
 // the tree walk entirely while successive leaves stay inside [lo, hi].
+//
+//act:hotpath
 func (t *Tree) FindRange(leaf cellid.CellID) (refs.Entry, cellid.CellID, cellid.CellID) {
 	face := int(uint64(leaf) >> 61)
 	ft := &t.faces[face]

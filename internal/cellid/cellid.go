@@ -148,6 +148,8 @@ func FromFaceIJ(face, i, j, level int) CellID {
 
 // FromPoint returns the leaf cell (level MaxLevel) containing the lon/lat
 // point p. Points outside the world rect are clamped.
+//
+//act:hotpath
 func FromPoint(p geom.Point) CellID {
 	face := faceOf(p)
 	fr := faceRect(face)
@@ -159,6 +161,8 @@ func FromPoint(p geom.Point) CellID {
 // fromFaceIJLeaf is FromFaceIJ specialized for leaf cells — the join hot
 // path converts every probe point — consuming four quadtree levels per
 // lookupPos step instead of one.
+//
+//act:hotpath
 func fromFaceIJLeaf(face, i, j int) CellID {
 	var pos uint64
 	orient := uint32(0)

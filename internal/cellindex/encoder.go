@@ -30,6 +30,8 @@ import (
 // appends. All Encoder methods themselves are writer-side and follow the
 // owning index's mutation synchronization.
 type Encoder struct {
+	noCopy noCopy
+
 	table *refs.Table
 	// live counts, per table record offset, how many currently published
 	// entries reference the record. A record at count zero is garbage until
@@ -50,6 +52,14 @@ type journalOp struct {
 	staged bool // true: incRef (AppendCells), false: decRef (Release)
 }
 
+// noCopy makes go vet's copylocks analyzer flag by-value Encoder copies —
+// a copied encoder would share the table and live map but fork the garbage
+// accounting and journal.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
 // NewEncoder returns an Encoder with an empty table.
 func NewEncoder() *Encoder {
 	return &Encoder{table: refs.NewTable(), live: make(map[uint32]int)}
@@ -62,14 +72,32 @@ func (e *Encoder) Table() *refs.Table { return e.table }
 // EncodeAll compacts: it discards the table (earlier frozen views keep their
 // arrays) and re-encodes the full cell set from scratch, resetting the
 // garbage accounting and discarding any open patch journal. Cells must be
-// sorted and disjoint (a supercover freeze).
+// sorted and disjoint (a supercover freeze), and their reference slices must
+// be owned by the caller — encoding normalizes them in place. For cells that
+// may be shared with a published snapshot, use EncodeFrozen.
+//
+//act:mutates 0
 func (e *Encoder) EncodeAll(cells []supercover.Cell) []KeyEntry {
+	e.reset()
+	return e.AppendCells(make([]KeyEntry, 0, len(cells)), cells)
+}
+
+// EncodeFrozen is EncodeAll for a frozen cell set: the cells' reference
+// lists are already normalized (freezes only emit normalized lists) and are
+// never written through, so the input may alias a published snapshot that
+// concurrent readers are still probing.
+func (e *Encoder) EncodeFrozen(cells []supercover.Cell) []KeyEntry {
+	e.reset()
+	return e.AppendFrozenCells(make([]KeyEntry, 0, len(cells)), cells)
+}
+
+// reset discards the table and accounting ahead of a full re-encode.
+func (e *Encoder) reset() {
 	e.table = refs.NewTable()
 	e.live = make(map[uint32]int, len(e.live))
 	e.garbage = 0
 	e.journaling = false
 	e.journal = nil
-	return e.AppendCells(make([]KeyEntry, 0, len(cells)), cells)
 }
 
 // incRef adds one referencing entry to the record at off, resurrecting it
@@ -102,6 +130,8 @@ func (e *Encoder) decRef(off uint32) {
 // resulting pairs to dst. The cells' reference slices must be owned by the
 // caller (freshly emitted, not aliased by a published snapshot): encoding
 // normalizes them in place.
+//
+//act:mutates 1
 func (e *Encoder) AppendCells(dst []KeyEntry, cells []supercover.Cell) []KeyEntry {
 	for _, c := range cells {
 		dst = e.appendCell(dst, c.ID, refs.Normalize(c.Refs))

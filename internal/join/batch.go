@@ -88,6 +88,28 @@ func RunBatchCollect(idx cellindex.Index, table *refs.Table, pts []geom.Point, c
 	return runBatch(idx, table, pts, cells, polys, opt, true)
 }
 
+// batchRun bundles the probe inputs every worker shares, so the probe loops
+// can be declared methods (and carry //act: annotations) instead of closures
+// capturing half of runBatch's frame.
+type batchRun struct {
+	idx     cellindex.Index
+	ri      cellindex.RangeIndex // idx's range interface, nil when not supported
+	table   *refs.Table
+	pts     []geom.Point
+	cells   []cellid.CellID
+	polys   []*geom.Polygon
+	ord     probeOrder
+	n       int
+	exact   bool
+	collect bool
+	// direct marks single-worker runs, which publish result slices straight
+	// into out; parallel workers record spans into their private arena and
+	// merge after the barrier (a growing arena keeps already-published
+	// backing arrays intact, but the final re-slice must happen once appends
+	// stop).
+	direct bool
+}
+
 func runBatch(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []cellid.CellID, polys []*geom.Polygon, opt BatchOptions, collect bool) ([][]uint32, Result) {
 	n := len(cells)
 	threads := opt.Threads
@@ -100,8 +122,6 @@ func runBatch(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []
 	if n < 4*batchSize {
 		threads = 1
 	}
-	exact := opt.Mode == Exact
-	ri, _ := idx.(cellindex.RangeIndex)
 
 	start := time.Now()
 	var ord probeOrder
@@ -120,190 +140,14 @@ func runBatch(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []
 		out = make([][]uint32, n)
 	}
 
-	// probeRange runs one worker over claimed positions [begin, end).
-	// Single-worker runs publish result slices straight into out; parallel
-	// workers record spans into their private arena and merge after the
-	// barrier (a growing arena keeps already-published backing arrays
-	// intact, but the final re-slice must happen once appends stop).
-	direct := threads == 1
-	probeRange := func(w *batchWorker, begin, end int) {
-		for k := begin; k < end; k++ {
-			i := k
-			var leaf cellid.CellID
-			switch {
-			case ord.packed != nil:
-				// Sequential read of the sorted schedule; the probe leaf is
-				// rebuilt from the truncated key (bits the index never
-				// reads are zeroed — same answer, no gather into cells).
-				p := ord.packed[k]
-				i = int(p >> 32)
-				leaf = cellid.CellID((uint64(uint32(p))+ord.minKey)<<ord.drop | 1)
-			case ord.perm != nil:
-				i = int(ord.perm[k])
-				leaf = cells[i]
-			default:
-				leaf = cells[i]
-			}
-			var entry refs.Entry
-			switch {
-			case w.cacheValid && leaf >= w.cacheLo && leaf <= w.cacheHi:
-				entry = w.cacheEntry
-				w.cacheHits++
-			case ri != nil:
-				entry, w.cacheLo, w.cacheHi = ri.FindRange(leaf)
-				w.cacheEntry = entry
-				w.cacheValid = true
-			default:
-				entry = idx.Find(leaf)
-			}
-			if entry.IsFalseHit() {
-				w.sth++
-				continue
-			}
-			arenaStart := len(w.ids)
-			hadMatch := false
-			hadCandidate := false
-			handle := func(r refs.Ref) {
-				pid := r.PolygonID()
-				if !r.Interior() {
-					hadCandidate = true
-					if exact {
-						w.pipTests++
-						if !polys[pid].ContainsPoint(pts[i]) {
-							return
-						}
-					}
-				}
-				w.counts[pid]++
-				hadMatch = true
-				if collect {
-					w.ids = append(w.ids, pid)
-				}
-			}
-			switch entry.Tag() {
-			case refs.TagOneRef:
-				handle(entry.Ref1())
-			case refs.TagTwoRefs:
-				handle(entry.Ref1())
-				handle(entry.Ref2())
-			default:
-				table.Visit(entry, handle)
-			}
-			if hadMatch {
-				w.matched++
-			}
-			if !hadCandidate {
-				w.sth++
-			}
-			if collect && len(w.ids) > arenaStart {
-				if direct {
-					w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
-				} else {
-					w.spans = append(w.spans, span{pos: i, start: arenaStart, end: len(w.ids)})
-				}
-			}
-		}
-	}
-
-	// probeSortedRuns is the specialized single-worker loop over a packed
-	// sorted schedule: it resolves each run of points sharing an index cell
-	// (or false-hit gap) with one walk and one entry decode, then
-	// bulk-applies the outcome — counts grow by the run length in one step.
-	// Only exact-mode candidate refs still cost per-point work, because
-	// their PIP tests genuinely depend on the point.
-	probeSortedRuns := func(w *batchWorker) {
-		packed := ord.packed
-		for k := 0; k < n; {
-			p := packed[k]
-			leaf := cellid.CellID((uint64(uint32(p))+ord.minKey)<<ord.drop | 1)
-			var entry refs.Entry
-			runEnd := k + 1
-			if ri != nil {
-				var lo, hi cellid.CellID
-				entry, lo, hi = ri.FindRange(leaf)
-				// Keys within a sort bucket are unordered (partial sort),
-				// so the scan needs both range bounds, in raw key space.
-				loKey, hiKey := uint64(lo)>>ord.drop, uint64(hi)>>ord.drop
-				for runEnd < n {
-					k2 := uint64(uint32(packed[runEnd])) + ord.minKey
-					if k2 < loKey || k2 > hiKey {
-						break
-					}
-					runEnd++
-				}
-			} else {
-				entry = idx.Find(leaf)
-				// Without range information runs degenerate to equal keys.
-				for runEnd < n && uint32(packed[runEnd]) == uint32(p) {
-					runEnd++
-				}
-			}
-			w.cacheHits += int64(runEnd - k - 1)
-			runLen := int64(runEnd - k)
-			if entry.IsFalseHit() {
-				w.sth += runLen
-				k = runEnd
-				continue
-			}
-			w.scratch = table.AppendRefs(w.scratch[:0], entry)
-			nCand := 0
-			for _, r := range w.scratch {
-				if !r.Interior() {
-					nCand++
-				}
-			}
-			if exact && nCand > 0 {
-				// Refine per point, in entry order like the generic path.
-				for kk := k; kk < runEnd; kk++ {
-					i := int(packed[kk] >> 32)
-					arenaStart := len(w.ids)
-					hadMatch := false
-					for _, r := range w.scratch {
-						pid := r.PolygonID()
-						if !r.Interior() {
-							w.pipTests++
-							if !polys[pid].ContainsPoint(pts[i]) {
-								continue
-							}
-						}
-						w.counts[pid]++
-						hadMatch = true
-						if collect {
-							w.ids = append(w.ids, pid)
-						}
-					}
-					if hadMatch {
-						w.matched++
-					}
-					if collect && len(w.ids) > arenaStart {
-						w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
-					}
-				}
-				k = runEnd
-				continue
-			}
-			// The outcome is identical for every point of the run.
-			for _, r := range w.scratch {
-				w.counts[r.PolygonID()] += runLen
-			}
-			if len(w.scratch) > 0 {
-				w.matched += runLen
-			}
-			if nCand == 0 {
-				w.sth += runLen
-			}
-			if collect && len(w.scratch) > 0 {
-				for kk := k; kk < runEnd; kk++ {
-					i := int(packed[kk] >> 32)
-					arenaStart := len(w.ids)
-					for _, r := range w.scratch {
-						w.ids = append(w.ids, r.PolygonID())
-					}
-					w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
-				}
-			}
-			k = runEnd
-		}
+	ri, _ := idx.(cellindex.RangeIndex)
+	b := &batchRun{
+		idx: idx, ri: ri, table: table,
+		pts: pts, cells: cells, polys: polys,
+		ord: ord, n: n,
+		exact:   opt.Mode == Exact,
+		collect: collect,
+		direct:  threads == 1,
 	}
 
 	workers := make([]*batchWorker, threads)
@@ -314,11 +158,11 @@ func runBatch(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []
 		}
 		workers[i] = w
 	}
-	if direct {
+	if b.direct {
 		if ord.packed != nil {
-			probeSortedRuns(workers[0])
+			b.probeSortedRuns(workers[0])
 		} else {
-			probeRange(workers[0], 0, n)
+			b.probeRange(workers[0], 0, n)
 		}
 	} else {
 		var cursor atomic.Int64
@@ -336,7 +180,7 @@ func runBatch(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []
 					if end > n {
 						end = n
 					}
-					probeRange(w, begin, end)
+					b.probeRange(w, begin, end)
 				}
 			}(w)
 		}
@@ -362,6 +206,193 @@ func runBatch(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []
 	}
 	res.Duration = time.Since(start)
 	return out, res
+}
+
+// probeRange runs one worker over claimed positions [begin, end). Not a
+// hotpath function: the per-ref handle closure mutates its captured match
+// flags, which the table-visit indirection needs — the closure-free bulk
+// loop is probeSortedRuns.
+func (b *batchRun) probeRange(w *batchWorker, begin, end int) {
+	for k := begin; k < end; k++ {
+		i := k
+		var leaf cellid.CellID
+		switch {
+		case b.ord.packed != nil:
+			// Sequential read of the sorted schedule; the probe leaf is
+			// rebuilt from the truncated key (bits the index never
+			// reads are zeroed — same answer, no gather into cells).
+			p := b.ord.packed[k]
+			i = int(p >> 32)
+			leaf = cellid.CellID((uint64(uint32(p))+b.ord.minKey)<<b.ord.drop | 1)
+		case b.ord.perm != nil:
+			i = int(b.ord.perm[k])
+			leaf = b.cells[i]
+		default:
+			leaf = b.cells[i]
+		}
+		var entry refs.Entry
+		switch {
+		case w.cacheValid && leaf >= w.cacheLo && leaf <= w.cacheHi:
+			entry = w.cacheEntry
+			w.cacheHits++
+		case b.ri != nil:
+			entry, w.cacheLo, w.cacheHi = b.ri.FindRange(leaf)
+			w.cacheEntry = entry
+			w.cacheValid = true
+		default:
+			entry = b.idx.Find(leaf)
+		}
+		if entry.IsFalseHit() {
+			w.sth++
+			continue
+		}
+		arenaStart := len(w.ids)
+		hadMatch := false
+		hadCandidate := false
+		handle := func(r refs.Ref) {
+			pid := r.PolygonID()
+			if !r.Interior() {
+				hadCandidate = true
+				if b.exact {
+					w.pipTests++
+					if !b.polys[pid].ContainsPoint(b.pts[i]) {
+						return
+					}
+				}
+			}
+			w.counts[pid]++
+			hadMatch = true
+			if b.collect {
+				w.ids = append(w.ids, pid)
+			}
+		}
+		switch entry.Tag() {
+		case refs.TagOneRef:
+			handle(entry.Ref1())
+		case refs.TagTwoRefs:
+			handle(entry.Ref1())
+			handle(entry.Ref2())
+		default:
+			b.table.Visit(entry, handle)
+		}
+		if hadMatch {
+			w.matched++
+		}
+		if !hadCandidate {
+			w.sth++
+		}
+		if b.collect && len(w.ids) > arenaStart {
+			if b.direct {
+				w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
+			} else {
+				w.spans = append(w.spans, span{pos: i, start: arenaStart, end: len(w.ids)})
+			}
+		}
+	}
+}
+
+// probeSortedRuns is the specialized single-worker loop over a packed
+// sorted schedule: it resolves each run of points sharing an index cell
+// (or false-hit gap) with one walk and one entry decode, then
+// bulk-applies the outcome — counts grow by the run length in one step.
+// Only exact-mode candidate refs still cost per-point work, because
+// their PIP tests genuinely depend on the point.
+//
+//act:hotpath
+func (b *batchRun) probeSortedRuns(w *batchWorker) {
+	packed := b.ord.packed
+	n := b.n
+	for k := 0; k < n; {
+		p := packed[k]
+		leaf := cellid.CellID((uint64(uint32(p))+b.ord.minKey)<<b.ord.drop | 1)
+		var entry refs.Entry
+		runEnd := k + 1
+		if b.ri != nil {
+			var lo, hi cellid.CellID
+			entry, lo, hi = b.ri.FindRange(leaf)
+			// Keys within a sort bucket are unordered (partial sort),
+			// so the scan needs both range bounds, in raw key space.
+			loKey, hiKey := uint64(lo)>>b.ord.drop, uint64(hi)>>b.ord.drop
+			for runEnd < n {
+				k2 := uint64(uint32(packed[runEnd])) + b.ord.minKey
+				if k2 < loKey || k2 > hiKey {
+					break
+				}
+				runEnd++
+			}
+		} else {
+			entry = b.idx.Find(leaf)
+			// Without range information runs degenerate to equal keys.
+			for runEnd < n && uint32(packed[runEnd]) == uint32(p) {
+				runEnd++
+			}
+		}
+		w.cacheHits += int64(runEnd - k - 1)
+		runLen := int64(runEnd - k)
+		if entry.IsFalseHit() {
+			w.sth += runLen
+			k = runEnd
+			continue
+		}
+		w.scratch = b.table.AppendRefs(w.scratch[:0], entry)
+		nCand := 0
+		for _, r := range w.scratch {
+			if !r.Interior() {
+				nCand++
+			}
+		}
+		if b.exact && nCand > 0 {
+			// Refine per point, in entry order like the generic path.
+			for kk := k; kk < runEnd; kk++ {
+				i := int(packed[kk] >> 32)
+				arenaStart := len(w.ids)
+				hadMatch := false
+				for _, r := range w.scratch {
+					pid := r.PolygonID()
+					if !r.Interior() {
+						w.pipTests++
+						if !b.polys[pid].ContainsPoint(b.pts[i]) {
+							continue
+						}
+					}
+					w.counts[pid]++
+					hadMatch = true
+					if b.collect {
+						w.ids = append(w.ids, pid)
+					}
+				}
+				if hadMatch {
+					w.matched++
+				}
+				if b.collect && len(w.ids) > arenaStart {
+					w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
+				}
+			}
+			k = runEnd
+			continue
+		}
+		// The outcome is identical for every point of the run.
+		for _, r := range w.scratch {
+			w.counts[r.PolygonID()] += runLen
+		}
+		if len(w.scratch) > 0 {
+			w.matched += runLen
+		}
+		if nCand == 0 {
+			w.sth += runLen
+		}
+		if b.collect && len(w.scratch) > 0 {
+			for kk := k; kk < runEnd; kk++ {
+				i := int(packed[kk] >> 32)
+				arenaStart := len(w.ids)
+				for _, r := range w.scratch {
+					w.ids = append(w.ids, r.PolygonID())
+				}
+				w.out[i] = w.ids[arenaStart:len(w.ids):len(w.ids)]
+			}
+		}
+		k = runEnd
+	}
 }
 
 // maxSortDigitBits caps the radix digit width: 2^15 int32 counters (128

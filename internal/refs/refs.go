@@ -60,6 +60,8 @@ func (r Ref) String() string {
 // appears both as a candidate and as a true hit, the true hit wins: the cell
 // is inside an interior-covering cell of that polygon, so containment is
 // certain.
+//
+//act:mutates 0
 func Normalize(in []Ref) []Ref {
 	if len(in) <= 1 {
 		return in
@@ -143,6 +145,8 @@ func NewTable() *Table {
 // of the view: appended words lie beyond every frozen view's length, and a
 // growth reallocation leaves old views on the old array. Freeze views must
 // not be encoded into.
+//
+//act:frozen
 func (t *Table) Freeze() *Table {
 	return &Table{data: t.data[:len(t.data):len(t.data)]}
 }

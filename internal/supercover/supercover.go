@@ -328,6 +328,8 @@ func merge(polys []*geom.Polygon, coverings, interiors [][]cellid.CellID) *Super
 // the covering, so a frozen snapshot can keep them while the writer moves
 // on (Insert, RemovePolygon and Train all edit node reference lists in
 // place).
+//
+//act:frozen
 func (sc *SuperCovering) Cells() []Cell {
 	return sc.CellsAppend(make([]Cell, 0, sc.numCells))
 }
@@ -341,6 +343,8 @@ func (sc *SuperCovering) Cells() []Cell {
 // cells are resident for as long as any snapshot splices them forward, and
 // at ~10⁶ cells a slice object per cell would dominate the garbage
 // collector's mark work — and the write tail with it.
+//
+//act:frozen
 func (sc *SuperCovering) CellsAppend(dst []Cell) []Cell {
 	cells, rs := 0, 0
 	for f := 0; f < cellid.NumFaces; f++ {

@@ -109,6 +109,8 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadIndexFrom deserializes an index written by WriteTo.
+//
+//act:exclusive
 func ReadIndexFrom(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 4+8)

@@ -23,10 +23,10 @@ import (
 // the owning Index publishes successors; call Index.Current again whenever
 // a fresher view is wanted.
 type Snapshot struct {
-	polys []*geom.Polygon
-	cells *cellRope // frozen super covering; serialization input
-	tree  *act.Tree
-	table *refs.Table
+	polys []*geom.Polygon //act:frozen
+	cells *cellRope       //act:frozen — frozen super covering; serialization input
+	tree  *act.Tree       //act:frozen
+	table *refs.Table     //act:frozen
 	opt   options
 
 	precisionLevel int

@@ -50,6 +50,8 @@ func (ix *Index) Add(p Polygon) (PolygonID, error) {
 
 // addLocked validates first and only mutates on the success path, so a
 // failed add leaves the writer state untouched.
+//
+//act:requires mu
 func (ix *Index) addLocked(p Polygon) (PolygonID, error) {
 	if len(ix.polys) >= MaxPolygons {
 		return 0, fmt.Errorf("actjoin: polygon limit %d reached", MaxPolygons)
@@ -130,6 +132,7 @@ func (ix *Index) Remove(id PolygonID) error {
 	return nil
 }
 
+//act:requires mu
 func (ix *Index) removeLocked(id PolygonID) error {
 	if int(id) >= len(ix.polys) {
 		return fmt.Errorf("actjoin: unknown polygon id %d", id)
@@ -177,6 +180,7 @@ func (ix *Index) Train(points []Point, maxCells int) TrainStats {
 	return st
 }
 
+//act:requires mu
 func (ix *Index) trainLocked(points []Point, maxCells int) TrainStats {
 	cells := make([]cellid.CellID, len(points))
 	for i, p := range points {
@@ -200,6 +204,8 @@ func (ix *Index) trainLocked(points []Point, maxCells int) TrainStats {
 // own mutation methods (Add, Remove, Train, Apply) from within the
 // transaction function deadlocks on the index mutex Apply already holds.
 type Tx struct {
+	noCopy noCopy
+
 	ix *Index
 }
 
@@ -212,12 +218,18 @@ func (tx *Tx) index() *Index {
 
 // Add stages one more polygon, returning the id it will have once the
 // transaction publishes.
+//
+//act:requires mu
 func (tx *Tx) Add(p Polygon) (PolygonID, error) { return tx.index().addLocked(p) }
 
 // Remove stages the deletion of a polygon.
+//
+//act:requires mu
 func (tx *Tx) Remove(id PolygonID) error { return tx.index().removeLocked(id) }
 
 // Train stages a training pass over the staged state.
+//
+//act:requires mu
 func (tx *Tx) Train(points []Point, maxCells int) TrainStats {
 	return tx.index().trainLocked(points, maxCells)
 }
