@@ -158,7 +158,8 @@ func WithCoveringBudget(coveringCells, interiorCells int) Option {
 type Index struct {
 	noCopy noCopy
 
-	mu sync.Mutex // serializes writers; never held on any query path
+	// mu serializes writers; it is never held on any query path.
+	mu sync.Mutex //act:lock mu
 
 	//act:published
 	cur atomic.Pointer[Snapshot]
@@ -304,8 +305,8 @@ const (
 )
 
 // publish freezes the writer-side state into a new immutable snapshot and
-// swaps it in. Callers must hold mu (or have exclusive access to a fresh,
-// unshared Index).
+// swaps it in; //act:requires states the calling contract (constructors
+// owning a fresh, unshared Index are covered by //act:exclusive).
 //
 // In steady state the freeze is incremental: the covering reports the dirty
 // subtree roots of the staged mutations, and the new snapshot is assembled
@@ -366,7 +367,7 @@ func (ix *Index) publish() *Snapshot {
 // publishIncremental serves one publish without a full rebuild, choosing
 // among patching prev, starting a background compaction, and landing an
 // in-flight one. It returns nil only when every incremental avenue is
-// exhausted and the caller must rebuild inline. Callers must hold mu.
+// exhausted and the caller must rebuild inline.
 //
 //act:requires mu
 func (ix *Index) publishIncremental(prev *Snapshot, roots []cellid.CellID) *Snapshot {
@@ -627,7 +628,7 @@ func (ix *Index) mutablePolys(extraCap int) []*geom.Polygon {
 }
 
 // restore rewinds the writer-side state to the currently published
-// snapshot, discarding uncommitted mutations. Callers must hold mu.
+// snapshot, discarding uncommitted mutations.
 //
 // The undo is scoped by the same dirty tracking that drives incremental
 // publishes: only the staged subtree roots are detached and re-filled from

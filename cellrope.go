@@ -121,6 +121,8 @@ func (r *cellRope) appendRange(dst []supercover.Cell, lo, hi cellid.CellID) []su
 
 // countRange counts the cells with lo <= ID <= hi — appendRange without the
 // copy, for sizing decisions before any splice work happens.
+//
+//act:noalloc
 func (r *cellRope) countRange(lo, hi cellid.CellID) int {
 	total := 0
 	r.rangeRuns(lo, hi, func(seg []supercover.Cell) { total += len(seg) })

@@ -45,14 +45,13 @@ func main() {
 	)
 	flag.Parse()
 
-	idx, names, err := buildOrLoad(*polyFile, *loadFile, *precision)
+	// All reads go through one snapshot, pinned by buildOrLoad the moment
+	// the index exists: a consistent view for the whole command, and the
+	// surface a live server would use while a writer keeps publishing.
+	snap, names, err := buildOrLoad(*polyFile, *loadFile, *precision)
 	if err != nil {
 		fail(err)
 	}
-	// All reads go through one snapshot: a consistent view of the index
-	// for the whole command, and the surface a live server would use while
-	// a writer keeps publishing updates.
-	snap := idx.Current()
 	if *saveFile != "" {
 		if err := save(snap, *saveFile); err != nil {
 			fail(err)
@@ -114,7 +113,7 @@ func name(names []string, id actjoin.PolygonID) string {
 	return fmt.Sprintf("polygon-%d", id)
 }
 
-func buildOrLoad(polyFile, loadFile string, precision float64) (*actjoin.Index, []string, error) {
+func buildOrLoad(polyFile, loadFile string, precision float64) (*actjoin.Snapshot, []string, error) {
 	switch {
 	case loadFile != "":
 		f, err := os.Open(loadFile)
@@ -126,7 +125,7 @@ func buildOrLoad(polyFile, loadFile string, precision float64) (*actjoin.Index, 
 		if err != nil {
 			return nil, nil, err
 		}
-		return idx, nil, nil
+		return idx.Current(), nil, nil
 	case polyFile != "":
 		data, err := os.ReadFile(polyFile)
 		if err != nil {
@@ -141,12 +140,13 @@ func buildOrLoad(polyFile, loadFile string, precision float64) (*actjoin.Index, 
 		if err != nil {
 			return nil, nil, err
 		}
-		st := idx.Current().Stats()
+		snap := idx.Current()
+		st := snap.Stats()
 		fmt.Fprintf(os.Stderr, "indexed %d polygons: %d cells, %.1f MiB, built in %v\n",
 			st.NumPolygons, st.NumCells,
 			float64(st.TrieSizeBytes+st.TableSizeBytes)/(1<<20),
 			time.Since(start).Round(time.Millisecond))
-		return idx, names, nil
+		return snap, names, nil
 	default:
 		return nil, nil, fmt.Errorf("need -polygons or -load")
 	}

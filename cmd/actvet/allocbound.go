@@ -1,0 +1,294 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// allocbound gates the allocation budget of the hot path with the
+// compiler's own escape analysis. Every //act:hotpath and //act:noalloc
+// function must stay heap-allocation free: allocbound runs
+// `go build -gcflags=-m=2` over the packages that contain annotated
+// functions, parses the escape diagnostics ("x escapes to heap",
+// "moved to heap: x" — closure captures and interface boxes surface as
+// the same messages), and reports every site that falls inside an
+// annotated function's body. A site is suppressed by an
+// //act:allow-alloc <reason> comment on the same line or the line above.
+//
+// The static verdict is cross-checked dynamically: each annotated
+// function must be covered by a testing.AllocsPerRun case, declared by an
+// //act:alloc-harness <name> marker in a _test.go file of the same
+// package (run `actvet -allocharness` for skeletons of the missing
+// cases). CI runs those harnesses with the benchmark alloc gate, so a
+// regression has to get past the compiler transcript and the runtime
+// allocation counter.
+func allocbound(l *loader, cg *callGraph, ann *annotations) ([]diagnostic, error) {
+	var diags []diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, diagnostic{pos: pos, analyzer: "allocbound", msg: fmt.Sprintf(format, args...)})
+	}
+
+	targets := allocTargets(l, cg, ann)
+	if len(targets) == 0 {
+		return nil, nil
+	}
+
+	// One compiler run over every package holding an annotated function.
+	dirSet := map[string]bool{}
+	for _, t := range targets {
+		dirSet[t.dir] = true
+	}
+	var dirs []string
+	for d := range dirSet {
+		rel, err := filepath.Rel(l.modRoot, d)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, "./"+filepath.ToSlash(rel))
+	}
+	sort.Strings(dirs)
+	escapes, err := escapeSites(l.modRoot, dirs)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, e := range escapes {
+		t := findTarget(targets, e.file, e.line)
+		if t == nil {
+			continue
+		}
+		if _, ok := suppressed(ann, e.file, e.line); ok {
+			continue
+		}
+		report(token.Position{Filename: e.file, Line: e.line, Column: e.col},
+			"heap allocation in //act:%s function %s: %s (suppress with //act:allow-alloc <reason>)",
+			t.kind, t.name, e.msg)
+	}
+
+	// Dynamic cross-check coverage: every target needs a harness case.
+	covered, err := harnessMarkers(targets)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range targets {
+		if covered[t.dir][t.name] {
+			continue
+		}
+		report(l.position(t.obj.Pos()),
+			"//act:%s function %s has no AllocsPerRun harness — add an //act:alloc-harness %s case to the package's TestNoAllocHarness (see `actvet -allocharness`)",
+			t.kind, t.name, t.name)
+	}
+	return diags, nil
+}
+
+// allocTarget is one annotated function with its body's line span.
+type allocTarget struct {
+	obj        types.Object
+	name       string // Func or Recv.Method
+	kind       string // "hotpath" or "noalloc"
+	dir        string
+	file       string
+	start, end int
+}
+
+// allocTargets collects every //act:hotpath and //act:noalloc function
+// with a body.
+func allocTargets(l *loader, cg *callGraph, ann *annotations) []*allocTarget {
+	var targets []*allocTarget
+	for obj, ctx := range cg.decls {
+		var kind string
+		switch {
+		case ann.noalloc[obj]:
+			kind = "noalloc"
+		case ann.hotpath[obj]:
+			kind = "hotpath"
+		default:
+			continue
+		}
+		start := l.position(ctx.decl.Pos())
+		end := l.position(ctx.decl.End())
+		targets = append(targets, &allocTarget{
+			obj:   obj,
+			name:  targetName(ctx.decl),
+			kind:  kind,
+			dir:   ctx.pkg.dir,
+			file:  start.Filename,
+			start: start.Line,
+			end:   end.Line,
+		})
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].file != targets[j].file {
+			return targets[i].file < targets[j].file
+		}
+		return targets[i].start < targets[j].start
+	})
+	return targets
+}
+
+// targetName renders a function's harness name: Func, or Recv.Method with
+// any pointer stripped.
+func targetName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr:
+			t = rt.X
+		case *ast.Ident:
+			return rt.Name + "." + fd.Name.Name
+		default:
+			return fd.Name.Name
+		}
+	}
+}
+
+func findTarget(targets []*allocTarget, file string, line int) *allocTarget {
+	for _, t := range targets {
+		if t.file == file && t.start <= line && line <= t.end {
+			return t
+		}
+	}
+	return nil
+}
+
+// suppressed reports whether an //act:allow-alloc comment covers the
+// site: same line (trailing comment) or the line above.
+func suppressed(ann *annotations, file string, line int) (string, bool) {
+	if r, ok := ann.allowAlloc[fmt.Sprintf("%s:%d", file, line)]; ok {
+		return r, true
+	}
+	if r, ok := ann.allowAlloc[fmt.Sprintf("%s:%d", file, line-1)]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+// escapeSite is one heap allocation the compiler reported.
+type escapeSite struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+?):?$`)
+
+// escapeSites runs the compiler's escape analysis over the given package
+// directories (relative to modRoot) and returns the allocation sites,
+// deduplicated by position (-m=2 repeats a site with and without its
+// flow explanation).
+func escapeSites(modRoot string, dirs []string) ([]escapeSite, error) {
+	args := append([]string{"build", "-gcflags=-m=2"}, dirs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	var sites []escapeSite
+	seen := map[string]bool{}
+	for _, raw := range strings.Split(string(out), "\n") {
+		if raw == "" || raw[0] == '#' || raw[0] == ' ' || raw[0] == '\t' {
+			continue // package headers and flow-explanation lines
+		}
+		m := escapeLineRE.FindStringSubmatch(raw)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(modRoot, file)
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		key := fmt.Sprintf("%s:%d:%d", file, line, col)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		sites = append(sites, escapeSite{file: file, line: line, col: col, msg: msg})
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].file != sites[j].file {
+			return sites[i].file < sites[j].file
+		}
+		if sites[i].line != sites[j].line {
+			return sites[i].line < sites[j].line
+		}
+		return sites[i].col < sites[j].col
+	})
+	return sites, nil
+}
+
+var harnessMarkerRE = regexp.MustCompile(`//act:alloc-harness +(\S+)`)
+
+// harnessMarkers scans the _test.go files of every target package for
+// //act:alloc-harness markers: dir -> covered function names.
+func harnessMarkers(targets []*allocTarget) (map[string]map[string]bool, error) {
+	covered := map[string]map[string]bool{}
+	for _, t := range targets {
+		if covered[t.dir] != nil {
+			continue
+		}
+		covered[t.dir] = map[string]bool{}
+		names, err := filepath.Glob(filepath.Join(t.dir, "*_test.go"))
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range harnessMarkerRE.FindAllStringSubmatch(string(data), -1) {
+				covered[t.dir][m[1]] = true
+			}
+		}
+	}
+	return covered, nil
+}
+
+// allocHarnessSkeletons prints a testing.AllocsPerRun skeleton for every
+// annotated function that no //act:alloc-harness marker covers yet.
+func allocHarnessSkeletons(l *loader, cg *callGraph, ann *annotations) (string, error) {
+	targets := allocTargets(l, cg, ann)
+	covered, err := harnessMarkers(targets)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, t := range targets {
+		if covered[t.dir][t.name] {
+			continue
+		}
+		rel, err := filepath.Rel(l.modRoot, t.dir)
+		if err != nil {
+			rel = t.dir
+		}
+		fmt.Fprintf(&b, "// %s: add to TestNoAllocHarness in %s\n", t.name, rel)
+		fmt.Fprintf(&b, "//act:alloc-harness %s\n", t.name)
+		fmt.Fprintf(&b, "testAllocs(t, %q, func() {\n\t// call %s against pre-built inputs\n})\n\n", t.name, t.name)
+	}
+	return b.String(), nil
+}

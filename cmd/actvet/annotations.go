@@ -12,24 +12,39 @@ import (
 // space after the slashes) placed in the doc comment of a function or struct
 // field, or as a field's trailing line comment:
 //
-//	//act:guarded <mu>    field: accessed only while holding the mutex <mu>
-//	//act:requires <mu>   function: every caller must hold <mu>
-//	//act:exclusive       function: operates on a fresh, unshared value;
-//	                      lockcheck does not apply inside it
-//	//act:frozen          function: its results are frozen (shared with
-//	                      immutable snapshots, must never be written through)
-//	                      field: permanently frozen once set
-//	//act:freezer         function: the freeze/patch machinery itself;
-//	                      frozencheck does not apply inside it
-//	//act:mutates <n>     function: writes through its n-th argument
-//	                      (0-based; receivers are not counted)
-//	//act:hotpath         function: checked for allocation/indirection bans
-//	//act:published       field: the atomically published snapshot pointer
-//	//act:publisher       function: may Store/Swap a //act:published field
+//	//act:guarded <mu>        field: accessed only under the mutex <mu>
+//	//act:requires <mu>       function: runs with <mu> already acquired
+//	//act:exclusive           function: operates on a fresh, unshared value;
+//	                          lockcheck does not apply inside it
+//	//act:frozen              function: its results are frozen (shared with
+//	                          immutable snapshots, never written through)
+//	                          field: permanently frozen once set
+//	//act:freezer             function: the freeze/patch machinery itself;
+//	                          frozencheck does not apply inside it
+//	//act:mutates <n>         function: writes through its n-th argument
+//	                          (0-based; receivers are not counted)
+//	//act:hotpath             function: allocation/indirection AST bans plus
+//	                          the allocbound escape-analysis gate
+//	//act:noalloc             function: allocbound escape-analysis gate only
+//	                          (no AST shape bans)
+//	//act:published           field: the atomically published snapshot pointer
+//	//act:publisher           function: may Store/Swap a //act:published field
+//	//act:lock <class>        field: declares a mutex with a module-unique
+//	                          lock-order class name (lockorder's vocabulary)
+//	//act:pinned              field: deliberately stores a *Snapshot for a
+//	                          long-lived structure (snapcheck exemption)
+//	//act:refresh             function: deliberately takes fresh snapshots
+//	                          (snapcheck's torn-view rule does not charge it)
+//	//act:allow-alloc <why>   site comment: the allocation on this (or the
+//	                          next) line is accepted, with a reason
+//	//act:alloc-harness <fn>  test-file marker: an AllocsPerRun case covers fn
 //
 // The mutex name in guarded/requires is resolved lexically: a function
 // "holds mu" when its own body (not a nested goroutine) contains a
 // <path>.mu.Lock() call, or when it is annotated //act:requires mu.
+// lockorder re-resolves the same names to //act:lock classes, so two
+// structs may both name their mutex field "mu" without the analyses
+// conflating them.
 type annotations struct {
 	guarded      map[types.Object]string
 	requires     map[types.Object][]string
@@ -41,6 +56,11 @@ type annotations struct {
 	hotpath      map[types.Object]bool
 	published    map[types.Object]bool
 	publisher    map[types.Object]bool
+	locks        map[types.Object]string // mutex field -> lock-order class
+	noalloc      map[types.Object]bool
+	pinned       map[types.Object]bool
+	refresh      map[types.Object]bool
+	allowAlloc   map[string]string // "file:line" of the comment -> reason
 }
 
 func newAnnotations() *annotations {
@@ -55,6 +75,11 @@ func newAnnotations() *annotations {
 		hotpath:      map[types.Object]bool{},
 		published:    map[types.Object]bool{},
 		publisher:    map[types.Object]bool{},
+		locks:        map[types.Object]string{},
+		noalloc:      map[types.Object]bool{},
+		pinned:       map[types.Object]bool{},
+		refresh:      map[types.Object]bool{},
+		allowAlloc:   map[string]string{},
 	}
 }
 
@@ -103,6 +128,24 @@ func collectAnnotations(l *loader) (*annotations, []diagnostic) {
 			continue
 		}
 		for _, f := range p.files {
+			// allow-alloc is a site-level comment: it may appear anywhere in
+			// a file (typically trailing or directly above the allocation),
+			// so it is collected from the raw comment list by position.
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//act:allow-alloc")
+					if !ok {
+						continue
+					}
+					reason := strings.TrimSpace(rest)
+					if reason == "" {
+						bad(c, "//act:allow-alloc needs a reason")
+						continue
+					}
+					pos := l.position(c.Pos())
+					ann.allowAlloc[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
+				}
+			}
 			for _, decl := range f.Decls {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:
@@ -159,10 +202,19 @@ func applyFuncDirective(ann *annotations, obj types.Object, dir directive, bad f
 		}
 	case "hotpath":
 		ann.hotpath[obj] = true
+	case "noalloc":
+		ann.noalloc[obj] = true
+	case "refresh":
+		ann.refresh[obj] = true
 	case "publisher":
 		ann.publisher[obj] = true
-	case "guarded", "published":
+	case "guarded", "published", "lock", "pinned":
 		bad(dir.pos, "//act:%s applies to struct fields, not functions", dir.name)
+	case "allow-alloc":
+		// Collected positionally from the raw comment list; as a doc
+		// directive it still suppresses an allocation on the next line.
+	case "alloc-harness":
+		bad(dir.pos, "//act:alloc-harness belongs in a _test.go harness file")
 	default:
 		bad(dir.pos, "unknown directive //act:%s", dir.name)
 	}
@@ -207,8 +259,28 @@ func collectFieldAnnotations(l *loader, ann *annotations, st *ast.StructType, ba
 				for _, name := range f.Names {
 					ann.published[l.info.Defs[name]] = true
 				}
-			case "requires", "exclusive", "freezer", "mutates", "hotpath", "publisher":
+			case "lock":
+				if len(dir.args) != 1 {
+					bad(dir.pos, "//act:lock needs exactly one class name")
+					continue
+				}
+				for _, name := range f.Names {
+					if !mutexes[name.Name] {
+						bad(dir.pos, "//act:lock on %s, which is not a sync.Mutex or sync.RWMutex", name.Name)
+						continue
+					}
+					ann.locks[l.info.Defs[name]] = dir.args[0]
+				}
+			case "pinned":
+				for _, name := range f.Names {
+					ann.pinned[l.info.Defs[name]] = true
+				}
+			case "requires", "exclusive", "freezer", "mutates", "hotpath", "noalloc", "refresh", "publisher":
 				bad(dir.pos, "//act:%s applies to functions, not struct fields", dir.name)
+			case "allow-alloc":
+				// Site-level; collected positionally.
+			case "alloc-harness":
+				bad(dir.pos, "//act:alloc-harness belongs in a _test.go harness file")
 			default:
 				bad(dir.pos, "unknown directive //act:%s", dir.name)
 			}

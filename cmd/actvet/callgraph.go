@@ -1,0 +1,211 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The whole-program analyzers (lockorder, snapcheck, allocbound) share one
+// view of the module: every function declaration reduced to the events the
+// analyses care about — mutex Lock/Unlock calls, resolved static call
+// sites, and accesses to //act:guarded fields — in source order.
+//
+// A funcContext is the unit of analysis. Each function declaration is one
+// context; a function literal launched by a go statement becomes a context
+// of its own, because a goroutine starts on a fresh stack with no locks
+// held and none of the caller's snapshot pins. Literals that are not
+// go-launched (deferred closures, sort callbacks, immediately-invoked
+// funcs) run on the creator's goroutine and merge into the enclosing
+// context, with events inside deferred literals marked deferred — they
+// fire at function exit, not at their source position.
+type funcContext struct {
+	obj  types.Object  // declared function; nil for go-launched literals
+	decl *ast.FuncDecl // nil for go-launched literals
+	lit  *ast.FuncLit  // set for go-launched literals
+	encl types.Object  // for literals: the declaration they appear under
+	pkg  *pkgData
+
+	events   []lockEvent  // mutex operations, sorted by position
+	calls    []callSite   // resolved static calls, sorted by position
+	accesses []accessSite // guarded-field reads/writes, sorted by position
+}
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call on a mutex.
+type lockEvent struct {
+	class    string // resolved //act:lock class; "" when unresolvable
+	name     string // source-level mutex name, for diagnostics
+	pos      token.Pos
+	unlock   bool
+	deferred bool // runs at function exit (defer), not at its position
+}
+
+// callSite is one statically resolved call.
+type callSite struct {
+	callee types.Object
+	pos    token.Pos
+	inGo   bool // direct callee of a go statement: runs later, unlocked
+}
+
+// accessSite is one access to an //act:guarded field.
+type accessSite struct {
+	field types.Object
+	pos   token.Pos
+}
+
+// callGraph indexes every context of the module-local packages.
+type callGraph struct {
+	contexts []*funcContext
+	decls    map[types.Object]*funcContext // declared functions only
+}
+
+// buildCallGraph walks every module-local package the loader has seen and
+// extracts the per-context event streams.
+func buildCallGraph(l *loader, ann *annotations) *callGraph {
+	cg := &callGraph{decls: map[types.Object]*funcContext{}}
+	for _, p := range l.pkgs {
+		if !p.local {
+			continue
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := l.info.Defs[fd.Name]
+				ctx := &funcContext{obj: obj, decl: fd, pkg: p}
+				cg.add(ctx)
+				cg.walkBody(l, ann, ctx, fd.Body, false)
+			}
+		}
+	}
+	for _, ctx := range cg.contexts {
+		sort.Slice(ctx.events, func(i, j int) bool { return ctx.events[i].pos < ctx.events[j].pos })
+		sort.Slice(ctx.calls, func(i, j int) bool { return ctx.calls[i].pos < ctx.calls[j].pos })
+		sort.Slice(ctx.accesses, func(i, j int) bool { return ctx.accesses[i].pos < ctx.accesses[j].pos })
+	}
+	return cg
+}
+
+func (cg *callGraph) add(ctx *funcContext) {
+	cg.contexts = append(cg.contexts, ctx)
+	if ctx.obj != nil {
+		cg.decls[ctx.obj] = ctx
+	}
+}
+
+// walkBody records events of one body into ctx. deferred marks everything
+// found as running at function exit (the body of a deferred closure).
+func (cg *callGraph) walkBody(l *loader, ann *annotations, ctx *funcContext, body ast.Node, deferred bool) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				enclObj := ctx.obj
+				if enclObj == nil {
+					enclObj = ctx.encl
+				}
+				sub := &funcContext{lit: lit, encl: enclObj, pkg: ctx.pkg}
+				cg.add(sub)
+				cg.walkBody(l, ann, sub, lit.Body, false)
+			} else if callee := l.calleeOf(n.Call); callee != nil {
+				ctx.calls = append(ctx.calls, callSite{callee: callee, pos: n.Pos(), inGo: true})
+			}
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.DeferStmt:
+			if ev, ok := cg.lockEventOf(l, ann, n.Call); ok {
+				ev.deferred = true
+				ctx.events = append(ctx.events, ev)
+			} else if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				cg.walkBody(l, ann, ctx, lit.Body, true)
+			} else if callee := l.calleeOf(n.Call); callee != nil {
+				ctx.calls = append(ctx.calls, callSite{callee: callee, pos: n.Pos()})
+			}
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			if ev, ok := cg.lockEventOf(l, ann, n); ok {
+				ev.deferred = deferred
+				ctx.events = append(ctx.events, ev)
+				return true
+			}
+			if callee := l.calleeOf(n); callee != nil {
+				ctx.calls = append(ctx.calls, callSite{callee: callee, pos: n.Pos()})
+			}
+		case *ast.SelectorExpr:
+			if fld := l.fieldOf(n); fld != nil {
+				if _, ok := ann.guarded[fld]; ok {
+					ctx.accesses = append(ctx.accesses, accessSite{field: fld, pos: n.Sel.Pos()})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// lockEventOf recognizes <path>.<mu>.Lock/RLock/Unlock/RUnlock and resolves
+// the mutex to its //act:lock class when <mu> is a struct field.
+func (cg *callGraph) lockEventOf(l *loader, ann *annotations, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var unlock bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return lockEvent{}, false
+	}
+	var muObj types.Object
+	var muName string
+	switch x := unparen(sel.X).(type) {
+	case *ast.Ident:
+		muObj = l.objOf(x)
+		muName = x.Name
+	case *ast.SelectorExpr:
+		if fld := l.fieldOf(x); fld != nil {
+			muObj = fld
+		} else {
+			muObj = l.objOf(x.Sel)
+		}
+		muName = x.Sel.Name
+	default:
+		return lockEvent{}, false
+	}
+	if muObj == nil || !isMutex(muObj.Type()) {
+		return lockEvent{}, false
+	}
+	return lockEvent{class: ann.locks[muObj], name: muName, pos: call.Pos(), unlock: unlock}, true
+}
+
+// heldAt reports whether class is held at pos within a context, given the
+// classes held at entry: an acquisition before pos with no non-deferred
+// release in between. Deferred unlocks fire at function exit, so they
+// never release earlier positions.
+func heldAt(ctx *funcContext, entry map[string]bool, class string, pos token.Pos) bool {
+	held := entry[class]
+	for _, e := range ctx.events {
+		if e.pos >= pos || e.class != class || e.class == "" {
+			continue
+		}
+		if e.unlock {
+			if !e.deferred {
+				held = false
+			}
+		} else {
+			held = true
+		}
+	}
+	return held
+}

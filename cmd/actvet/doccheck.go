@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// doccheck enforces the repo's godoc contract (absorbed from the former
+// cmd/lintdoc so one driver runs every check): each package carries a
+// package comment, and every exported symbol — type, function, method,
+// const and var — carries a doc comment starting with the symbol's name
+// (leading articles allowed), the convention of revive's `exported` rule
+// and the original golint. Methods on unexported types are not part of
+// the API and are skipped, as are example programs under examples/.
+func doccheck(l *loader, p *pkgData, ann *annotations) []diagnostic {
+	if underExamples(l, p) {
+		return nil
+	}
+	var diags []diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, diagnostic{pos: l.position(pos), analyzer: "doccheck", msg: fmt.Sprintf(format, args...)})
+	}
+
+	hasPkgDoc := false
+	for _, f := range p.files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc && len(p.files) > 0 {
+		report(p.files[0].Package, "package %s has no package comment", p.pkg.Name())
+	}
+
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			docDecl(decl, report)
+		}
+	}
+	return diags
+}
+
+// underExamples reports whether the package lives under the module's
+// examples tree (runnable demos, not API surface).
+func underExamples(l *loader, p *pkgData) bool {
+	rel, err := filepath.Rel(l.modRoot, p.dir)
+	if err != nil {
+		return false
+	}
+	return rel == "examples" || strings.HasPrefix(filepath.ToSlash(rel), "examples/")
+}
+
+// docDecl checks one top-level declaration.
+func docDecl(decl ast.Decl, report func(token.Pos, string, ...any)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return
+		}
+		checkDocComment(d.Doc, d.Name.Name, "function", d.Pos(), report)
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+			return
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				doc := s.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				checkDocComment(doc, s.Name.Name, "type", s.Pos(), report)
+			case *ast.ValueSpec:
+				name := exportedName(s.Names)
+				if name == "" {
+					continue
+				}
+				// A doc comment on the grouped declaration covers the whole
+				// block (the idiomatic way to document related constants).
+				if d.Doc != nil && len(d.Specs) > 1 {
+					continue
+				}
+				doc := s.Doc
+				if doc == nil {
+					doc = d.Doc
+				}
+				if doc == nil {
+					report(s.Pos(), "exported %s %s has no doc comment", strings.ToLower(d.Tok.String()), name)
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the package API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch rt := t.(type) {
+		case *ast.StarExpr:
+			t = rt.X
+		case *ast.IndexExpr: // generic receiver
+			t = rt.X
+		case *ast.Ident:
+			return rt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// exportedName returns the first exported name of a value spec.
+func exportedName(names []*ast.Ident) string {
+	for _, n := range names {
+		if n.IsExported() {
+			return n.Name
+		}
+	}
+	return ""
+}
+
+// checkDocComment requires a doc comment whose first word is the symbol
+// name, optionally preceded by an article.
+func checkDocComment(doc *ast.CommentGroup, name, kind string, pos token.Pos, report func(token.Pos, string, ...any)) {
+	if doc == nil {
+		report(pos, "exported %s %s has no doc comment", kind, name)
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	for _, article := range []string{"A ", "An ", "The "} {
+		if strings.HasPrefix(text, article) {
+			text = text[len(article):]
+			break
+		}
+	}
+	if !strings.HasPrefix(text, name) {
+		report(pos, "doc comment of exported %s %s should start with %q", kind, name, name)
+	}
+}

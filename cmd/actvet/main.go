@@ -4,12 +4,14 @@
 // writer state is touched only under the index mutex, frozen snapshot state
 // is never written through, hot probe loops stay allocation-free, and the
 // published-snapshot pointer is swapped only by the publish machinery. Those
-// rules are declared in the source as machine-readable //act: annotations,
-// and actvet checks them with four analyzers:
+// rules are declared in the source as machine-readable //act: annotations
+// (see docs/ANNOTATIONS.md), and actvet checks them with eight analyzers.
+//
+// Per-function checks:
 //
 //   - lockcheck: fields annotated //act:guarded <mu> may only be accessed
 //     from functions that acquire the mutex (<recv>.<mu>.Lock() in the body)
-//     or are annotated //act:requires <mu> (their callers hold it). Calls to
+//     or are annotated //act:requires <mu> (they run with it held). Calls to
 //     //act:requires functions are checked the same way; goroutine bodies do
 //     not inherit the caller's locks; //act:exclusive exempts constructors
 //     that own a fresh, unshared value.
@@ -27,20 +29,41 @@
 //     snapshot pointer) may only appear in //act:publisher functions, and
 //     exported methods of a type with guarded fields must not return
 //     pointers, slices or maps taken directly from that guarded state.
+//   - doccheck: every package has a package comment and every exported
+//     symbol a doc comment starting with its name.
+//
+// Whole-program checks, over a go/types-resolved call graph of the module:
+//
+//   - lockorder: every mutex field declares a module-unique //act:lock
+//     class; double acquisition (directly or through calls), lock-order
+//     cycles, prose lock comments without a directive, and guarded state
+//     reachable from an unlocked entry point are reported.
+//   - snapcheck: two fresh snapshots in one batch (torn view), *Snapshot
+//     stored into a field without //act:pinned, and goroutines capturing
+//     storage aliased from guarded fields.
+//   - allocbound: //act:hotpath and //act:noalloc functions are verified
+//     allocation-free against `go build -gcflags=-m=2` escape analysis,
+//     with //act:allow-alloc <reason> site suppressions, and must each be
+//     covered by a testing.AllocsPerRun case declared with an
+//     //act:alloc-harness marker.
 //
 // Usage:
 //
-//	actvet [packages]
+//	actvet [-allocharness] [packages]
 //
 // Packages are directories or "dir/..." patterns relative to the current
-// module; with no arguments it vets "./...". Only stdlib packages are used
-// (go/parser, go/ast, go/types); imports — including the standard library —
-// are type-checked from source, so the tool runs in the build image with no
-// installed toolchain artifacts. Exit status is 1 when any diagnostic is
-// reported, 2 on load or usage errors.
+// module; with no arguments it vets "./...". -allocharness prints
+// AllocsPerRun skeletons for annotated functions that lack a harness case
+// instead of vetting. The analyzers use only stdlib packages (go/parser,
+// go/ast, go/types); imports — including the standard library — are
+// type-checked from source, so the tool runs in the build image with no
+// installed toolchain artifacts (allocbound additionally shells out to
+// `go build` for the compiler's escape transcript). Exit status is 1 when
+// any diagnostic is reported, 2 on load or usage errors.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -49,9 +72,26 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	harness := flag.Bool("allocharness", false, "print AllocsPerRun skeletons for uncovered //act:hotpath///act:noalloc functions")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
+	}
+	if *harness {
+		l, _, err := loadPatterns(".", args)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actvet: %v\n", err)
+			os.Exit(2)
+		}
+		ann, _ := collectAnnotations(l)
+		out, err := allocHarnessSkeletons(l, buildCallGraph(l, ann), ann)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actvet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+		return
 	}
 	diags, err := vet(".", args)
 	if err != nil {
@@ -67,33 +107,45 @@ func main() {
 	}
 }
 
-// vet loads and analyzes the packages matched by patterns, returning the
-// formatted diagnostics sorted by position.
-func vet(cwd string, patterns []string) ([]string, error) {
+// loadPatterns loads the packages matched by patterns into a fresh loader.
+func loadPatterns(cwd string, patterns []string) (*loader, []*pkgData, error) {
 	modRoot, modPath, err := findModule(cwd)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dirs, err := expandPatterns(cwd, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	l := newLoader(modRoot, modPath)
 	var pkgs []*pkgData
 	for _, dir := range dirs {
 		p, err := l.loadDir(dir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if p != nil {
 			pkgs = append(pkgs, p)
 		}
 	}
 	if len(pkgs) == 0 {
-		return nil, fmt.Errorf("no Go packages in %s", strings.Join(patterns, " "))
+		return nil, nil, fmt.Errorf("no Go packages in %s", strings.Join(patterns, " "))
+	}
+	return l, pkgs, nil
+}
+
+// vet loads and analyzes the packages matched by patterns, returning the
+// formatted diagnostics sorted by position. The per-function analyzers run
+// on the matched packages; the whole-program analyzers run once over every
+// module-local package the load pulled in.
+func vet(cwd string, patterns []string) ([]string, error) {
+	l, pkgs, err := loadPatterns(cwd, patterns)
+	if err != nil {
+		return nil, err
 	}
 
 	ann, annDiags := collectAnnotations(l)
+	cg := buildCallGraph(l, ann)
 	var diags []diagnostic
 	diags = append(diags, annDiags...)
 	for _, p := range pkgs {
@@ -101,7 +153,15 @@ func vet(cwd string, patterns []string) ([]string, error) {
 		diags = append(diags, frozencheck(l, p, ann)...)
 		diags = append(diags, hotpath(l, p, ann)...)
 		diags = append(diags, publishcheck(l, p, ann)...)
+		diags = append(diags, doccheck(l, p, ann)...)
 	}
+	diags = append(diags, lockorder(l, cg, ann)...)
+	diags = append(diags, snapcheck(l, cg, ann)...)
+	ab, err := allocbound(l, cg, ann)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, ab...)
 
 	out := make([]string, len(diags))
 	for i, d := range diags {

@@ -8,10 +8,12 @@ import (
 )
 
 // Fixture packages live under testdata/src/<analyzer>/{bad,good}. Each is
-// loaded as its own module root and run through every analyzer; expectations
-// are "// want" comments carrying a backquoted regexp on the violating
-// line, in the style of go/analysis golden tests. A "good" package simply carries no want comments,
-// so any diagnostic fails the test.
+// loaded as its own module root and run through the analyzer named by its
+// parent directory (plus annotation validation, which always runs);
+// expectations are "// want" comments carrying a backquoted regexp on the
+// violating line, in the style of go/analysis golden tests. A "good"
+// package simply carries no want comments, so any diagnostic fails the
+// test.
 func TestFixtures(t *testing.T) {
 	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*", "*"))
 	if err != nil {
@@ -43,10 +45,31 @@ func runFixture(t *testing.T, dir string) {
 	}
 
 	ann, diags := collectAnnotations(l)
-	diags = append(diags, lockcheck(l, p, ann)...)
-	diags = append(diags, frozencheck(l, p, ann)...)
-	diags = append(diags, hotpath(l, p, ann)...)
-	diags = append(diags, publishcheck(l, p, ann)...)
+	analyzer := filepath.Base(filepath.Dir(dir))
+	switch analyzer {
+	case "lockcheck":
+		diags = append(diags, lockcheck(l, p, ann)...)
+	case "frozencheck":
+		diags = append(diags, frozencheck(l, p, ann)...)
+	case "hotpath":
+		diags = append(diags, hotpath(l, p, ann)...)
+	case "publishcheck":
+		diags = append(diags, publishcheck(l, p, ann)...)
+	case "doccheck":
+		diags = append(diags, doccheck(l, p, ann)...)
+	case "lockorder":
+		diags = append(diags, lockorder(l, buildCallGraph(l, ann), ann)...)
+	case "snapcheck":
+		diags = append(diags, snapcheck(l, buildCallGraph(l, ann), ann)...)
+	case "allocbound":
+		ab, err := allocbound(l, buildCallGraph(l, ann), ann)
+		if err != nil {
+			t.Fatalf("allocbound over %s: %v", dir, err)
+		}
+		diags = append(diags, ab...)
+	default:
+		t.Fatalf("fixture directory %s names no analyzer", dir)
+	}
 
 	type want struct {
 		line    int

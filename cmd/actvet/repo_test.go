@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestRepoClean runs the full suite over the real repository packages, so
+// the tree can never merge in an annotated-but-violating state. It is
+// also the regression test for every violation fixed during annotation
+// sweeps: reintroducing one (a second Current() in a batch, a goroutine
+// capturing guarded storage, an allocation on a hot path) fails here.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module and runs escape analysis")
+	}
+	diags, err := vet("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic on the merged tree: %s", d)
+	}
+}

@@ -1,0 +1,5 @@
+// The escape case deliberately carries no marker; store is covered so
+// only the missing-harness diagnostic for escape fires.
+//
+//act:alloc-harness store
+package bad

@@ -1,0 +1,6 @@
+// Markers declaring AllocsPerRun coverage for the annotated functions.
+//
+//act:alloc-harness sum
+//act:alloc-harness grow
+//act:alloc-harness index
+package good

@@ -1,0 +1,18 @@
+package bad // want `package bad has no package comment`
+
+type Missing struct{} // want `exported type Missing has no doc comment`
+
+// Incorrectly documented.
+type Wrong struct{} // want `doc comment of exported type Wrong should start with "Wrong"`
+
+func Exported() {} // want `exported function Exported has no doc comment`
+
+func (Wrong) Act() {} // want `exported function Act has no doc comment`
+
+const Limit = 3 // want `exported const Limit has no doc comment`
+
+var Value int // want `exported var Value has no doc comment`
+
+type hidden struct{}
+
+func (hidden) Run() {}

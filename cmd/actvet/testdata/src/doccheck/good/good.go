@@ -1,0 +1,24 @@
+// Package good documents every exported symbol.
+package good
+
+// Config holds settings.
+type Config struct{}
+
+// A Runner runs; a leading article is allowed.
+type Runner struct{}
+
+// Act does the configured thing.
+func (c *Config) Act() {}
+
+// Limits groups related bounds; the group comment covers its members.
+const (
+	Low  = 1
+	High = 2
+)
+
+// Version is the build tag.
+var Version = "dev"
+
+type helper struct{}
+
+func (helper) Run() {}

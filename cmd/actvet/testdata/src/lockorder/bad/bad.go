@@ -1,0 +1,104 @@
+// Package bad exercises every lockorder diagnostic.
+package bad
+
+import "sync"
+
+// pair declares a clean two-class vocabulary for the deadlock cases.
+type pair struct {
+	amu sync.Mutex //act:lock alpha
+	bmu sync.Mutex //act:lock beta
+	a   int        //act:guarded amu
+	b   int        //act:guarded bmu
+}
+
+// lockAB nests beta inside alpha.
+func (p *pair) lockAB() {
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	p.bmu.Lock() // want `lock-order cycle alpha -> beta -> alpha`
+	p.b++
+	p.bmu.Unlock()
+}
+
+// lockBA nests alpha inside beta: the injected deadlock.
+func (p *pair) lockBA() {
+	p.bmu.Lock()
+	defer p.bmu.Unlock()
+	p.amu.Lock()
+	p.a++
+	p.amu.Unlock()
+}
+
+// relock acquires alpha twice on one stack.
+func (p *pair) relock() {
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	p.amu.Lock() // want `amu \(class alpha\) acquired while already held`
+	p.a++
+}
+
+// reenter calls a locking helper with alpha already held.
+func (p *pair) reenter() {
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	p.locker() // want `call to locker with alpha held: locker may acquire alpha again`
+}
+
+func (p *pair) locker() {
+	p.amu.Lock()
+	p.a++
+	p.amu.Unlock()
+}
+
+// Probe reaches guarded state through an unannotated helper.
+func (p *pair) Probe() {
+	p.helper() // want `call to helper reaches state guarded by alpha without alpha held from exported entry point Probe`
+}
+
+func (p *pair) helper() {
+	p.a++ // want `access to pair\.a reaches state guarded by alpha without alpha held`
+}
+
+// Spawn launches a goroutine that touches guarded state bare.
+func (p *pair) Spawn() {
+	p.amu.Lock()
+	defer p.amu.Unlock()
+	go func() {
+		p.a++ // want `goroutine accesses pair\.a guarded by alpha without acquiring it`
+	}()
+}
+
+// bumpProse documents its contract only while holding prose. // want `prose lock comment \("while holding"\) on function bumpProse`
+func (p *pair) bumpProse() {}
+
+// naked has a mutex without a class.
+type naked struct {
+	mu sync.Mutex // want `mutex field naked\.mu needs //act:lock <class>`
+	//act:guarded mu
+	n int // want `field naked\.mu carries no //act:lock class`
+}
+
+// orphan guards with a name that resolves nowhere.
+type orphan struct {
+	//act:guarded ghost
+	n int // want `"ghost" names no lock class and no unique mutex field`
+}
+
+// dupA and dupB collide on one class name.
+type dupA struct {
+	//act:lock shared
+	mu sync.Mutex // want `lock class shared declared by dupA\.mu and dupB\.mu`
+}
+
+type dupB struct {
+	//act:lock shared
+	mu sync.Mutex
+}
+
+//act:requires ghost
+func free() {} // want `//act:requires ghost on free: "ghost" names no lock class`
+
+// prose carries stale prose instead of a directive.
+type prose struct {
+	rows []int // the rows are guarded by the pair mutex // want `prose lock comment \("guarded by"\) on field rows`
+}

@@ -1,0 +1,74 @@
+// Package good models the annotated locking idioms lockorder accepts.
+package good
+
+import "sync"
+
+// index is a writer handle; its mutex class is imu.
+type index struct {
+	mu    sync.Mutex //act:lock imu
+	polys []int      //act:guarded mu
+}
+
+// env is a driver with its own mutex, also named mu: the classes keep
+// the two locks apart.
+type env struct {
+	mu   sync.Mutex //act:lock emu
+	runs []int      //act:guarded mu
+}
+
+// Add locks, mutates through the annotated helper, unlocks.
+func (ix *index) Add(v int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.addLocked(v)
+}
+
+// addLocked runs under imu.
+//
+//act:requires mu
+func (ix *index) addLocked(v int) { ix.polys = append(ix.polys, v) }
+
+// flushLocked clears state; callers must hold mu.
+//
+//act:requires mu
+func (ix *index) flushLocked() { ix.polys = ix.polys[:0] }
+
+// Measure holds emu and drives the index: emu before imu is the one
+// sanctioned order, and one direction alone stays acyclic.
+func (e *env) Measure(ix *index) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runs = append(e.runs, 1)
+	ix.Add(1)
+}
+
+// Refresh compacts in the background; the goroutine takes its own lock.
+func (ix *index) Refresh() {
+	go func() {
+		ix.mu.Lock()
+		defer ix.mu.Unlock()
+		ix.flushLocked()
+	}()
+}
+
+// Drain releases the lock around a slow step and reacquires it.
+func (ix *index) Drain() (n int) {
+	ix.mu.Lock()
+	n = len(ix.polys)
+	ix.mu.Unlock()
+	ix.mu.Lock()
+	ix.flushLocked()
+	ix.mu.Unlock()
+	return n
+}
+
+// newIndex owns a fresh, unshared value.
+//
+//act:exclusive
+func newIndex() *index {
+	ix := &index{}
+	ix.polys = append(ix.polys, 0)
+	return ix
+}
+
+var _ = newIndex

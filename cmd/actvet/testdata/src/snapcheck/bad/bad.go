@@ -1,0 +1,57 @@
+// Package bad exercises every snapcheck diagnostic.
+package bad
+
+import "sync"
+
+// view is the immutable snapshot type; snapcheck discovers it from the
+// Current method's signature.
+type view struct {
+	cells []int
+}
+
+// table publishes views and owns the writer state.
+type table struct {
+	mu   sync.Mutex
+	live *view //act:pinned
+	rows []int //act:guarded mu
+}
+
+// Current returns the published view.
+func (t *table) Current() *view { return t.live }
+
+// count reads the view twice in one batch: the two loads can straddle
+// a publish.
+func (t *table) count() int {
+	a := len(t.Current().cells)
+	b := len(t.Current().cells) // want `Current\(\) takes a second fresh snapshot in one batch`
+	return a + b
+}
+
+// total takes a fresh view of its own.
+func (t *table) total() int { return len(t.Current().cells) }
+
+// report mixes a direct snapshot with a helper that takes another.
+func (t *table) report() int {
+	n := len(t.Current().cells)
+	return n + t.total() // want `total \(which takes a fresh snapshot\) takes a second fresh snapshot in one batch`
+}
+
+// job caches a view across batches without declaring it.
+type job struct {
+	base *view
+}
+
+// retain stores the snapshot into a long-lived struct.
+func (t *table) retain(j *job) {
+	j.base = t.Current() // want `snapshot stored into field job\.base`
+}
+
+// Flush hands the live rows to a goroutine without copying.
+func (t *table) Flush() {
+	t.mu.Lock()
+	rows := t.rows
+	t.mu.Unlock()
+	go func() { // want `goroutine captures rows, aliased from guarded field table\.rows`
+		_ = len(rows)
+	}()
+}

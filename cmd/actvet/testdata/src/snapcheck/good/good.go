@@ -1,0 +1,59 @@
+// Package good pins one snapshot per batch and copies under the lock.
+package good
+
+import "sync"
+
+// view is the immutable snapshot type.
+type view struct {
+	cells []int
+}
+
+// table publishes views and owns the writer state.
+type table struct {
+	mu   sync.Mutex
+	live *view //act:pinned
+	rows []int //act:guarded mu
+}
+
+// Current returns the published view.
+func (t *table) Current() *view { return t.live }
+
+// count pins one view for the whole batch.
+func (t *table) count() int {
+	v := t.Current()
+	return len(v.cells) + len(v.cells)
+}
+
+// poll deliberately re-reads the published pointer per iteration.
+//
+//act:refresh
+func (t *table) poll() int {
+	return len(t.Current().cells) + len(t.Current().cells)
+}
+
+// survey calls poll twice; poll absorbs its own snapshot churn.
+func (t *table) survey() int { return t.poll() + t.poll() }
+
+// keeper pins a base view deliberately, like a compactor.
+type keeper struct {
+	base *view //act:pinned
+}
+
+// retain pins the snapshot for a long-running job.
+func (t *table) retain(k *keeper) { k.base = t.Current() }
+
+// Flush copies the rows under the lock before handing off.
+func (t *table) Flush() {
+	t.mu.Lock()
+	rows := append([]int(nil), t.rows...)
+	t.mu.Unlock()
+	go func() { _ = len(rows) }()
+}
+
+// Hand passes the guarded slice through a channel instead of a capture.
+func (t *table) Hand(ch chan []int) {
+	t.mu.Lock()
+	rows := t.rows
+	t.mu.Unlock()
+	ch <- rows
+}

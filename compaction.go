@@ -77,9 +77,9 @@ func compactionArenaHeadroom(arenaNodes int) int {
 
 // compaction is one in-flight background compaction. The goroutine owns
 // result until it closes done; base is an immutable published snapshot; the
-// replay log is guarded by the owning index's mutex.
+// replay field annotations bind the log to the owning index's mutex.
 type compaction struct {
-	base   *Snapshot      // the frozen snapshot the compactor rebuilds from
+	base   *Snapshot      //act:pinned — the frozen snapshot the compactor rebuilds from
 	done   chan struct{}  // closed by the goroutine once result is set
 	result *compactResult // written before done closes; read only after <-done
 
@@ -150,9 +150,9 @@ func compactBase(base *Snapshot) *compactResult {
 }
 
 // startCompactionLocked launches a background compaction from base (the
-// snapshot the caller just published). Callers must hold mu and must have
-// no compaction in flight. The publisher annotation covers the landing
-// goroutine below, which swaps the reconciled snapshot in under mu.
+// snapshot the caller just published); there must be no compaction in
+// flight. The publisher annotation covers the landing goroutine below,
+// which swaps the reconciled snapshot in under mu.
 //
 //act:requires mu
 //act:publisher
@@ -184,8 +184,8 @@ func (ix *Index) startCompactionLocked(base *Snapshot) {
 
 // reconcileLocked lands a finished compaction: it re-applies the replay log
 // to the fresh base through the ordinary patch machinery and, on success,
-// installs the fresh encoder as the live one. Callers must hold mu and must
-// have observed c.done closed. On any failure (poisoned replay, a region
+// installs the fresh encoder as the live one; the caller has observed
+// c.done closed. On any failure (poisoned replay, a region
 // the fresh layout cannot absorb, replay past its dirty budget) the
 // compaction is abandoned and nil is returned — the caller falls back to
 // the inline rebuild, or simply carries on patching the old chain until the
@@ -219,7 +219,7 @@ func (ix *Index) reconcileLocked(c *compaction) *Snapshot {
 }
 
 // abandonCompactionLocked discards any in-flight compaction; the goroutine
-// notices at its swap attempt and drops its result. Callers must hold mu.
+// notices at its swap attempt and drops its result.
 //
 //act:requires mu
 func (ix *Index) abandonCompactionLocked() { ix.compacting = nil }

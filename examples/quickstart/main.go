@@ -10,6 +10,11 @@ import (
 	"actjoin"
 )
 
+// main pins one snapshot for its queries and then deliberately takes a
+// second, fresh one: showing that the old view keeps answering while the
+// new view sees the added zone is the point of the demo.
+//
+//act:refresh
 func main() {
 	// Three city zones: two adjacent squares and one with a hole (a park
 	// with a lake, say).

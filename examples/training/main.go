@@ -58,9 +58,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := baseline.Current().JoinCount(probe, actjoin.QueryOptions{Exact: true})
+	// One snapshot for the whole untrained measurement: the join and the
+	// cell count must describe the same published state.
+	bsnap := baseline.Current()
+	base := bsnap.JoinCount(probe, actjoin.QueryOptions{Exact: true})
 	fmt.Printf("untrained: %6.1f M pts/s, %8d PIP tests, STH %5.1f%%, %6d cells\n",
-		base.ThroughputMpts, base.PIPTests, base.STHPercent, baseline.Current().Stats().NumCells)
+		base.ThroughputMpts, base.PIPTests, base.STHPercent, bsnap.Stats().NumCells)
 
 	for _, n := range []int{10_000, 50_000, 100_000} {
 		idx, err := actjoin.NewIndex(polys)

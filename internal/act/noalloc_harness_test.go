@@ -1,0 +1,47 @@
+package act
+
+import (
+	"testing"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/cellindex"
+	"actjoin/internal/geom"
+	"actjoin/internal/refs"
+)
+
+// allocSink keeps harness results live so the measured calls cannot be
+// eliminated.
+var allocSink uint64
+
+// testAllocs warms f up once and then fails if f allocates per run.
+func testAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f()
+	if avg := testing.AllocsPerRun(100, f); avg != 0 {
+		t.Errorf("%s: %v allocs/run, want 0", name, avg)
+	}
+}
+
+// TestNoAllocHarness is allocbound's dynamic cross-check: the probe entry
+// points run under testing.AllocsPerRun against a built tree. The
+// //act:alloc-harness markers are what `actvet` matches against the
+// annotated functions.
+func TestNoAllocHarness(t *testing.T) {
+	leaf := cellid.FromPoint(geom.Point{X: -73.98, Y: 40.71})
+	entry := refs.NewTable().Encode([]refs.Ref{refs.MakeRef(1, true)})
+	tr := Build([]cellindex.KeyEntry{
+		{Key: leaf.Parent(8), Entry: entry},
+	}, Delta4)
+	miss := cellid.FromPoint(geom.Point{X: 100.0, Y: -30.0})
+
+	//act:alloc-harness Tree.Find
+	testAllocs(t, "Tree.Find", func() {
+		allocSink += uint64(tr.Find(leaf)) + uint64(tr.Find(miss))
+	})
+
+	//act:alloc-harness Tree.FindRange
+	testAllocs(t, "Tree.FindRange", func() {
+		e, lo, hi := tr.FindRange(leaf)
+		allocSink += uint64(e) + uint64(lo) + uint64(hi)
+	})
+}

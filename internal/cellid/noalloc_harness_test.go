@@ -1,0 +1,38 @@
+package cellid
+
+import (
+	"testing"
+
+	"actjoin/internal/geom"
+)
+
+// allocSink keeps harness results live so the measured calls cannot be
+// eliminated.
+var allocSink CellID
+
+// testAllocs warms f up once and then fails if f allocates per run.
+func testAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f()
+	if avg := testing.AllocsPerRun(100, f); avg != 0 {
+		t.Errorf("%s: %v allocs/run, want 0", name, avg)
+	}
+}
+
+// TestNoAllocHarness is allocbound's dynamic cross-check: the per-point
+// conversion functions run under testing.AllocsPerRun. The
+// //act:alloc-harness markers are what `actvet` matches against the
+// annotated functions.
+func TestNoAllocHarness(t *testing.T) {
+	p := geom.Point{X: -73.98, Y: 40.71}
+
+	//act:alloc-harness FromPoint
+	testAllocs(t, "FromPoint", func() {
+		allocSink += FromPoint(p)
+	})
+
+	//act:alloc-harness fromFaceIJLeaf
+	testAllocs(t, "fromFaceIJLeaf", func() {
+		allocSink += fromFaceIJLeaf(1, 123456, 654321)
+	})
+}

@@ -46,11 +46,11 @@ type PointSet struct {
 type Env struct {
 	cfg Config
 
-	mu    sync.Mutex
-	polys map[string][]*geom.Polygon
-	specs map[string]dataset.Spec
-	enc   map[string]*Encoded
-	pts   map[string]*PointSet
+	mu    sync.Mutex                 //act:lock envmu
+	polys map[string][]*geom.Polygon //act:guarded mu
+	specs map[string]dataset.Spec    //act:guarded mu
+	enc   map[string]*Encoded        //act:guarded mu
+	pts   map[string]*PointSet       //act:guarded mu
 }
 
 // NewEnv creates a fresh environment.

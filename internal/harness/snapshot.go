@@ -23,6 +23,11 @@ import (
 //
 // Not a figure of the paper: the paper freezes the index after build and
 // leaves runtime-update synchronization to the caller (Section 3.1.2).
+//
+// The contended measurement re-reads the published pointer on every probe
+// run on purpose — observing snapshot churn is what it measures.
+//
+//act:refresh
 func (e *Env) Snapshot(w io.Writer) error {
 	const ds = "neighborhoods"
 	polys := toPublicPolygons(e.Polygons(ds))

@@ -241,6 +241,8 @@ func (t *Table) AppendRefs(dst []Ref, e Entry) []Ref {
 }
 
 // Visit calls fn for each reference in the entry without allocating.
+//
+//act:noalloc
 func (t *Table) Visit(e Entry, fn func(Ref)) {
 	switch e.Tag() {
 	case TagPointer:
