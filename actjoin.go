@@ -7,11 +7,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"actjoin/internal/act"
 	"actjoin/internal/cellid"
 	"actjoin/internal/cellindex"
 	"actjoin/internal/cover"
+	"actjoin/internal/fault"
 	"actjoin/internal/geom"
 	"actjoin/internal/join"
 	"actjoin/internal/refs"
@@ -192,13 +194,37 @@ type Index struct {
 	compactionsStarted int         //act:guarded mu
 	compactionsLanded  int         //act:guarded mu
 
+	// Failure-domain state (see compaction.go for the containment design).
+	// closed marks a Close()d index: mutations fail with ErrClosed, no new
+	// compactions start. fullNext forces the next publish down the full
+	// freeze after a failed publish left the encoder's table torn — the
+	// full path rebuilds it to consistency from scratch. The counters feed
+	// PublishStats.
+	closed          bool //act:guarded mu
+	fullNext        bool //act:guarded mu
+	publishPanics   int  //act:guarded mu
+	reconcileAborts int  //act:guarded mu
+	replayPoisoned  int  //act:guarded mu
+
+	// Compactor failure bookkeeping is atomic, not mu-guarded, on purpose:
+	// the goroutine records failures while a writer may be blocked on the
+	// build (the hard-cap wait on c.done) holding mu, so the failure path
+	// must stay lock-free (see noteCompactorFailure). compactorWG tracks
+	// the goroutine itself for Close.
+	compactionsFailed     atomic.Int64
+	consecCompactFailures atomic.Int64
+	quarantined           atomic.Pointer[quarantine]
+	compactorWG           sync.WaitGroup
+
 	// Test hooks (same-package tests only): holdCompaction, when non-nil,
 	// parks every finished compaction until the channel is closed, so tests
 	// can deterministically observe the pending-ready state; failPatches
 	// forces the next n patch attempts to abort after staging, exercising
-	// the encoder rollback path.
-	holdCompaction chan struct{} //act:guarded mu
-	failPatches    int           //act:guarded mu
+	// the encoder rollback path; compactRetryBase (0 = default) shortens
+	// the compactor's retry backoff so failure tests run fast.
+	holdCompaction   chan struct{} //act:guarded mu
+	failPatches      int           //act:guarded mu
+	compactRetryBase time.Duration //act:guarded mu
 
 	opt            options // immutable after NewIndex
 	precisionLevel int     // immutable after NewIndex
@@ -253,7 +279,9 @@ func NewIndex(polygons []Polygon, opts ...Option) (*Index, error) {
 		ix.precisionLevel = cellid.LevelForMaxDiagonalMeters(o.precisionMeters, bound.Center().Y)
 		sc.RefineToPrecision(internal, ix.precisionLevel)
 	}
-	ix.publish()
+	if _, err := ix.publish(); err != nil {
+		return nil, err
+	}
 	return ix, nil
 }
 
@@ -317,9 +345,16 @@ const (
 // for whatever the incremental paths — patching and background compaction —
 // cannot absorb.
 //
+// Failure domain: both paths run under panic guards. A panic in the
+// incremental machinery falls back to the full freeze; a panic in the full
+// freeze itself rewinds the writer to the published snapshot (discarding
+// the staged mutations), replaces the possibly-torn encoder, and returns
+// the error — the published snapshot is never replaced by partial state,
+// and the writer stays usable.
+//
 //act:requires mu
 //act:publisher
-func (ix *Index) publish() *Snapshot {
+func (ix *Index) publish() (*Snapshot, error) {
 	if ix.enc == nil {
 		ix.enc = cellindex.NewEncoder()
 	}
@@ -331,37 +366,100 @@ func (ix *Index) publish() *Snapshot {
 		c.addReplay(roots, all)
 	}
 	var s *Snapshot
-	if prev != nil && !all && !ix.opt.fullPublish {
-		s = ix.publishIncremental(prev, roots)
+	if prev != nil && !all && !ix.opt.fullPublish && !ix.fullNext {
+		s = ix.publishIncrementalGuarded(prev, roots)
 	}
 	if s == nil {
 		ix.abandonCompactionLocked()
-		ix.full++
-		// The snapshot takes ownership of the frozen cells (via the rope),
-		// so the full path allocates a fresh, exactly-sized buffer; only the
-		// patched path above amortizes freeze allocations (dirty-sized
-		// buffers, clean runs spliced by reference). EncodeFrozen, not
-		// EncodeAll: the freeze's reference lists go straight into the new
-		// snapshot, and EncodeAll would re-sort them in place — harmless
-		// today only because they are not published yet, but a write through
-		// frozen state all the same.
-		cells := ix.sc.Cells()
-		kvs := ix.enc.EncodeFrozen(cells)
-		s = &Snapshot{
-			polys:          ix.polys,
-			cells:          ropeFromCells(cells),
-			tree:           act.Build(kvs, ix.opt.delta),
-			table:          ix.enc.Table().Freeze(),
-			opt:            ix.opt,
-			precisionLevel: ix.precisionLevel,
+		var err error
+		if s, err = ix.publishFullGuarded(); err != nil {
+			ix.recoverFailedPublish(prev, roots, all)
+			return nil, err
 		}
+		ix.full++
+		ix.fullNext = false
 	} else {
 		ix.patched++
 	}
 	ix.polysShared = true // the snapshot aliases ix.polys from here on
 	ix.staged = false
 	ix.cur.Store(s)
-	return s
+	return s, nil
+}
+
+// publishIncrementalGuarded runs the incremental publish under a panic
+// guard: a panic anywhere in the patch machinery — injected or real — is
+// recovered and reported as "no incremental result", which sends the caller
+// down the full-freeze path. No explicit journal rollback happens here: the
+// encoder's accounting may be torn mid-patch, but the full freeze's
+// EncodeFrozen resets the encoder (table, refcounts and journal) wholesale
+// before reusing it, and a failed full freeze replaces the encoder
+// entirely. The arena writes of the aborted patch are appends past every
+// published tree's length, so concurrent readers never see them.
+//
+//act:requires mu
+func (ix *Index) publishIncrementalGuarded(prev *Snapshot, roots []cellid.CellID) (s *Snapshot) {
+	defer func() {
+		if r := recover(); r != nil {
+			ix.publishPanics++
+			s = nil
+		}
+	}()
+	return ix.publishIncremental(prev, roots)
+}
+
+// publishFullGuarded runs the inline full freeze under a panic guard,
+// converting a recovered panic into an error for the caller to surface.
+// Nothing published is touched before the guarded section completes: the
+// snapshot is assembled from fresh buffers and only stored by publish()
+// after a nil error.
+//
+//act:requires mu
+func (ix *Index) publishFullGuarded() (s *Snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ix.publishPanics++
+			s, err = nil, fmt.Errorf("actjoin: publish failed: %v", r)
+		}
+	}()
+	fault.MustHit(fault.FullFreeze)
+	// The snapshot takes ownership of the frozen cells (via the rope),
+	// so the full path allocates a fresh, exactly-sized buffer; only the
+	// patched path amortizes freeze allocations (dirty-sized buffers,
+	// clean runs spliced by reference). EncodeFrozen, not EncodeAll: the
+	// freeze's reference lists go straight into the new snapshot, and
+	// EncodeAll would re-sort them in place — harmless today only because
+	// they are not published yet, but a write through frozen state all the
+	// same.
+	cells := ix.sc.Cells()
+	kvs := ix.enc.EncodeFrozen(cells)
+	return &Snapshot{
+		polys:          ix.polys,
+		cells:          ropeFromCells(cells),
+		tree:           act.Build(kvs, ix.opt.delta),
+		table:          ix.enc.Table().Freeze(),
+		opt:            ix.opt,
+		precisionLevel: ix.precisionLevel,
+	}, nil
+}
+
+// recoverFailedPublish rewinds the writer after a publish that produced no
+// snapshot on any path. The published snapshot was never replaced, so
+// readers saw nothing; the writer-side covering is reset to match it using
+// the dirty roots captured before the attempt (the marks themselves were
+// already consumed by TakeDirty, so restore() — which re-takes them — must
+// not be used here). The encoder's table may be torn mid-encode, so it is
+// replaced, and fullNext routes the next publish through the full freeze,
+// which rebuilds consistent encoder state from scratch.
+//
+//act:requires mu
+func (ix *Index) recoverFailedPublish(prev *Snapshot, roots []cellid.CellID, all bool) {
+	ix.enc = cellindex.NewEncoder()
+	ix.fullNext = true
+	if prev == nil {
+		return // first publish: the constructor surfaces the error, the index is never handed out
+	}
+	ix.resetToSnapshot(prev, roots, all)
 }
 
 // publishIncremental serves one publish without a full rebuild, choosing
@@ -387,7 +485,7 @@ func (ix *Index) publishIncremental(prev *Snapshot, roots []cellid.CellID) *Snap
 		arenaCap, tableCap = arenaHardGarbageFraction, tableHardGarbageFraction
 	}
 	if prev.tree.GarbageRatio() > arenaCap || ix.enc.GarbageRatio() > tableCap ||
-		(c == nil && !ix.opt.noBgCompact && len(prev.cells.runs) > ropeCompactRuns) {
+		(c == nil && !ix.bgCompactionOffLocked() && len(prev.cells.runs) > ropeCompactRuns) {
 		switch {
 		case c != nil && c.replayAll:
 			// The in-flight compaction is already poisoned: waiting for its
@@ -398,10 +496,13 @@ func (ix *Index) publishIncremental(prev *Snapshot, roots []cellid.CellID) *Snap
 			// Hard cap: patching may not outrun the compactor any further.
 			// Its build is already under way and needs no lock, so waiting
 			// for it and landing it here is bounded by the build's remaining
-			// time — never worse than the inline rebuild it replaces.
+			// time — never worse than the inline rebuild it replaces. (The
+			// wait holds mu, which is why the compactor's failure path is
+			// lock-free: done closes on every outcome, including quarantine,
+			// and a nil result below falls through to the inline rebuild.)
 			<-c.done
 			return ix.reconcileLocked(c)
-		case ix.opt.noBgCompact:
+		case ix.bgCompactionOffLocked():
 			return nil // compact inline via the full rebuild
 		default:
 			// Soft threshold: publish this mutation as an ordinary patch and
@@ -427,6 +528,16 @@ func (ix *Index) publishIncremental(prev *Snapshot, roots []cellid.CellID) *Snap
 		return ix.reconcileLocked(c)
 	}
 	return s
+}
+
+// bgCompactionOffLocked reports whether background compaction is
+// unavailable — disabled by option, quarantined after repeated failures, or
+// the index is closed. Everywhere it is true the index behaves like
+// WithBackgroundCompaction(false): threshold crossings compact inline.
+//
+//act:requires mu
+func (ix *Index) bgCompactionOffLocked() bool {
+	return ix.opt.noBgCompact || ix.closed || ix.quarantined.Load() != nil
 }
 
 // patchSnapshot assembles a snapshot of the current writer state by patching
@@ -493,6 +604,9 @@ func (ix *Index) patchSnapshot(base *Snapshot, enc *cellindex.Encoder, roots []c
 	regions := make([]act.PatchRegion, len(roots))
 	dirtyOld, dirtyNew := 0, 0
 	for ri, r := range roots {
+		if fault.Hit(fault.RopeSplice) != nil {
+			return abort() // injected splice failure: ordinary patch abort
+		}
 		lo, hi := r.RangeMin(), r.RangeMax()
 		if last := cur.copyBefore(lo, newCells); last != nil && last.ID.RangeMax() >= lo {
 			// A clean cell straddles the region boundary — the dirty-tracking
@@ -540,11 +654,11 @@ func (ix *Index) patchSnapshot(base *Snapshot, enc *cellindex.Encoder, roots []c
 	enc.Commit()
 	// Splice fragmentation: with the background compactor on, crossing
 	// ropeCompactRuns starts a compaction (whose result is a single run)
-	// and the inline flatten is only the distant last resort; with it off,
-	// flatten at the old pre-compactor bound so the escape hatch really
-	// restores the old behaviour.
+	// and the inline flatten is only the distant last resort; with it off
+	// (by option, quarantine or Close), flatten at the old pre-compactor
+	// bound so the degraded index really behaves like the escape hatch.
 	flattenAt := maxCellRuns
-	if ix.opt.noBgCompact {
+	if ix.bgCompactionOffLocked() {
 		flattenAt = ropeCompactRuns
 	}
 	if len(newCells.runs) > flattenAt {
@@ -641,6 +755,17 @@ func (ix *Index) mutablePolys(extraCap int) []*geom.Polygon {
 func (ix *Index) restore() {
 	s := ix.cur.Load()
 	roots, all := ix.sc.TakeDirty()
+	ix.resetToSnapshot(s, roots, all)
+}
+
+// resetToSnapshot rewinds the writer-side state to the snapshot s, given
+// the dirty roots describing how the covering diverged from it. The caller
+// has already consumed the dirty marks (TakeDirty) — transaction aborts
+// take them here in restore, failed publishes captured them before the
+// attempt.
+//
+//act:requires mu
+func (ix *Index) resetToSnapshot(s *Snapshot, roots []cellid.CellID, all bool) {
 	if all || !ix.restoreRegions(s, roots) {
 		// Re-inserting the frozen cells rebuilds every piece of writer-side
 		// state, including the per-polygon cell directory.
@@ -802,6 +927,7 @@ func toProbeParallel(points []Point, threads int, needPts bool) ([]geom.Point, [
 			end = n
 		}
 		wg.Add(1)
+		//act:norecover pure-compute conversion over disjoint caller-owned ranges; a panic is a broken invariant with no state to contain
 		go func(b, e int) {
 			defer wg.Done()
 			convert(b, e)

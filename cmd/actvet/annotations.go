@@ -37,6 +37,9 @@ import (
 //	                          (snapcheck's torn-view rule does not charge it)
 //	//act:allow-alloc <why>   site comment: the allocation on this (or the
 //	                          next) line is accepted, with a reason
+//	//act:norecover <why>     site comment: the go statement on this (or the
+//	                          next) line deliberately launches a goroutine
+//	                          with no recover guard, with a reason
 //	//act:alloc-harness <fn>  test-file marker: an AllocsPerRun case covers fn
 //
 // The mutex name in guarded/requires is resolved lexically: a function
@@ -61,6 +64,7 @@ type annotations struct {
 	pinned       map[types.Object]bool
 	refresh      map[types.Object]bool
 	allowAlloc   map[string]string // "file:line" of the comment -> reason
+	norecover    map[string]string // "file:line" of the comment -> reason
 }
 
 func newAnnotations() *annotations {
@@ -80,6 +84,7 @@ func newAnnotations() *annotations {
 		pinned:       map[types.Object]bool{},
 		refresh:      map[types.Object]bool{},
 		allowAlloc:   map[string]string{},
+		norecover:    map[string]string{},
 	}
 }
 
@@ -128,22 +133,31 @@ func collectAnnotations(l *loader) (*annotations, []diagnostic) {
 			continue
 		}
 		for _, f := range p.files {
-			// allow-alloc is a site-level comment: it may appear anywhere in
-			// a file (typically trailing or directly above the allocation),
-			// so it is collected from the raw comment list by position.
+			// allow-alloc and norecover are site-level comments: they may
+			// appear anywhere in a file (typically trailing or directly
+			// above the allocation or go statement), so they are collected
+			// from the raw comment list by position.
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					rest, ok := strings.CutPrefix(c.Text, "//act:allow-alloc")
-					if !ok {
+					if rest, ok := strings.CutPrefix(c.Text, "//act:allow-alloc"); ok {
+						reason := strings.TrimSpace(rest)
+						if reason == "" {
+							bad(c, "//act:allow-alloc needs a reason")
+							continue
+						}
+						pos := l.position(c.Pos())
+						ann.allowAlloc[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
 						continue
 					}
-					reason := strings.TrimSpace(rest)
-					if reason == "" {
-						bad(c, "//act:allow-alloc needs a reason")
-						continue
+					if rest, ok := strings.CutPrefix(c.Text, "//act:norecover"); ok {
+						reason := strings.TrimSpace(rest)
+						if reason == "" {
+							bad(c, "//act:norecover needs a reason")
+							continue
+						}
+						pos := l.position(c.Pos())
+						ann.norecover[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
 					}
-					pos := l.position(c.Pos())
-					ann.allowAlloc[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
 				}
 			}
 			for _, decl := range f.Decls {
@@ -210,9 +224,9 @@ func applyFuncDirective(ann *annotations, obj types.Object, dir directive, bad f
 		ann.publisher[obj] = true
 	case "guarded", "published", "lock", "pinned":
 		bad(dir.pos, "//act:%s applies to struct fields, not functions", dir.name)
-	case "allow-alloc":
+	case "allow-alloc", "norecover":
 		// Collected positionally from the raw comment list; as a doc
-		// directive it still suppresses an allocation on the next line.
+		// directive it still suppresses a site on the next line.
 	case "alloc-harness":
 		bad(dir.pos, "//act:alloc-harness belongs in a _test.go harness file")
 	default:
@@ -277,7 +291,7 @@ func collectFieldAnnotations(l *loader, ann *annotations, st *ast.StructType, ba
 				}
 			case "requires", "exclusive", "freezer", "mutates", "hotpath", "noalloc", "refresh", "publisher":
 				bad(dir.pos, "//act:%s applies to functions, not struct fields", dir.name)
-			case "allow-alloc":
+			case "allow-alloc", "norecover":
 				// Site-level; collected positionally.
 			case "alloc-harness":
 				bad(dir.pos, "//act:alloc-harness belongs in a _test.go harness file")

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// gocheck enforces the goroutine failure-domain contract: every goroutine
+// must either contain its own panics — a top-level `defer` in the launched
+// function that calls recover (directly, in a deferred literal, or in a
+// deferred call to a function that does) — or carry an explicit
+// //act:norecover <reason> site annotation on (or directly above) the go
+// statement. An unguarded, unannotated goroutine is exactly how a contained
+// subsystem failure escalates to process death: nothing above it on the
+// stack can recover for it.
+//
+// The recover must be installed at the top level of the launched function
+// itself. A recover buried in a conditional, or in a function the goroutine
+// merely calls, does not guard the whole body, so it does not count.
+func gocheck(l *loader, p *pkgData, ann *annotations) []diagnostic {
+	var diags []diagnostic
+	decls := moduleFuncDecls(l)
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// The annotation may trail the go statement's line or sit on
+			// the line directly above it.
+			pos := l.position(g.Pos())
+			if _, ok := ann.norecover[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]; ok {
+				return true
+			}
+			if _, ok := ann.norecover[fmt.Sprintf("%s:%d", pos.Filename, pos.Line-1)]; ok {
+				return true
+			}
+			var desc string
+			switch fun := unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if bodyInstallsRecover(l, decls, fun.Body) {
+					return true
+				}
+				desc = "a func literal"
+			default:
+				callee := l.calleeOf(g.Call)
+				if callee == nil {
+					desc = "a dynamic callee"
+					break
+				}
+				if d, ok := decls[callee]; ok && d.Body != nil && bodyInstallsRecover(l, decls, d.Body) {
+					return true
+				}
+				desc = callee.Name()
+			}
+			diags = append(diags, diagnostic{
+				pos:      pos,
+				analyzer: "gocheck",
+				msg: fmt.Sprintf("go statement launches %s that installs no top-level recover: "+
+					"a panic in it kills the process (defer a recover-and-report, or annotate //act:norecover <reason>)", desc),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// moduleFuncDecls indexes every module-local function declaration by its
+// object, so a `go pkg.Worker(...)` launch can be checked against Worker's
+// own body.
+func moduleFuncDecls(l *loader) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, p := range l.pkgs {
+		if !p.local {
+			continue
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if obj := l.info.Defs[fd.Name]; obj != nil {
+						decls[obj] = fd
+					}
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// bodyInstallsRecover reports whether the function body has a top-level
+// defer that recovers: `defer func() { ... recover() ... }()`, or a deferred
+// call to a module-local function whose body calls recover (which Go's
+// recover semantics accept — the deferred function calls recover directly).
+func bodyInstallsRecover(l *loader, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		if lit, ok := unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			if callsRecover(l, lit.Body) {
+				return true
+			}
+			continue
+		}
+		if callee := l.calleeOf(d.Call); callee != nil {
+			if fd, ok := decls[callee]; ok && fd.Body != nil && callsRecover(l, fd.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether the node contains a call to the recover
+// builtin (not descending into nested function literals, whose recover would
+// belong to a different frame).
+func callsRecover(l *loader, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				if _, isBuiltin := l.objOf(id).(*types.Builtin); isBuiltin || l.objOf(id) == nil {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -5,7 +5,7 @@
 // is never written through, hot probe loops stay allocation-free, and the
 // published-snapshot pointer is swapped only by the publish machinery. Those
 // rules are declared in the source as machine-readable //act: annotations
-// (see docs/ANNOTATIONS.md), and actvet checks them with eight analyzers.
+// (see docs/ANNOTATIONS.md), and actvet checks them with nine analyzers.
 //
 // Per-function checks:
 //
@@ -31,6 +31,10 @@
 //     pointers, slices or maps taken directly from that guarded state.
 //   - doccheck: every package has a package comment and every exported
 //     symbol a doc comment starting with its name.
+//   - gocheck: every go statement launches a function that installs a
+//     top-level recover (panic containment at the goroutine boundary —
+//     nothing above a goroutine on the stack can recover for it) or carries
+//     an //act:norecover <reason> site annotation.
 //
 // Whole-program checks, over a go/types-resolved call graph of the module:
 //
@@ -154,6 +158,7 @@ func vet(cwd string, patterns []string) ([]string, error) {
 		diags = append(diags, hotpath(l, p, ann)...)
 		diags = append(diags, publishcheck(l, p, ann)...)
 		diags = append(diags, doccheck(l, p, ann)...)
+		diags = append(diags, gocheck(l, p, ann)...)
 	}
 	diags = append(diags, lockorder(l, cg, ann)...)
 	diags = append(diags, snapcheck(l, cg, ann)...)

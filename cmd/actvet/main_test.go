@@ -57,6 +57,8 @@ func runFixture(t *testing.T, dir string) {
 		diags = append(diags, publishcheck(l, p, ann)...)
 	case "doccheck":
 		diags = append(diags, doccheck(l, p, ann)...)
+	case "gocheck":
+		diags = append(diags, gocheck(l, p, ann)...)
 	case "lockorder":
 		diags = append(diags, lockorder(l, buildCallGraph(l, ann), ann)...)
 	case "snapcheck":

@@ -1,0 +1,56 @@
+// Package fixture exercises gocheck: goroutines launched without a
+// top-level recover guard and without an //act:norecover annotation.
+package fixture
+
+import "sync"
+
+var wg sync.WaitGroup
+
+func plainWork() { wg.Done() }
+
+// nakedCall launches a declared function whose body installs no recover.
+func nakedCall() {
+	go plainWork() // want `go statement launches plainWork that installs no top-level recover`
+}
+
+// nakedLit launches a bare literal.
+func nakedLit() {
+	go func() { // want `go statement launches a func literal that installs no top-level recover`
+		wg.Done()
+	}()
+}
+
+// deferWithoutRecover defers cleanup, but nothing recovers.
+func deferWithoutRecover() {
+	go func() { // want `installs no top-level recover`
+		defer wg.Done()
+	}()
+}
+
+// nestedRecoverDoesNotCount: the recover lives in a nested literal that is
+// never the deferred frame, so it can never stop an unwind.
+func nestedRecoverDoesNotCount() {
+	go func() { // want `installs no top-level recover`
+		defer func() {
+			f := func() { _ = recover() }
+			_ = f
+		}()
+		wg.Done()
+	}()
+}
+
+// buriedRecoverDoesNotCount: the recover guard is installed conditionally,
+// not at the top level of the launched function.
+func buriedRecoverDoesNotCount(guard bool) {
+	go func() { // want `installs no top-level recover`
+		if guard {
+			defer func() { _ = recover() }()
+		}
+		wg.Done()
+	}()
+}
+
+// dynamicCallee cannot be resolved to a body, so it must be annotated.
+func dynamicCallee(f func()) {
+	go f() // want `go statement launches a dynamic callee that installs no top-level recover`
+}

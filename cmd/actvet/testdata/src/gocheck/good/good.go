@@ -1,0 +1,62 @@
+// Package fixture exercises gocheck's accepted launch patterns: a
+// top-level deferred recover in the launched function (literal or declared,
+// directly or through a deferred reporter call), and the explicit
+// //act:norecover annotation.
+package fixture
+
+import "sync"
+
+var wg sync.WaitGroup
+
+// guardedLit installs the recover inline at the top of the literal.
+func guardedLit() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		wg.Done()
+	}()
+}
+
+// reportPanic is a shared recover-and-report helper; called directly as the
+// deferred function, its recover stops the goroutine's unwind.
+func reportPanic() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+// guardedByHelper defers the reporter itself.
+func guardedByHelper() {
+	go func() {
+		defer reportPanic()
+		wg.Done()
+	}()
+}
+
+// worker is a declared goroutine body with its own top-level guard.
+func worker() {
+	defer wg.Done()
+	defer reportPanic()
+}
+
+// guardedCall launches the self-guarding declared function.
+func guardedCall() {
+	wg.Add(1)
+	go worker()
+}
+
+func leaf() {}
+
+// annotatedAbove carries the site annotation on the line above the launch.
+func annotatedAbove() {
+	//act:norecover leaf touches nothing and a panic escaping the test is wanted
+	go leaf()
+}
+
+// annotatedTrailing carries the site annotation on the launch line itself.
+func annotatedTrailing() {
+	go leaf() //act:norecover leaf touches nothing and a panic escaping the test is wanted
+}

@@ -1,9 +1,15 @@
 package actjoin
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"actjoin/internal/act"
 	"actjoin/internal/cellid"
 	"actjoin/internal/cellindex"
+	"actjoin/internal/fault"
 	"actjoin/internal/supercover"
 )
 
@@ -46,6 +52,16 @@ import (
 // remains the fallback of last resort: bulk mutations, replay overflow, and
 // WithBackgroundCompaction(false), which exists as the differential-test
 // reference and operational escape hatch.
+//
+// Failure domain: the compactor goroutine is fully contained. A panic in
+// the build phase is recovered and retried with capped exponential backoff;
+// a panic in the landing phase is recovered (after the deferred mutex
+// unlock, so the writer is never blocked on a dead goroutine) and the
+// result dropped. After maxCompactorFailures consecutive failures the
+// compactor quarantines itself: no further compactions start, the index
+// degrades to the WithBackgroundCompaction(false) behaviour — inline
+// rebuilds at threshold crossings — and Health() reports Degraded with the
+// cause. Close() cancels any in-flight build and waits for the goroutine.
 
 // Background-compaction tuning. The soft thresholds (arenaMaxGarbageFraction,
 // tableMaxGarbageFraction in actjoin.go) start a compaction; the hard caps
@@ -64,6 +80,33 @@ const (
 	maxReplayRoots            = 1 << 20
 )
 
+// Compactor failure policy: a failed build attempt (recovered panic or
+// injected error) is retried after compactorRetryBase << attempt, capped at
+// compactorRetryCap; maxCompactorFailures consecutive failures — build or
+// landing, without a successful landing in between — quarantine the
+// compactor for the life of the Index.
+const (
+	maxCompactorFailures = 3
+	compactorRetryBase   = 10 * time.Millisecond
+	compactorRetryCap    = time.Second
+)
+
+// compactorBackoff returns the capped exponential delay before retry
+// attempt+1 (attempt counts from 0).
+func compactorBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d <= 0 || d > compactorRetryCap {
+		return compactorRetryCap
+	}
+	return d
+}
+
+// quarantine is the terminal compactor-failure state, published through an
+// atomic pointer so the goroutine can set it without the writer mutex (a
+// writer may be blocked on a build while holding it — see
+// noteCompactorFailure).
+type quarantine struct{ cause error }
+
 // compactionArenaHeadroom returns the spare node capacity a freshly built
 // compaction arena reserves so the first patches after the swap append
 // without a whole-arena growth copy (act.Build sizes arenas exactly).
@@ -79,9 +122,16 @@ func compactionArenaHeadroom(arenaNodes int) int {
 // result until it closes done; base is an immutable published snapshot; the
 // replay field annotations bind the log to the owning index's mutex.
 type compaction struct {
-	base   *Snapshot      //act:pinned — the frozen snapshot the compactor rebuilds from
-	done   chan struct{}  // closed by the goroutine once result is set
-	result *compactResult // written before done closes; read only after <-done
+	base     *Snapshot      //act:pinned — the frozen snapshot the compactor rebuilds from
+	done     chan struct{}  // closed (via finish) once result is settled; read result only after <-done
+	doneOnce sync.Once      // finish closes done exactly once on every terminal path
+	result   *compactResult // set by finish; nil when the build failed or was cancelled
+
+	// cancel tells the build to stop between phases and wakes backoff
+	// sleeps; set (and cancelCh closed) at most once, by
+	// abandonCompactionLocked.
+	cancel   atomic.Bool
+	cancelCh chan struct{}
 
 	// replay collects the dirty roots of every publish since the compaction
 	// started — the regions that must be re-applied to the fresh base before
@@ -93,6 +143,18 @@ type compaction struct {
 	replay      []cellid.CellID //act:guarded mu
 	replayAll   bool            //act:guarded mu
 	coalescedAt int             //act:guarded mu
+}
+
+// finish settles the compaction's terminal state and closes done. Every
+// exit of the compactor goroutine funnels through it — success, failed
+// build, cancellation, even the last-resort panic recovery — because a
+// writer may be blocked on done (the hard-cap wait) with the mutex held:
+// done must close in every outcome, exactly once.
+func (c *compaction) finish(res *compactResult) {
+	c.doneOnce.Do(func() {
+		c.result = res
+		close(c.done)
+	})
 }
 
 // compactResult is the freshly rebuilt state a compaction hands back: a
@@ -139,47 +201,184 @@ func (c *compaction) addReplay(roots []cellid.CellID, all bool) {
 // headroom). It reads only immutable state — the rope's cells and their
 // normalized reference lists are shared with published snapshots and are
 // never written — so it is safe to run concurrently with readers of any
-// snapshot and with the writer patching the old chain.
-func compactBase(base *Snapshot) *compactResult {
+// snapshot and with the writer patching the old chain. cancel (optional)
+// is polled between phases so an abandoned build stops burning CPU;
+// a cancelled build returns nil.
+func compactBase(base *Snapshot, cancel *atomic.Bool) *compactResult {
+	cancelled := func() bool { return cancel != nil && cancel.Load() }
 	cells := base.cells.appendAll(make([]supercover.Cell, 0, base.cells.Len()))
+	if cancelled() {
+		return nil
+	}
 	enc := cellindex.NewEncoder()
 	kvs := enc.AppendFrozenCells(make([]cellindex.KeyEntry, 0, len(cells)), cells)
+	if cancelled() {
+		return nil
+	}
 	tree := act.Build(kvs, base.opt.delta)
 	tree.GrowArena(compactionArenaHeadroom(tree.ArenaNodes()))
 	return &compactResult{cells: ropeFromCells(cells), tree: tree, enc: enc}
 }
 
-// startCompactionLocked launches a background compaction from base (the
-// snapshot the caller just published); there must be no compaction in
-// flight. The publisher annotation covers the landing goroutine below,
-// which swaps the reconciled snapshot in under mu.
-//
-//act:requires mu
-//act:publisher
-func (ix *Index) startCompactionLocked(base *Snapshot) {
-	c := &compaction{base: base, done: make(chan struct{})}
-	ix.compacting = c
-	ix.compactionsStarted++
-	hold := ix.holdCompaction
-	go func() {
-		c.result = compactBase(base)
-		close(c.done)
-		if hold != nil {
-			<-hold // test hook: keep the result pending until released
-		}
-		ix.mu.Lock()
-		defer ix.mu.Unlock()
-		if ix.compacting != c {
-			return // abandoned, or landed by the writer while we built
-		}
-		if s := ix.reconcileLocked(c); s != nil {
-			// The reconciled snapshot is byte-identical to the currently
-			// published one (same cells, same polygons — only the backing
-			// arena, table and rope are fresh), so swapping it in is
-			// invisible to readers and needs no writer involvement.
-			ix.cur.Store(s)
+// buildCompaction runs one guarded build attempt: a panic anywhere in the
+// rebuild — injected or real — is recovered into an error instead of
+// killing the process. The build touches only goroutine-private and frozen
+// state, so a half-done attempt leaves nothing to clean up. res is nil with
+// a nil error when the build observed cancellation and stopped early.
+func buildCompaction(c *compaction) (res *compactResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("compaction build panicked: %v", r)
 		}
 	}()
+	if err := fault.Hit(fault.CompactBuild); err != nil {
+		return nil, err
+	}
+	return compactBase(c.base, &c.cancel), nil
+}
+
+// startCompactionLocked launches a background compaction from base (the
+// snapshot the caller just published); there must be no compaction in
+// flight. A closed or quarantined index starts nothing — its threshold
+// crossings fall back to inline rebuilds.
+//
+//act:requires mu
+func (ix *Index) startCompactionLocked(base *Snapshot) {
+	if ix.closed || ix.quarantined.Load() != nil {
+		return
+	}
+	c := &compaction{base: base, done: make(chan struct{}), cancelCh: make(chan struct{})}
+	ix.compacting = c
+	ix.compactionsStarted++
+	ix.compactorWG.Add(1)
+	go ix.runCompaction(c, ix.holdCompaction, ix.compactRetryBase)
+}
+
+// runCompaction is the compactor goroutine: build (with retries), then
+// land. Both phases recover their own panics; the top-level recover is the
+// last resort for the retry loop itself, quarantining the compactor
+// outright because a failure there means the containment logic — not the
+// build — is broken.
+func (ix *Index) runCompaction(c *compaction, hold chan struct{}, retryBase time.Duration) {
+	defer ix.compactorWG.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			c.finish(nil)
+			ix.forceQuarantine(fmt.Errorf("actjoin: compactor failed outside a guarded phase: %v", r))
+			ix.dropCompaction(c)
+		}
+	}()
+	if retryBase <= 0 {
+		retryBase = compactorRetryBase
+	}
+	var res *compactResult
+	for attempt := 0; ; attempt++ {
+		var err error
+		res, err = buildCompaction(c)
+		if res != nil || c.cancel.Load() {
+			break
+		}
+		if ix.noteCompactorFailure(err) {
+			break // quarantined; landCompaction clears the registration
+		}
+		select {
+		case <-c.cancelCh:
+		case <-time.After(compactorBackoff(retryBase, attempt)):
+		}
+		if c.cancel.Load() {
+			break
+		}
+	}
+	c.finish(res)
+	if hold != nil {
+		<-hold // test hook: keep the result pending until released
+	}
+	ix.landCompaction(c)
+}
+
+// landCompaction tries to swap the finished compaction in, containing any
+// landing failure: the guarded attempt reports a recovered panic as an
+// error, and the cleanup drops the compaction and records the failure. The
+// writer is unaffected beyond losing the compaction — it keeps patching the
+// old chain, and the next threshold crossing starts (or inlines) a fresh
+// one.
+func (ix *Index) landCompaction(c *compaction) {
+	err := ix.landGuarded(c)
+	if err == nil {
+		return
+	}
+	ix.noteCompactorFailure(err)
+	ix.dropCompaction(c)
+}
+
+// dropCompaction deregisters c if it is still the in-flight compaction — the
+// cleanup shared by every compactor failure path that did not reach the
+// reconcile.
+func (ix *Index) dropCompaction(c *compaction) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.compacting == c {
+		ix.compacting = nil
+	}
+}
+
+// landGuarded performs the landing under the writer mutex. The recover
+// runs after the deferred unlock (LIFO), so a panic between build
+// completion and the snapshot swap — the CompactSwap injection point
+// models exactly that window — releases the mutex before it is turned into
+// an error: the writer never blocks on a failed landing, and no
+// half-reconciled snapshot is ever published (reconcileLocked publishes
+// nothing until it returns a fully patched snapshot).
+//
+//act:publisher
+func (ix *Index) landGuarded(c *compaction) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compaction landing panicked: %v", r)
+		}
+	}()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.compacting != c {
+		return nil // abandoned, or landed by the writer while we built
+	}
+	if c.result == nil {
+		ix.compacting = nil // failed or cancelled build; nothing to land
+		return nil
+	}
+	fault.MustHit(fault.CompactSwap)
+	if s := ix.reconcileLocked(c); s != nil {
+		// The reconciled snapshot is byte-identical to the currently
+		// published one (same cells, same polygons — only the backing
+		// arena, table and rope are fresh), so swapping it in is
+		// invisible to readers and needs no writer involvement.
+		ix.cur.Store(s)
+	}
+	return nil
+}
+
+// noteCompactorFailure records one failed build or landing attempt and
+// reports whether the failure count crossed the quarantine threshold. It is
+// deliberately lock-free (atomics only): a writer that reached a hard cap
+// blocks on c.done with mu still in its grip, so the goroutine's failure path must
+// never need the mutex before finish() — taking it here would deadlock the
+// writer against the very failure being recorded.
+func (ix *Index) noteCompactorFailure(err error) bool {
+	ix.compactionsFailed.Add(1)
+	if n := ix.consecCompactFailures.Add(1); n >= maxCompactorFailures {
+		ix.quarantined.CompareAndSwap(nil, &quarantine{cause: fmt.Errorf(
+			"actjoin: background compaction quarantined after %d consecutive failures, last: %w", n, err)})
+		return true
+	}
+	return false
+}
+
+// forceQuarantine quarantines the compactor unconditionally (last-resort
+// containment), keeping the first recorded cause.
+func (ix *Index) forceQuarantine(err error) {
+	ix.compactionsFailed.Add(1)
+	ix.consecCompactFailures.Add(1)
+	ix.quarantined.CompareAndSwap(nil, &quarantine{cause: err})
 }
 
 // reconcileLocked lands a finished compaction: it re-applies the replay log
@@ -189,7 +388,8 @@ func (ix *Index) startCompactionLocked(base *Snapshot) {
 // the fresh layout cannot absorb, replay past its dirty budget) the
 // compaction is abandoned and nil is returned — the caller falls back to
 // the inline rebuild, or simply carries on patching the old chain until the
-// next threshold crossing starts a new compaction.
+// next threshold crossing starts a new compaction. Each failure kind bumps
+// its PublishStats counter.
 //
 //act:requires mu
 func (ix *Index) reconcileLocked(c *compaction) *Snapshot {
@@ -198,6 +398,14 @@ func (ix *Index) reconcileLocked(c *compaction) *Snapshot {
 	}
 	ix.compacting = nil
 	if c.replayAll {
+		ix.replayPoisoned++
+		return nil
+	}
+	if c.result == nil {
+		return nil // failed build landed through the writer's hard-cap wait
+	}
+	if err := fault.Hit(fault.Reconcile); err != nil {
+		ix.reconcileAborts++
 		return nil
 	}
 	res := c.result
@@ -211,18 +419,34 @@ func (ix *Index) reconcileLocked(c *compaction) *Snapshot {
 	}
 	s := ix.patchSnapshot(base, res.enc, supercover.CoalesceRoots(c.replay), reconcileMaxDirtyFraction)
 	if s == nil {
+		ix.reconcileAborts++
 		return nil
 	}
 	ix.enc = res.enc
 	ix.compactionsLanded++
+	ix.consecCompactFailures.Store(0)
 	return s
 }
 
-// abandonCompactionLocked discards any in-flight compaction; the goroutine
-// notices at its swap attempt and drops its result.
+// abandonCompactionLocked discards any in-flight compaction and cancels its
+// build: the goroutine stops at its next phase boundary (or drops its
+// result at the landing check if it already finished). Results discarded
+// because bulk churn poisoned the replay log are counted.
 //
 //act:requires mu
-func (ix *Index) abandonCompactionLocked() { ix.compacting = nil }
+func (ix *Index) abandonCompactionLocked() {
+	c := ix.compacting
+	if c == nil {
+		return
+	}
+	ix.compacting = nil
+	if c.replayAll {
+		ix.replayPoisoned++
+	}
+	if !c.cancel.Swap(true) {
+		close(c.cancelCh)
+	}
+}
 
 // PublishStats reports, per publish path, how many snapshots the index has
 // published, plus the background-compaction cycle counts. Diagnostics: the
@@ -230,6 +454,8 @@ func (ix *Index) abandonCompactionLocked() { ix.compacting = nil }
 // engaging, and CompactionsLanded counts the garbage-collection cycles that
 // ran off the writer's critical path (each one resets arena, table and rope
 // garbage the way an inline Full rebuild would, without the write stall).
+// The failure counters expose the containment machinery: in a healthy index
+// they stay zero.
 type PublishStats struct {
 	// Patched counts publishes served by patching a previous snapshot
 	// (including reconciliations that landed a background compaction).
@@ -242,8 +468,26 @@ type PublishStats struct {
 	CompactionsStarted int
 	// CompactionsLanded counts background compactions whose result was
 	// reconciled and swapped in; started minus landed were abandoned
-	// (superseded by an inline rebuild or poisoned by bulk churn).
+	// (superseded by an inline rebuild, poisoned by bulk churn, or failed).
 	CompactionsLanded int
+	// CompactionsFailed counts compactor build and landing attempts that
+	// panicked or errored; the panic was recovered, the attempt retried or
+	// the result dropped. maxCompactorFailures consecutive failures
+	// quarantine the compactor (Health reports Degraded).
+	CompactionsFailed int
+	// ReconcileAborts counts finished builds whose replay the fresh base
+	// refused (past the reconcile budget, or a region the fresh layout
+	// could not absorb): the result was discarded and the writer carried on
+	// against the old chain.
+	ReconcileAborts int
+	// ReplayPoisoned counts compaction results discarded because a bulk
+	// publish (or replay-log overflow) poisoned the replay log while the
+	// build ran.
+	ReplayPoisoned int
+	// PublishPanics counts writer-side publish attempts that panicked and
+	// were recovered; each fell back to the inline full freeze (or surfaced
+	// an error when the freeze itself failed), never a torn snapshot.
+	PublishPanics int
 }
 
 // PublishStats returns the publish-path counters.
@@ -255,5 +499,9 @@ func (ix *Index) PublishStats() PublishStats {
 		Full:               ix.full,
 		CompactionsStarted: ix.compactionsStarted,
 		CompactionsLanded:  ix.compactionsLanded,
+		CompactionsFailed:  int(ix.compactionsFailed.Load()),
+		ReconcileAborts:    ix.reconcileAborts,
+		ReplayPoisoned:     ix.replayPoisoned,
+		PublishPanics:      ix.publishPanics,
 	}
 }

@@ -26,6 +26,7 @@ package act
 import (
 	"actjoin/internal/cellid"
 	"actjoin/internal/cellindex"
+	"actjoin/internal/fault"
 )
 
 // PatchRegion is one dirty subtree to replace: every cell of the previous
@@ -46,6 +47,12 @@ type PatchRegion struct {
 // the caller must fall back to a full Build. Patches must be chained
 // linearly (each from the latest tree), which the publish mutex guarantees.
 func (t *Tree) Patch(regions []PatchRegion, totalCells int) (nt *Tree, ok bool) {
+	// Injected faults surface as a layout refusal — the failure mode every
+	// caller already falls back from. The point sits before any validation
+	// or write, so a refusal here leaves the arena untouched like any other.
+	if fault.Hit(fault.TreePatch) != nil {
+		return nil, false
+	}
 	type freshFace struct {
 		face int
 		kvs  []cellindex.KeyEntry
@@ -160,6 +167,7 @@ func (t *Tree) GrowArena(extraNodes int) {
 	if extraNodes <= 0 || cap(t.entries)-len(t.entries) >= extraNodes*t.fanout {
 		return
 	}
+	fault.MustHit(fault.ArenaGrow)
 	grown := make([]uint64, len(t.entries), len(t.entries)+extraNodes*t.fanout)
 	copy(grown, t.entries)
 	t.entries = grown

@@ -2,6 +2,7 @@ package cellindex
 
 import (
 	"actjoin/internal/cellid"
+	"actjoin/internal/fault"
 	"actjoin/internal/refs"
 	"actjoin/internal/supercover"
 )
@@ -178,6 +179,7 @@ func (e *Encoder) Release(entry refs.Entry) {
 // until Commit or Rollback is recorded so an abandoned patch can be undone
 // exactly. Panics if a patch is already open — patches never nest.
 func (e *Encoder) Begin() {
+	fault.MustHit(fault.EncoderBegin)
 	if e.journaling {
 		panic("cellindex: Begin with a patch already open")
 	}
@@ -187,6 +189,7 @@ func (e *Encoder) Begin() {
 
 // Commit closes the open patch journal, keeping its effects.
 func (e *Encoder) Commit() {
+	fault.MustHit(fault.EncoderCommit)
 	if !e.journaling {
 		panic("cellindex: Commit without an open patch")
 	}
@@ -201,6 +204,7 @@ func (e *Encoder) Commit() {
 // reference. Table words appended by the aborted patch are thereby counted
 // as garbage, so the compaction thresholds see them.
 func (e *Encoder) Rollback() {
+	fault.MustHit(fault.EncoderRollback)
 	if !e.journaling {
 		panic("cellindex: Rollback without an open patch")
 	}

@@ -1,0 +1,277 @@
+// Package fault is the engine's deterministic fault-injection layer.
+//
+// Failure-prone seams in the write path (arena growth, patch layout
+// refusals, encoder journaling, rope splicing, the compaction
+// build/reconcile/swap sequence, serialization) declare named injection
+// Points. A test enables a Schedule — a set of rules saying "on the Nth hit
+// of point P, return an error (or panic)" — and the instrumented seam
+// misbehaves exactly there, exactly then. The same seed always produces the
+// same schedule, so every chaos failure is replayable.
+//
+// When no schedule is enabled (production, and every test that does not opt
+// in), Hit and MustHit compile down to a single atomic pointer load and a
+// nil check — no map lookups, no locks, no allocation.
+//
+// The injected failures model the real ones: an Error-mode rule stands in
+// for a refused layout or a failed syscall (the seam returns the error
+// through its ordinary path), a Panic-mode rule stands in for a programming
+// error or corrupted invariant (the seam panics with *Injected, and the
+// recovery machinery under test must contain it).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Point names one injection site. Points are registered by the packages
+// that own the seams; the constants below form the engine's registry.
+type Point string
+
+// The engine's injection points. Each names a seam where a real fault —
+// allocation failure, invariant violation, refused layout, I/O error —
+// would surface, and sits exactly where the hardened caller must contain
+// it.
+const (
+	// ArenaGrow fires in act.(*Tree).GrowArena, the whole-arena growth copy
+	// a compaction build performs to reserve patch headroom.
+	ArenaGrow Point = "act/arena-grow"
+	// TreePatch fires at the top of act.(*Tree).Patch; an Error-mode hit is
+	// reported as a layout refusal (Patch returns ok=false), the failure
+	// mode the patch fallback chain already handles.
+	TreePatch Point = "act/tree-patch"
+	// EncoderBegin, EncoderCommit and EncoderRollback fire in the
+	// cellindex.Encoder journal operations that bracket every patch.
+	EncoderBegin    Point = "cellindex/encoder-begin"
+	EncoderCommit   Point = "cellindex/encoder-commit"
+	EncoderRollback Point = "cellindex/encoder-rollback"
+	// RopeSplice fires per dirty region inside patchSnapshot's splice loop;
+	// an Error-mode hit aborts the patch through the ordinary rollback.
+	RopeSplice Point = "actjoin/rope-splice"
+	// FullFreeze fires at the start of the inline full-freeze publish path
+	// — the fallback of last resort, so a fault here surfaces as an error
+	// from the mutation that triggered the publish.
+	FullFreeze Point = "actjoin/full-freeze"
+	// CompactBuild fires at the start of each background compaction build
+	// attempt, before any rebuild work.
+	CompactBuild Point = "actjoin/compact-build"
+	// Reconcile fires at the start of reconcileLocked, after the in-flight
+	// compaction has been detached; an Error-mode hit abandons the finished
+	// build.
+	Reconcile Point = "actjoin/reconcile"
+	// CompactSwap fires in the landing path between build completion and
+	// the snapshot swap, with the writer mutex held.
+	CompactSwap Point = "actjoin/compact-swap"
+	// SerializeWrite and SerializeRead fire at the top of Index.WriteTo and
+	// ReadIndexFrom; Error-mode hits surface as ordinary I/O errors.
+	SerializeWrite Point = "actjoin/serialize-write"
+	SerializeRead  Point = "actjoin/serialize-read"
+)
+
+// Points returns the engine's injection-point registry, for schedules that
+// want to cover every seam (chaos tests).
+func Points() []Point {
+	return []Point{
+		ArenaGrow, TreePatch,
+		EncoderBegin, EncoderCommit, EncoderRollback,
+		RopeSplice, FullFreeze,
+		CompactBuild, Reconcile, CompactSwap,
+		SerializeWrite, SerializeRead,
+	}
+}
+
+// Mode selects how a matched rule misbehaves.
+type Mode uint8
+
+const (
+	// Error makes Hit return an *Injected error; MustHit still panics (the
+	// seams using it have no error return to deliver one through).
+	Error Mode = iota
+	// Panic makes both Hit and MustHit panic with *Injected.
+	Panic
+)
+
+// String returns "error" or "panic".
+func (m Mode) String() string {
+	if m == Panic {
+		return "panic"
+	}
+	return "error"
+}
+
+// Injected is the error (and panic value) an injection point delivers. The
+// hardened layers recover or propagate it like any other failure; tests
+// assert on it with errors.As.
+type Injected struct {
+	Point Point // the seam that fired
+	Hit   int   // 1-based hit count at which the rule matched
+	Mode  Mode  // how the fault was delivered
+}
+
+// Error implements the error interface.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (hit %d)", e.Mode, e.Point, e.Hit)
+}
+
+// Rule arms one injection point: starting at the Nth hit (1-based), the
+// next Times hits misbehave in the given Mode. Times <= 0 means once;
+// Forever means every hit from the Nth on.
+type Rule struct {
+	Point Point
+	Nth   int
+	Times int
+	Mode  Mode
+}
+
+// Forever, as a Rule.Times, fires the rule on every hit from the Nth on.
+const Forever = -1
+
+// matches reports whether the rule fires on the given 1-based hit count.
+func (r Rule) matches(hit int) bool {
+	if hit < r.Nth {
+		return false
+	}
+	if r.Times == Forever {
+		return true
+	}
+	times := r.Times
+	if times <= 0 {
+		times = 1
+	}
+	return hit < r.Nth+times
+}
+
+// Schedule is one armed set of rules with per-point hit counters. A
+// Schedule is safe for concurrent use (seams fire from the writer and the
+// compactor goroutine alike) and is deterministic for a deterministic
+// sequence of hits per point.
+type Schedule struct {
+	// mu guards the hit counters and the fired log. It is a leaf lock: no
+	// code ever acquires another lock while holding it.
+	mu    sync.Mutex       //act:lock faultmu
+	rules map[Point][]Rule // immutable after NewSchedule
+	hits  map[Point]int    //act:guarded mu
+	fired []Injected       //act:guarded mu
+}
+
+// NewSchedule builds a schedule from rules. Multiple rules may arm the same
+// point; the first match wins.
+func NewSchedule(rules ...Rule) *Schedule {
+	s := &Schedule{rules: make(map[Point][]Rule), hits: make(map[Point]int)}
+	for _, r := range rules {
+		s.rules[r.Point] = append(s.rules[r.Point], r)
+	}
+	return s
+}
+
+// RandomSchedule derives a schedule from seed: n rules over the given
+// points (the full registry when points is nil), each arming a hit in
+// [1, maxNth] and panicking with probability panicFraction. Identical
+// arguments yield identical schedules, so a failing chaos seed replays
+// exactly.
+func RandomSchedule(seed int64, points []Point, n, maxNth int, panicFraction float64) *Schedule {
+	if points == nil {
+		points = Points()
+	}
+	if maxNth < 1 {
+		maxNth = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rules := make([]Rule, n)
+	for i := range rules {
+		mode := Error
+		if rng.Float64() < panicFraction {
+			mode = Panic
+		}
+		rules[i] = Rule{
+			Point: points[rng.Intn(len(points))],
+			Nth:   1 + rng.Intn(maxNth),
+			Times: 1 + rng.Intn(2),
+			Mode:  mode,
+		}
+	}
+	return NewSchedule(rules...)
+}
+
+// Fired returns a copy of the log of faults this schedule delivered, in
+// order, so tests can assert a schedule actually engaged.
+func (s *Schedule) Fired() []Injected {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Injected(nil), s.fired...)
+}
+
+// Hits returns how many times the point has been reached (matched or not)
+// while this schedule was active.
+func (s *Schedule) Hits(p Point) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits[p]
+}
+
+// hit records one arrival at p and returns the injected fault, if any.
+func (s *Schedule) hit(p Point) *Injected {
+	rules := s.rules[p]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits[p]++
+	n := s.hits[p]
+	for _, r := range rules {
+		if r.matches(n) {
+			inj := Injected{Point: p, Hit: n, Mode: r.Mode}
+			s.fired = append(s.fired, inj)
+			return &inj
+		}
+	}
+	return nil
+}
+
+// active is the enabled schedule; nil (the steady state) short-circuits
+// every injection point to one atomic load.
+var active atomic.Pointer[Schedule]
+
+// Enable arms the schedule globally. Tests must Disable before finishing
+// (t.Cleanup(fault.Disable)) and must not run in parallel with other
+// schedule users — the injection layer is process-global on purpose, so
+// instrumented seams stay free of plumbed-through handles.
+func Enable(s *Schedule) { active.Store(s) }
+
+// Disable disarms injection; every point reverts to the zero-cost path.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a schedule is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit fires the injection point: it returns nil almost always, an
+// *Injected error when an Error-mode rule matches, and panics with
+// *Injected when a Panic-mode rule matches. Seams with an error path call
+// it as `if err := fault.Hit(p); err != nil { ... }`.
+func Hit(p Point) error {
+	s := active.Load()
+	if s == nil {
+		return nil
+	}
+	inj := s.hit(p)
+	if inj == nil {
+		return nil
+	}
+	if inj.Mode == Panic {
+		panic(inj)
+	}
+	return inj
+}
+
+// MustHit fires the injection point at a seam with no error return:
+// any matched rule — Error or Panic mode — panics with *Injected, and the
+// containment under test must recover it.
+func MustHit(p Point) {
+	s := active.Load()
+	if s == nil {
+		return
+	}
+	if inj := s.hit(p); inj != nil {
+		panic(inj)
+	}
+}

@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() = true with no schedule")
+	}
+	if err := Hit(TreePatch); err != nil {
+		t.Fatalf("Hit with no schedule = %v", err)
+	}
+	MustHit(TreePatch) // must not panic
+}
+
+func TestErrorRuleFiresOnNthHit(t *testing.T) {
+	s := NewSchedule(Rule{Point: TreePatch, Nth: 3, Mode: Error})
+	Enable(s)
+	t.Cleanup(Disable)
+
+	for i := 1; i <= 5; i++ {
+		err := Hit(TreePatch)
+		if i == 3 {
+			var inj *Injected
+			if !errors.As(err, &inj) {
+				t.Fatalf("hit %d: err = %v, want *Injected", i, err)
+			}
+			if inj.Point != TreePatch || inj.Hit != 3 || inj.Mode != Error {
+				t.Fatalf("hit %d: injected = %+v", i, inj)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: err = %v, want nil", i, err)
+		}
+	}
+	if got := s.Hits(TreePatch); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+	if fired := s.Fired(); len(fired) != 1 || fired[0].Point != TreePatch {
+		t.Fatalf("Fired = %v, want one TreePatch fault", fired)
+	}
+}
+
+func TestTimesAndForever(t *testing.T) {
+	s := NewSchedule(
+		Rule{Point: RopeSplice, Nth: 2, Times: 2, Mode: Error},
+		Rule{Point: Reconcile, Nth: 4, Times: Forever, Mode: Error},
+	)
+	Enable(s)
+	t.Cleanup(Disable)
+
+	var spliceErrs, reconcileErrs int
+	for i := 0; i < 8; i++ {
+		if Hit(RopeSplice) != nil {
+			spliceErrs++
+		}
+		if Hit(Reconcile) != nil {
+			reconcileErrs++
+		}
+	}
+	if spliceErrs != 2 {
+		t.Fatalf("splice errors = %d, want 2 (hits 2 and 3)", spliceErrs)
+	}
+	if reconcileErrs != 5 {
+		t.Fatalf("reconcile errors = %d, want 5 (hits 4..8)", reconcileErrs)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Enable(NewSchedule(Rule{Point: CompactBuild, Nth: 1, Mode: Panic}))
+	t.Cleanup(Disable)
+
+	recovered := func(fn func()) (inj *Injected) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			var ok bool
+			if inj, ok = r.(*Injected); !ok {
+				panic(r)
+			}
+		}()
+		fn()
+		return nil
+	}
+
+	if inj := recovered(func() { Hit(CompactBuild) }); inj == nil {
+		t.Fatal("Hit did not panic in Panic mode")
+	}
+
+	// MustHit panics even for Error-mode rules.
+	Enable(NewSchedule(Rule{Point: CompactSwap, Nth: 1, Mode: Error}))
+	if inj := recovered(func() { MustHit(CompactSwap) }); inj == nil {
+		t.Fatal("MustHit did not panic on an Error-mode rule")
+	}
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	a := RandomSchedule(42, nil, 8, 10, 0.5)
+	b := RandomSchedule(42, nil, 8, 10, 0.5)
+	for _, p := range Points() {
+		ra, rb := a.rules[p], b.rules[p]
+		if len(ra) != len(rb) {
+			t.Fatalf("point %s: %d vs %d rules for the same seed", p, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("point %s rule %d: %+v vs %+v", p, i, ra[i], rb[i])
+			}
+		}
+	}
+	if c := RandomSchedule(43, nil, 8, 10, 0.5); len(c.rules) == 0 {
+		t.Fatal("empty random schedule")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	s := NewSchedule(Rule{Point: ArenaGrow, Nth: 50, Mode: Error})
+	Enable(s)
+	t.Cleanup(Disable)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := 0
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if Hit(ArenaGrow) != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Hits(ArenaGrow); got != 100 {
+		t.Fatalf("Hits = %d, want 100", got)
+	}
+	if errs != 1 {
+		t.Fatalf("errors = %d, want exactly 1 (hit 50)", errs)
+	}
+}

@@ -169,6 +169,7 @@ func runBatch(idx cellindex.Index, table *refs.Table, pts []geom.Point, cells []
 		var wg sync.WaitGroup
 		for _, w := range workers {
 			wg.Add(1)
+			//act:norecover pure-compute probe worker over frozen state; a panic is a broken invariant with no state to contain
 			go func(w *batchWorker) {
 				defer wg.Done()
 				for {

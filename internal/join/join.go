@@ -115,6 +115,7 @@ func parallelRun(n, numPolys, threads int, body func(i int, l *local)) Result {
 	for w := 0; w < threads; w++ {
 		locals[w] = &local{counts: make([]int64, numPolys)}
 		wg.Add(1)
+		//act:norecover pure-compute join worker over frozen state; a panic is a broken invariant with no state to contain
 		go func(l *local) {
 			defer wg.Done()
 			for {

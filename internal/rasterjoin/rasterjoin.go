@@ -159,6 +159,7 @@ func Run(polys []*geom.Polygon, pts []geom.Point, opt Options) Result {
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//act:norecover pure-compute tile worker over goroutine-private rasters; a panic is a broken invariant with no state to contain
 		go func() {
 			defer wg.Done()
 			r := newTileRaster(opt.MaxTextureSize)

@@ -288,6 +288,7 @@ func computeCoverings(polys []*geom.Polygon, opt Options) (coverings, interiors 
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//act:norecover pure-compute covering worker writing disjoint slots; a panic is a broken invariant with no state to contain
 		go func() {
 			defer wg.Done()
 			for i := range next {

@@ -1,0 +1,90 @@
+package actjoin
+
+import "errors"
+
+// Index lifecycle and health reporting.
+//
+// An Index owns at most one background goroutine — the compactor — and
+// Close gives it a real shutdown: cancel the in-flight build, wait for the
+// goroutine to drain, and refuse further mutations. Health exposes the
+// degradation ladder the failure containment in compaction.go steps down:
+// Healthy (everything on), Degraded (the compactor quarantined itself after
+// repeated failures; publishes continue inline), Closed.
+
+// ErrClosed is returned by mutations (Add, Remove, Apply) on an Index that
+// has been Close()d.
+var ErrClosed = errors.New("actjoin: index closed")
+
+// HealthState classifies an Index's degradation level; see Health.
+type HealthState uint8
+
+const (
+	// Healthy: every subsystem is operating, including background
+	// compaction (unless disabled by option).
+	Healthy HealthState = iota
+	// Degraded: the background compactor quarantined itself after repeated
+	// failures. The index stays fully functional — mutations, queries and
+	// publishes all work — but threshold crossings now compact inline on
+	// the writer (the WithBackgroundCompaction(false) behaviour), so write
+	// tail latency grows with the covering.
+	Degraded
+	// Closed: Close was called. Queries on previously obtained snapshots
+	// (and Current) keep working; mutations fail with ErrClosed.
+	Closed
+)
+
+// String returns the state name.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Closed:
+		return "closed"
+	}
+	return "unknown"
+}
+
+// Health reports an Index's degradation state; Cause is nil when Healthy,
+// the quarantine cause when Degraded, and ErrClosed when Closed.
+type Health struct {
+	State HealthState
+	Cause error
+}
+
+// Health reports whether the index is operating at full capability. A
+// Degraded index has lost background compaction (the cause says why) but
+// remains correct and usable; operators alert on it the way they would on
+// a stuck LSM compactor.
+func (ix *Index) Health() Health {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return Health{State: Closed, Cause: ErrClosed}
+	}
+	if q := ix.quarantined.Load(); q != nil {
+		return Health{State: Degraded, Cause: q.cause}
+	}
+	return Health{State: Healthy}
+}
+
+// Close shuts the index down: it cancels any in-flight background
+// compaction, waits for the compactor goroutine to drain, and marks the
+// index closed so further mutations fail with ErrClosed. Close is
+// idempotent and safe to call concurrently with everything else; queries
+// against Current() and previously obtained snapshots remain valid after
+// it (snapshots are immutable and own every structure they reach). It
+// implements io.Closer; the error is always nil.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	if !ix.closed {
+		ix.closed = true
+		ix.abandonCompactionLocked()
+	}
+	ix.mu.Unlock()
+	// Wait outside mu: the goroutine's landing phase takes the mutex to
+	// deregister itself.
+	ix.compactorWG.Wait()
+	return nil
+}

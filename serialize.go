@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"actjoin/internal/cellid"
+	"actjoin/internal/fault"
 	"actjoin/internal/geom"
 	"actjoin/internal/refs"
 	"actjoin/internal/supercover"
@@ -53,6 +54,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.Current().Write
 // WriteTo serializes the snapshot. It implements io.WriterTo and is safe to
 // run concurrently with mutations on the owning Index.
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	if err := fault.Hit(fault.SerializeWrite); err != nil {
+		return 0, err
+	}
 	var body []byte
 	body = binary.LittleEndian.AppendUint32(body, uint32(s.opt.delta))
 	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(s.opt.precisionMeters))
@@ -112,6 +116,9 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 //
 //act:exclusive
 func ReadIndexFrom(r io.Reader) (*Index, error) {
+	if err := fault.Hit(fault.SerializeRead); err != nil {
+		return nil, err
+	}
 	br := bufio.NewReader(r)
 	head := make([]byte, 4+8)
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -138,15 +145,25 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 	precision := math.Float64frombits(d.u64())
 	precisionLevel := int(d.u32())
 
+	// Every count below is validated against the input actually left before
+	// anything is allocated from it: a hostile header can claim 2^26
+	// vertices in a 30-byte file, and the per-item minimum sizes turn each
+	// claim into a cheap upper bound on what the remaining bytes could hold.
 	numPolys := int(d.u32())
 	if d.err != nil || numPolys < 0 || numPolys > MaxPolygons {
 		return nil, fmt.Errorf("actjoin: corrupt polygon count")
+	}
+	if numPolys*4 > d.remaining() {
+		return nil, fmt.Errorf("actjoin: polygon count %d exceeds remaining input (%d bytes)", numPolys, d.remaining())
 	}
 	polys := make([]*geom.Polygon, 0, numPolys)
 	for i := 0; i < numPolys; i++ {
 		numRings := int(d.u32())
 		if d.err != nil || numRings < 0 || numRings > 1<<20 {
 			return nil, fmt.Errorf("actjoin: polygon %d: corrupt ring count", i)
+		}
+		if numRings*4 > d.remaining() {
+			return nil, fmt.Errorf("actjoin: polygon %d: ring count %d exceeds remaining input (%d bytes)", i, numRings, d.remaining())
 		}
 		if numRings == 0 {
 			polys = append(polys, nil) // tombstone of a removed polygon
@@ -157,6 +174,9 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 			numVerts := int(d.u32())
 			if d.err != nil || numVerts < 3 || numVerts > 1<<26 {
 				return nil, fmt.Errorf("actjoin: polygon %d ring %d: corrupt vertex count", i, ri)
+			}
+			if numVerts*16 > d.remaining() {
+				return nil, fmt.Errorf("actjoin: polygon %d ring %d: vertex count %d exceeds remaining input (%d bytes)", i, ri, numVerts, d.remaining())
 			}
 			ring := make(geom.Ring, numVerts)
 			for vi := 0; vi < numVerts; vi++ {
@@ -175,6 +195,13 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 	}
 
 	numCells := int(d.u64())
+	if d.err != nil || numCells < 0 {
+		return nil, fmt.Errorf("actjoin: corrupt cell count")
+	}
+	// Minimum cell record: 8-byte id + 4-byte ref count + one 4-byte ref.
+	if numCells > d.remaining()/16 {
+		return nil, fmt.Errorf("actjoin: cell count %d exceeds remaining input (%d bytes)", numCells, d.remaining())
+	}
 	sc := supercover.New()
 	rbuf := make([]refs.Ref, 0, 8)
 	for i := 0; i < numCells; i++ {
@@ -182,6 +209,9 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 		numRefs := int(d.u32())
 		if d.err != nil || numRefs <= 0 || numRefs > 1<<24 {
 			return nil, fmt.Errorf("actjoin: cell %d: corrupt ref count", i)
+		}
+		if numRefs*4 > d.remaining() {
+			return nil, fmt.Errorf("actjoin: cell %d: ref count %d exceeds remaining input (%d bytes)", i, numRefs, d.remaining())
 		}
 		if !id.IsValid() {
 			return nil, fmt.Errorf("actjoin: cell %d: invalid cell id", i)
@@ -208,7 +238,9 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 		opt:            options{delta: delta, precisionMeters: precision, coveringCells: 128, interiorCells: 256},
 		precisionLevel: precisionLevel,
 	}
-	ix.publish()
+	if _, err := ix.publish(); err != nil {
+		return nil, err
+	}
 	return ix, nil
 }
 
@@ -217,6 +249,10 @@ type decoder struct {
 	buf []byte
 	err error
 }
+
+// remaining returns the unread byte count, for validating claimed record
+// counts before allocating for them.
+func (d *decoder) remaining() int { return len(d.buf) }
 
 func (d *decoder) u32() uint32 {
 	if d.err != nil || len(d.buf) < 4 {

@@ -37,14 +37,24 @@ var ErrRemoved = errors.New("actjoin: polygon already removed")
 // covering, conflict resolution and — when the index has a precision bound
 // — boundary refinement scoped to the covering's cells, so queries keep
 // their exactness and precision guarantees.
+//
+// On a publish failure (a catastrophic freeze error; see publish) the add
+// is rolled back — the id is void, the published snapshot unchanged, and
+// the writer remains usable — and the error is returned. Add on a closed
+// index returns ErrClosed.
 func (ix *Index) Add(p Polygon) (PolygonID, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.closed {
+		return 0, ErrClosed
+	}
 	id, err := ix.addLocked(p)
 	if err != nil {
 		return 0, err
 	}
-	ix.publish()
+	if _, err := ix.publish(); err != nil {
+		return 0, err
+	}
 	return id, nil
 }
 
@@ -122,13 +132,21 @@ func equatorNearestLat(r geom.Rect) float64 {
 // both the removal and the incremental publish that follows touch only those
 // cells (see FootprintCells; WithWalkRemoval forces the old full-walk
 // behaviour).
+//
+// Like Add, a failed publish rolls the removal back and returns the error;
+// a closed index returns ErrClosed.
 func (ix *Index) Remove(id PolygonID) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.closed {
+		return ErrClosed
+	}
 	if err := ix.removeLocked(id); err != nil {
 		return err
 	}
-	ix.publish()
+	if _, err := ix.publish(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -171,11 +189,22 @@ type TrainStats struct {
 // PIP test splits that cell one level, until maxCells (0 = unlimited) is
 // reached, then publishes a new snapshot. Queries keep running against the
 // previous snapshot until the publish.
+//
+// Training is advisory, so failures degrade to a no-op rather than an
+// error: on a closed index, or when the publish fails (the training pass is
+// rolled back with it), Train returns zero TrainStats and the index is
+// unchanged.
 func (ix *Index) Train(points []Point, maxCells int) TrainStats {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.closed {
+		return TrainStats{}
+	}
 	st := ix.trainLocked(points, maxCells)
-	s := ix.publish()
+	s, err := ix.publish()
+	if err != nil {
+		return TrainStats{}
+	}
 	st.NumCells = s.cells.Len()
 	return st
 }
@@ -249,6 +278,9 @@ func (tx *Tx) Train(points []Point, maxCells int) TrainStats {
 func (ix *Index) Apply(fn func(tx *Tx) error) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.closed {
+		return ErrClosed
+	}
 	tx := Tx{ix: ix}
 	committed := false
 	defer func() {
@@ -257,7 +289,9 @@ func (ix *Index) Apply(fn func(tx *Tx) error) error {
 		// the staged writer state so the aborted batch can never leak
 		// into a later publish. A transaction that staged nothing (e.g.
 		// its first Add failed validation) has nothing to discard, and
-		// skips the O(index) state rebuild.
+		// skips the O(index) state rebuild. (A failed publish already
+		// rewound the writer and cleared staged, so this defer stays a
+		// no-op on that path.)
 		tx.ix = nil
 		if !committed && ix.staged {
 			ix.restore()
@@ -266,7 +300,9 @@ func (ix *Index) Apply(fn func(tx *Tx) error) error {
 	if err := fn(&tx); err != nil {
 		return err
 	}
-	ix.publish()
+	if _, err := ix.publish(); err != nil {
+		return err
+	}
 	committed = true
 	return nil
 }
