@@ -244,11 +244,9 @@ func (*noCopy) Unlock() {}
 //
 //act:exclusive
 func NewIndex(polygons []Polygon, opts ...Option) (*Index, error) {
-	o := options{delta: act.Delta4, coveringCells: 128, interiorCells: 256}
-	for _, fn := range opts {
-		if err := fn(&o); err != nil {
-			return nil, err
-		}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	if len(polygons) == 0 {
 		return nil, errors.New("actjoin: no polygons")
@@ -283,6 +281,18 @@ func NewIndex(polygons []Polygon, opts ...Option) (*Index, error) {
 		return nil, err
 	}
 	return ix, nil
+}
+
+// buildOptions folds the option list over the package defaults (shared by
+// NewIndex and NewShardedIndex).
+func buildOptions(opts []Option) (options, error) {
+	o := options{delta: act.Delta4, coveringCells: 128, interiorCells: 256}
+	for _, fn := range opts {
+		if err := fn(&o); err != nil {
+			return options{}, err
+		}
+	}
+	return o, nil
 }
 
 func toGeom(p Polygon) (*geom.Polygon, error) {
@@ -782,6 +792,36 @@ func (ix *Index) resetToSnapshot(s *Snapshot, roots []cellid.CellID, all bool) {
 	ix.polys = s.polys
 	ix.polysShared = true
 	ix.staged = false
+}
+
+// rewindTo force-rewinds one shard of a ShardedIndex to a previously
+// published snapshot, un-publishing whatever landed since: the writer-side
+// state is rebuilt from s's frozen cells and s itself is re-stored as the
+// current snapshot. It exists for the cross-shard rollback path — when a
+// multi-shard commit fails partway, the shards that already published their
+// part must take it back so the composed view never exposes a partial
+// batch. (The rolled-back snapshots stay valid for readers that pinned
+// them; the composed reader never completes a pin inside the commit's
+// generation window, so it never observes the partial state.)
+//
+// Unlike restore, the writer here is *ahead* of s — its dirty marks were
+// consumed by the successful publish — so the region-scoped undo cannot
+// express the rewind and the covering is rebuilt wholesale. The cost is
+// O(shard), acceptable for a rare failure path. Any in-flight compaction is
+// abandoned (its base may descend from the un-published snapshot) and the
+// encoder is replaced: the next publish takes the full-freeze path, which
+// rebuilds consistent encoder state from scratch.
+//
+//act:publisher
+func (ix *Index) rewindTo(s *Snapshot) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.abandonCompactionLocked()
+	ix.enc = cellindex.NewEncoder()
+	ix.fullNext = true
+	ix.sc.TakeDirty() // drop stale marks; the reset below rebuilds from scratch
+	ix.resetToSnapshot(s, nil, true)
+	ix.cur.Store(s)
 }
 
 // restoreRegions resets every dirty subtree from the snapshot's frozen

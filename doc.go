@@ -36,6 +36,19 @@
 //     that delegate to Current(); consecutive calls through them may
 //     observe different snapshots while writers are active.
 //
+// For multi-core deployments, ShardedIndex partitions the covering into
+// contiguous cell-id ranges, each served by an independent shard (a
+// complete Index with its own writer mutex and background compactor), so
+// writers on different shards publish concurrently and shard failures
+// are isolated (Health reports per-shard state; ShardOf maps a point to
+// its failure domain). Its Current returns a ShardedSnapshot — a
+// generation-consistent cut across all shards taken under a seqlock, so
+// a composed view never observes half of a cross-shard Apply or Train —
+// with the same read surface and byte-identical WriteTo output as an
+// unsharded index over the same polygons. Lock order is
+// registry > commit lock > one shard's mutex; no path holds two shards'
+// mutexes at once.
+//
 // Publishes are incremental by default: a mutation patches the previous
 // snapshot (splicing clean cell runs, delta-encoding only dirty regions,
 // copy-on-write patching of the trie arena), so its latency is

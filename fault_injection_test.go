@@ -1,6 +1,7 @@
 package actjoin
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -780,6 +781,406 @@ func TestNoGoroutineLeakAcrossLifecycles(t *testing.T) {
 		}
 		waitForGoroutines(t, base)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharded failure domains: a shard is its own failure domain. A quarantined
+// compactor degrades its shard (and the composed health) without touching its
+// siblings; a fault in the middle of a cross-shard commit rewinds every shard
+// that had already published; and the randomized chaos schedule — which now
+// includes the ShardCommit seam — must leave every shard byte-identical to a
+// from-scratch freeze and the composed stream round-trippable.
+
+// shardedChaosIndex builds the two-cluster sharded fixture the shard chaos
+// tests share: two well-separated polygon clusters give the router a split it
+// cannot miss, and the tight covering budgets make per-shard compaction
+// thresholds reachable in tens of mutations.
+func shardedChaosIndex(t *testing.T, rng *rand.Rand) (*ShardedIndex, []Polygon) {
+	t.Helper()
+	var polys []Polygon
+	for i := 0; i < 20; i++ {
+		polys = append(polys, clusterSquare(rng, 0), clusterSquare(rng, 1))
+	}
+	// Exactly two shards: the median split point falls between the clusters,
+	// so each cluster maps entirely onto one shard and cluster-targeted churn
+	// exercises exactly one failure domain. (More shards would subdivide the
+	// clusters themselves.)
+	six, err := NewShardedIndex(polys, 2, WithCoveringBudget(8, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six.NumShards() != 2 {
+		t.Fatalf("two-cluster fixture produced %d shard(s), want 2", six.NumShards())
+	}
+	for _, sh := range six.shards {
+		setRetryBase(sh, time.Millisecond)
+	}
+	return six, polys
+}
+
+// polyCenter returns the center of one of the axis-aligned test squares.
+func polyCenter(p Polygon) Point {
+	r := p.Exterior
+	return Point{Lon: (r[0].Lon + r[2].Lon) / 2, Lat: (r[0].Lat + r[2].Lat) / 2}
+}
+
+// shardOwning returns the shard whose key range holds p, found by probing the
+// per-shard snapshots: the covering is disjoint and ranges contiguous, so
+// exactly one shard answers for any covered point.
+func shardOwning(t *testing.T, six *ShardedIndex, p Point) int {
+	t.Helper()
+	for si, sh := range six.Current().shards {
+		if len(sh.Covers(p)) > 0 {
+			return si
+		}
+	}
+	t.Fatalf("no shard covers (%v, %v)", p.Lon, p.Lat)
+	return -1
+}
+
+// TestShardQuarantineIsolation panics every compactor build while churning
+// exactly one shard's key range: that shard must quarantine itself, the
+// composed Health must report the degradation with per-shard attribution, the
+// sibling shards must keep publishing unharmed — and once faults clear, every
+// shard (including the degraded one) must rebuild byte-identically.
+func TestShardQuarantineIsolation(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(91))
+	six, polys := shardedChaosIndex(t, rng)
+	target := shardOwning(t, six, polyCenter(polys[0]))  // polys[0] is in cluster 0
+	sibling := shardOwning(t, six, polyCenter(polys[1])) // polys[1] is in cluster 1
+	if target == sibling {
+		t.Fatalf("both clusters landed on shard %d; the fixture must split them", target)
+	}
+
+	fault.Enable(fault.NewSchedule(fault.Rule{
+		Point: fault.CompactBuild, Nth: 1, Times: fault.Forever, Mode: fault.Panic,
+	}))
+	t.Cleanup(fault.Disable)
+
+	// Churn only cluster 0: every compaction the fault can reach belongs to
+	// the target shard, so only it can quarantine.
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; six.shards[target].Health().State != Degraded; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("target shard never quarantined after %d churn ops: %+v",
+				i, six.shards[target].PublishStats())
+		}
+		id, err := six.Add(clusterSquare(rng, 0))
+		if err != nil {
+			t.Fatalf("churn %d: Add: %v", i, err)
+		}
+		if err := six.Remove(id); err != nil {
+			t.Fatalf("churn %d: Remove(%d): %v", i, id, err)
+		}
+	}
+	fault.Disable()
+	waitForSettled(t, six.shards[target])
+
+	h := six.Health()
+	if h.State != Degraded || h.Cause == nil {
+		t.Fatalf("composed Health = %+v, want Degraded with the shard's cause", h)
+	}
+	if len(h.Shards) != six.NumShards() {
+		t.Fatalf("Health reports %d shards, want %d", len(h.Shards), six.NumShards())
+	}
+	for si, sh := range h.Shards {
+		if si == target {
+			if sh.State != Degraded || sh.Cause == nil {
+				t.Fatalf("target shard %d Health = %+v, want Degraded with cause", si, sh)
+			}
+		} else if sh.State != Healthy {
+			t.Fatalf("shard %d dragged to %v by shard %d's quarantine", si, sh.State, target)
+		}
+	}
+
+	// The sibling's failure domain is untouched: it keeps publishing with no
+	// failures while the target stays quarantined.
+	before := six.shards[sibling].PublishStats()
+	for i := 0; i < 50; i++ {
+		id, err := six.Add(clusterSquare(rng, 1))
+		if err != nil {
+			t.Fatalf("sibling Add %d during quarantine: %v", i, err)
+		}
+		if err := six.Remove(id); err != nil {
+			t.Fatalf("sibling Remove %d during quarantine: %v", i, err)
+		}
+	}
+	waitForSettled(t, six.shards[sibling])
+	after := six.shards[sibling].PublishStats()
+	if after.CompactionsFailed != before.CompactionsFailed {
+		t.Fatalf("sibling compactor failed during the target's quarantine: %+v -> %+v", before, after)
+	}
+	if after.Patched+after.Full <= before.Patched+before.Full {
+		t.Fatalf("sibling stopped publishing during the target's quarantine: %+v -> %+v", before, after)
+	}
+	if got := six.shards[target].Health().State; got != Degraded {
+		t.Fatalf("target shard recovered to %v without intervention", got)
+	}
+
+	// Recovery: every shard — quarantined or not — rebuilds byte-identically,
+	// and the composed stream round-trips through an unsharded load.
+	probes := randPoints(rng, 60)
+	for si, sh := range six.shards {
+		assertSnapshotsEqual(t, fmt.Sprintf("shard %d rebuild", si), sh.Current(), fullFreeze(sh), probes)
+	}
+	var buf bytes.Buffer
+	if _, err := six.Current().WriteTo(&buf); err != nil {
+		t.Fatalf("composed WriteTo: %v", err)
+	}
+	loaded, err := ReadIndexFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadIndexFrom(composed bytes): %v", err)
+	}
+	var back bytes.Buffer
+	if _, err := loaded.Current().WriteTo(&back); err != nil {
+		t.Fatalf("round-trip WriteTo: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), back.Bytes()) {
+		t.Fatal("composed stream does not round-trip byte-identically")
+	}
+	if err := loaded.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := six.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := six.Health().State; got != Closed {
+		t.Fatalf("composed Health after Close = %v, want Closed", got)
+	}
+	waitForGoroutines(t, baseGoroutines)
+}
+
+// TestShardCommitRollback fails the second shard of a cross-shard commit at
+// the ShardCommit seam: Apply must surface the error, the first shard's
+// already-published part must be rewound (the composed state byte-identical
+// to before the attempt), the reserved ids must be void — and the identical
+// batch must commit cleanly once the fault clears, reusing those ids.
+func TestShardCommitRollback(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	six, _ := shardedChaosIndex(t, rng)
+	defer six.Close()
+	probes := randPoints(rng, 60)
+
+	var before bytes.Buffer
+	if _, err := six.Current().WriteTo(&before); err != nil {
+		t.Fatal(err)
+	}
+	base := six.Current().NumPolygons()
+	pinned := six.Current()
+	pinnedAnswers := make([][]PolygonID, len(probes))
+	for i, p := range probes {
+		pinnedAnswers[i] = pinned.Covers(p)
+	}
+
+	// One polygon per cluster: the staged batch spans two shards, so the
+	// commit hits the ShardCommit seam twice and the Nth=2 rule fails the
+	// second shard after the first has already published.
+	addA, addB := clusterSquare(rng, 0), clusterSquare(rng, 1)
+	apply := func() ([]PolygonID, error) {
+		var ids []PolygonID
+		err := six.Apply(func(tx *ShardTx) error {
+			for _, p := range []Polygon{addA, addB} {
+				id, err := tx.Add(p)
+				if err != nil {
+					return err
+				}
+				ids = append(ids, id)
+			}
+			return nil
+		})
+		return ids, err
+	}
+
+	fault.Enable(fault.NewSchedule(fault.Rule{
+		Point: fault.ShardCommit, Nth: 2, Times: 1, Mode: fault.Error,
+	}))
+	t.Cleanup(fault.Disable)
+	if _, err := apply(); err == nil {
+		t.Fatal("Apply with a failing second shard commit returned nil error")
+	}
+	fault.Disable()
+
+	var after bytes.Buffer
+	if _, err := six.Current().WriteTo(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("failed cross-shard commit left a partial publish behind")
+	}
+	if got := six.Current().NumPolygons(); got != base {
+		t.Fatalf("failed Apply leaked id slots: %d polygons, want %d", got, base)
+	}
+	for i, p := range probes {
+		if got := pinned.Covers(p); !reflect.DeepEqual(got, pinnedAnswers[i]) {
+			t.Fatalf("probe %d: pinned snapshot changed from %v to %v across the rollback",
+				i, pinnedAnswers[i], got)
+		}
+	}
+
+	// The voided ids are reused and the very same batch lands everywhere.
+	ids, err := apply()
+	if err != nil {
+		t.Fatalf("Apply after fault cleared: %v", err)
+	}
+	if len(ids) != 2 || ids[0] != PolygonID(base) || ids[1] != PolygonID(base+1) {
+		t.Fatalf("recommit ids = %v, want [%d %d] (the rollback must unreserve)", ids, base, base+1)
+	}
+	s := six.Current()
+	if s.Removed(ids[0]) || s.Removed(ids[1]) {
+		t.Fatalf("recommitted batch not visible: Removed = %v, %v", s.Removed(ids[0]), s.Removed(ids[1]))
+	}
+	for si, sh := range six.shards {
+		assertSnapshotsEqual(t, fmt.Sprintf("shard %d after recommit", si), sh.Current(), fullFreeze(sh), probes)
+	}
+}
+
+// TestShardedChaos is the chaos suite run against the sharded engine: the
+// randomized fault schedule (which draws from every injection point,
+// including ShardCommit) fires under randomized single- and cross-shard
+// mutations. Invariants, checked with faults disarmed mid-run and at the end:
+// every shard is byte-identical to a from-scratch freeze of its writer state,
+// the composed serialization round-trips through an unsharded load, pinned
+// composed snapshots never change their answers, and Close leaks nothing.
+func TestShardedChaos(t *testing.T) {
+	seeds := 3
+	if s := os.Getenv("ACTJOIN_CHAOS_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("ACTJOIN_CHAOS_SEEDS=%q: %v", s, err)
+		}
+		seeds = n
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			shardedChaosRun(t, seed)
+		})
+	}
+}
+
+func shardedChaosRun(t *testing.T, seed int64) {
+	baseGoroutines := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(seed))
+	six, _ := shardedChaosIndex(t, rng)
+	probes := randPoints(rng, 60)
+
+	sched := fault.RandomSchedule(seed+100, nil, 12, 8, 0.5)
+	fault.Enable(sched)
+	t.Cleanup(fault.Disable)
+
+	check := func(ctx string) {
+		t.Helper()
+		fault.Disable()
+		defer fault.Enable(sched)
+		for si, sh := range six.shards {
+			assertSnapshotsEqual(t, fmt.Sprintf("%s shard %d", ctx, si), sh.Current(), fullFreeze(sh), probes)
+		}
+		var buf bytes.Buffer
+		if _, err := six.Current().WriteTo(&buf); err != nil {
+			t.Fatalf("%s: composed WriteTo: %v", ctx, err)
+		}
+		loaded, err := ReadIndexFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadIndexFrom: %v", ctx, err)
+		}
+		var back bytes.Buffer
+		if _, err := loaded.Current().WriteTo(&back); err != nil {
+			t.Fatalf("%s: round-trip WriteTo: %v", ctx, err)
+		}
+		if !bytes.Equal(buf.Bytes(), back.Bytes()) {
+			t.Fatalf("%s: composed stream does not round-trip byte-identically", ctx)
+		}
+		if err := loaded.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type pinnedView struct {
+		s       *ShardedSnapshot
+		answers [][]PolygonID
+	}
+	var pins []pinnedView
+	pin := func() {
+		s := six.Current()
+		answers := make([][]PolygonID, len(probes))
+		for i, p := range probes {
+			answers[i] = s.Covers(p)
+		}
+		pins = append(pins, pinnedView{s: s, answers: answers})
+	}
+	pin()
+
+	var live []PolygonID
+	var faultedOps int
+	for op := 0; op < 120; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			id, err := six.Add(clusterSquare(rng, rng.Intn(2)))
+			if err != nil {
+				faultedOps++
+			} else {
+				live = append(live, id)
+			}
+		case 5, 6:
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				if err := six.Remove(live[i]); err != nil {
+					faultedOps++
+				} else {
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+		case 7:
+			var ids []PolygonID
+			err := six.Apply(func(tx *ShardTx) error {
+				for k := 0; k < 2; k++ {
+					id, err := tx.Add(clusterSquare(rng, k))
+					if err != nil {
+						return err
+					}
+					ids = append(ids, id)
+				}
+				return nil
+			})
+			if err != nil {
+				faultedOps++
+			} else {
+				live = append(live, ids...)
+			}
+		case 8:
+			six.Train(randPoints(rng, 30), 64)
+		case 9:
+			pin()
+		}
+		if op%40 == 39 {
+			check(fmt.Sprintf("op %d", op))
+		}
+	}
+
+	fault.Disable()
+	t.Logf("seed %d: %d of 120 ops drew a fault, %d faults fired, composed stats %+v",
+		seed, faultedOps, len(sched.Fired()), six.PublishStats())
+
+	if _, err := six.Add(clusterSquare(rng, 0)); err != nil {
+		t.Fatalf("Add after faults cleared: %v", err)
+	}
+	check("final")
+
+	for pi, pn := range pins {
+		for i, p := range probes {
+			if got := pn.s.Covers(p); !reflect.DeepEqual(got, pn.answers[i]) {
+				t.Fatalf("pin %d probe %d: answers changed from %v to %v", pi, i, pn.answers[i], got)
+			}
+		}
+	}
+
+	for _, sh := range six.shards {
+		waitForSettled(t, sh)
+	}
+	if err := six.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	waitForGoroutines(t, baseGoroutines)
 }
 
 // TestHealthStateString pins the operator-facing names.

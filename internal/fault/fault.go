@@ -68,6 +68,10 @@ const (
 	// ReadIndexFrom; Error-mode hits surface as ordinary I/O errors.
 	SerializeWrite Point = "actjoin/serialize-write"
 	SerializeRead  Point = "actjoin/serialize-read"
+	// ShardCommit fires in a sharded index's multi-shard commit loop, once
+	// per participating shard before that shard's publish; an Error-mode hit
+	// fails the commit mid-fan-out and exercises the cross-shard rollback.
+	ShardCommit Point = "actjoin/shard-commit"
 )
 
 // Points returns the engine's injection-point registry, for schedules that
@@ -79,6 +83,7 @@ func Points() []Point {
 		RopeSplice, FullFreeze,
 		CompactBuild, Reconcile, CompactSwap,
 		SerializeWrite, SerializeRead,
+		ShardCommit,
 	}
 }
 

@@ -104,6 +104,7 @@ var registry = []Experiment{
 	{"publish", "Publish paths: incremental snapshot patching vs full rebuild, by covering size", (*Env).Publish},
 	{"remove", "Removal paths: per-polygon cell directory vs full-quadtree walk, by covering size", (*Env).Remove},
 	{"compact", "Compaction paths: publish tail latency, background compactor vs inline rebuild", (*Env).Compact},
+	{"shard", "Sharded engine: composed join throughput and cross-shard parallel publish rate, by shard count", (*Env).Shard},
 }
 
 // All returns every experiment in paper order.

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"fig7left", "fig7mid", "fig7right", "fig8", "fig9", "fig10", "fig11",
-		"batch", "snapshot", "publish", "remove", "compact",
+		"batch", "snapshot", "publish", "remove", "compact", "shard",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -77,14 +77,24 @@ func (ix *Index) Health() Health {
 // it (snapshots are immutable and own every structure they reach). It
 // implements io.Closer; the error is always nil.
 func (ix *Index) Close() error {
+	ix.beginClose()
+	// Wait outside mu: the goroutine's landing phase takes the mutex to
+	// deregister itself.
+	ix.compactorWG.Wait()
+	return nil
+}
+
+// beginClose marks the index closed and cancels any in-flight compaction
+// without draining the compactor goroutine. Close is beginClose plus the
+// drain; the sharded Close marks every shard closed under its commit lock
+// first and drains the goroutines after releasing it, so a slow compactor
+// on one shard never extends the window in which another shard still
+// accepts mutations.
+func (ix *Index) beginClose() {
 	ix.mu.Lock()
 	if !ix.closed {
 		ix.closed = true
 		ix.abandonCompactionLocked()
 	}
 	ix.mu.Unlock()
-	// Wait outside mu: the goroutine's landing phase takes the mutex to
-	// deregister itself.
-	ix.compactorWG.Wait()
-	return nil
 }

@@ -57,13 +57,24 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	if err := fault.Hit(fault.SerializeWrite); err != nil {
 		return 0, err
 	}
-	var body []byte
-	body = binary.LittleEndian.AppendUint32(body, uint32(s.opt.delta))
-	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(s.opt.precisionMeters))
-	body = binary.LittleEndian.AppendUint32(body, uint32(s.precisionLevel))
+	body := appendIndexBody(nil, s.opt, s.precisionLevel, s.polys, s.cells)
+	return writeIndexPayload(w, body)
+}
 
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(s.polys)))
-	for _, p := range s.polys {
+// appendIndexBody serializes the format's body — configuration, polygon set
+// and frozen cells — shared between the single-shard WriteTo and the
+// composed sharded one. The ropes are concatenated in argument order: a
+// sharded snapshot passes its shards' ropes in shard order, which is global
+// cell-id order because shard ranges are contiguous and the super covering
+// disjoint, so the byte stream is identical to an unsharded index holding
+// the same cells.
+func appendIndexBody(body []byte, opt options, precisionLevel int, polys []*geom.Polygon, ropes ...*cellRope) []byte {
+	body = binary.LittleEndian.AppendUint32(body, uint32(opt.delta))
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(opt.precisionMeters))
+	body = binary.LittleEndian.AppendUint32(body, uint32(precisionLevel))
+
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(polys)))
+	for _, p := range polys {
 		if p == nil {
 			// Tombstone of a removed polygon: zero rings.
 			body = binary.LittleEndian.AppendUint32(body, 0)
@@ -79,17 +90,28 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
-	body = binary.LittleEndian.AppendUint64(body, uint64(s.cells.Len()))
-	for _, run := range s.cells.runs {
-		for _, c := range run {
-			body = binary.LittleEndian.AppendUint64(body, uint64(c.ID))
-			body = binary.LittleEndian.AppendUint32(body, uint32(len(c.Refs)))
-			for _, r := range c.Refs {
-				body = binary.LittleEndian.AppendUint32(body, uint32(r))
+	total := 0
+	for _, rope := range ropes {
+		total += rope.Len()
+	}
+	body = binary.LittleEndian.AppendUint64(body, uint64(total))
+	for _, rope := range ropes {
+		for _, run := range rope.runs {
+			for _, c := range run {
+				body = binary.LittleEndian.AppendUint64(body, uint64(c.ID))
+				body = binary.LittleEndian.AppendUint32(body, uint32(len(c.Refs)))
+				for _, r := range c.Refs {
+					body = binary.LittleEndian.AppendUint32(body, uint32(r))
+				}
 			}
 		}
 	}
+	return body
+}
 
+// writeIndexPayload frames a serialized body with the magic, version and
+// checksum header and writes the whole payload.
+func writeIndexPayload(w io.Writer, body []byte) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(b []byte) error {

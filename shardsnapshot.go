@@ -1,0 +1,304 @@
+package actjoin
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"actjoin/internal/cellid"
+	"actjoin/internal/fault"
+	"actjoin/internal/geom"
+	"actjoin/internal/join"
+)
+
+// ShardedSnapshot is an immutable composed view of a ShardedIndex: one
+// pinned Snapshot per shard plus the router that maps probes to them. It
+// carries every read operation of the sharded index with the same contract
+// as Snapshot — never changes after it is returned, all methods are safe
+// for unlimited concurrent use, no locks, never blocks writers.
+//
+// Consistency: the view is generation-consistent. Current never returns a
+// composition gathered while a multi-shard commit (Apply, Train) was in
+// flight, so a batch staged through one ShardTx is observed either on every
+// shard or on none — the composed view is never torn. Independent
+// single-shard mutations publish atomically per shard and carry no
+// cross-shard ordering promise, exactly as independent mutations on two
+// separate indexes would not.
+type ShardedSnapshot struct {
+	shards []*Snapshot //act:frozen
+	router shardRouter //act:frozen
+	gen    uint64      // commit generation (even) the composition was pinned at
+}
+
+// seqlockSpins bounds Current's optimistic retries before it serializes
+// behind the committers on the commit lock.
+const seqlockSpins = 64
+
+// Current returns a generation-consistent composed snapshot: one pinned
+// snapshot per shard, gathered while no multi-shard commit was in flight.
+// The common path is lock-free — read the commit generation, gather the
+// shards' atomic snapshot pointers, and retry if the generation moved (a
+// seqlock) — and under sustained multi-shard commit pressure it falls back
+// to sharing the commit lock, which commits leave with an even generation.
+// Like Index.Current, hold the result for as long as one consistent view is
+// needed and call again whenever a fresher one is wanted.
+//
+//act:refresh the seqlock re-reads gen and the shard pointers each attempt by design
+func (six *ShardedIndex) Current() *ShardedSnapshot {
+	snaps := make([]*Snapshot, len(six.shards))
+	for tries := 0; tries < seqlockSpins; tries++ {
+		g := six.gen.Load()
+		if g&1 != 0 {
+			runtime.Gosched() // a multi-shard commit is fanning out
+			continue
+		}
+		for i, sh := range six.shards {
+			snaps[i] = sh.Current()
+		}
+		if six.gen.Load() == g {
+			return &ShardedSnapshot{shards: snaps, router: six.router, gen: g}
+		}
+	}
+	// Contended: serialize behind the committers instead of spinning on.
+	six.wmu.RLock()
+	for i, sh := range six.shards {
+		snaps[i] = sh.Current()
+	}
+	g := six.gen.Load()
+	six.wmu.RUnlock()
+	return &ShardedSnapshot{shards: snaps, router: six.router, gen: g}
+}
+
+// NumPolygons returns the number of polygon id slots in this view (live
+// polygons plus tombstones), the maximum over the shards: a shard's slice
+// only grows past an id when it owns cells of it, so the longest slice has
+// seen every committed id.
+func (s *ShardedSnapshot) NumPolygons() int {
+	n := 0
+	for _, sh := range s.shards {
+		if len(sh.polys) > n {
+			n = len(sh.polys)
+		}
+	}
+	return n
+}
+
+// Removed reports whether the id belonged to a polygon that had been
+// removed when this view was pinned (no shard holds it live).
+func (s *ShardedSnapshot) Removed(id PolygonID) bool {
+	if int(id) >= s.NumPolygons() {
+		return false
+	}
+	for _, sh := range s.shards {
+		if int(id) < len(sh.polys) && sh.polys[id] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Precision returns the configured precision bound in meters, or 0 when the
+// index is exact-only.
+func (s *ShardedSnapshot) Precision() float64 { return s.shards[0].opt.precisionMeters }
+
+// Covers returns the ids of all polygons covering p, exactly. Covering
+// cells are disjoint and shard ranges contiguous, so the probe's leaf cell
+// has exactly one owning shard; the query is a route plus one single-shard
+// probe.
+func (s *ShardedSnapshot) Covers(p Point) []PolygonID { return s.query(p, true) }
+
+// CoversApprox returns polygon ids without any PIP test; see
+// Snapshot.CoversApprox for the precision-bound semantics.
+func (s *ShardedSnapshot) CoversApprox(p Point) []PolygonID { return s.query(p, false) }
+
+func (s *ShardedSnapshot) query(p Point, exact bool) []PolygonID {
+	gp := geom.Point{X: p.Lon, Y: p.Lat}
+	leaf := cellid.FromPoint(gp)
+	return s.shards[s.router.shardOfLeaf(leaf)].queryLeaf(gp, leaf, exact)
+}
+
+// CoversBatch answers many point queries in one call, identical to
+// Snapshot.CoversBatch: the probe stream is radix-split into per-shard
+// sub-streams (stable, so results scatter back to input order) and the
+// shards' batch pipelines run in parallel, each with its share of the
+// thread budget.
+func (s *ShardedSnapshot) CoversBatch(points []Point, opt QueryOptions) [][]PolygonID {
+	if len(s.shards) == 1 {
+		return s.shards[0].CoversBatch(points, opt)
+	}
+	pts, cells, release := toProbeParallel(points, opt.Threads, opt.Exact)
+	order, offsets := join.PartitionByShard(cells, s.router.bounds)
+	out := make([][]PolygonID, len(points))
+	s.runShards(pts, cells, order, offsets, opt, out)
+	release()
+	return out
+}
+
+// JoinCount counts points per polygon through the shards' batch pipelines,
+// identical in Counts to Snapshot.JoinCount on an equivalent unsharded
+// index. The probe-phase metrics are summed across shards; PIPTests and
+// CacheHits depend on per-shard probe order and cache locality, so their
+// values (not the Counts) can differ from an unsharded run.
+func (s *ShardedSnapshot) JoinCount(points []Point, opt QueryOptions) JoinResult {
+	if len(s.shards) == 1 {
+		return s.shards[0].JoinCount(points, opt)
+	}
+	start := time.Now()
+	pts, cells, release := toProbeParallel(points, opt.Threads, opt.Exact)
+	order, offsets := join.PartitionByShard(cells, s.router.bounds)
+	parts := s.runShards(pts, cells, order, offsets, opt, nil)
+	release()
+	merged := join.Result{Counts: make([]int64, s.NumPolygons()), Points: len(points)}
+	for _, res := range parts {
+		if res == nil {
+			continue
+		}
+		for pid, c := range res.Counts {
+			merged.Counts[pid] += c
+		}
+		merged.Matched += res.Matched
+		merged.PIPTests += res.PIPTests
+		merged.SolelyTrueHits += res.SolelyTrueHits
+		merged.CacheHits += res.CacheHits
+	}
+	merged.Duration = time.Since(start)
+	return toJoinResult(merged)
+}
+
+// Join counts points per polygon.
+//
+// Deprecated: use JoinCount, as with Snapshot.Join.
+func (s *ShardedSnapshot) Join(points []Point, exact bool, threads int) JoinResult {
+	return s.JoinCount(points, QueryOptions{Exact: exact, Threads: threads})
+}
+
+// runShards fans a partitioned probe stream out to per-shard workers. The
+// sub-streams are gathered into contiguous buffers (the batch pipeline
+// probes slices), each participating shard joins its sub-stream with an
+// equal share of the thread budget, and collect-mode results scatter back
+// through the partition's order into out (indexed by input position).
+// Returns the per-shard results, indexed by shard, nil for shards with no
+// probes.
+func (s *ShardedSnapshot) runShards(pts []geom.Point, cells []cellid.CellID, order []int32, offsets []int, opt QueryOptions, out [][]PolygonID) []*join.Result {
+	active := 0
+	for si := range s.shards {
+		if offsets[si+1] > offsets[si] {
+			active++
+		}
+	}
+	results := make([]*join.Result, len(s.shards))
+	if active == 0 {
+		return results
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	subOpt := opt
+	if subOpt.Threads = threads / active; subOpt.Threads < 1 {
+		subOpt.Threads = 1
+	}
+	gcells := make([]cellid.CellID, len(order))
+	var gpts []geom.Point
+	if pts != nil {
+		gpts = make([]geom.Point, len(order))
+	}
+	for k, idx := range order {
+		gcells[k] = cells[idx]
+		if gpts != nil {
+			gpts[k] = pts[idx]
+		}
+	}
+	var wg sync.WaitGroup
+	for si := range s.shards {
+		lo, hi := offsets[si], offsets[si+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		//act:norecover pure-compute join fan-out over frozen shard snapshots; a panic is a broken invariant with no state to contain
+		go func(si, lo, hi int) {
+			defer wg.Done()
+			sh := s.shards[si]
+			var sp []geom.Point
+			if gpts != nil {
+				sp = gpts[lo:hi]
+			}
+			if out != nil {
+				sub, res := join.RunBatchCollect(sh.tree, sh.table, sp, gcells[lo:hi], sh.polys, subOpt.internal())
+				for k, ids := range sub {
+					if len(ids) > 0 {
+						out[order[lo+k]] = ids
+					}
+				}
+				results[si] = &res
+			} else {
+				res := join.RunBatchCount(sh.tree, sh.table, sp, gcells[lo:hi], sh.polys, subOpt.internal())
+				results[si] = &res
+			}
+		}(si, lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
+// WriteTo serializes the composed view in the exact format and byte order
+// of Snapshot.WriteTo: shard ranges are contiguous and the super covering
+// disjoint, so concatenating the shards' frozen cells in shard order IS
+// global cell-id order, and the polygon set is the shards' nil-masked
+// slices merged by first non-nil slot. An index whose covering never needed
+// boundary decomposition (see the package comment in shard.go) therefore
+// serializes byte-identically to the unsharded index holding the same
+// state, and ReadIndexFrom loads either stream into an equivalent index.
+// It implements io.WriterTo.
+func (s *ShardedSnapshot) WriteTo(w io.Writer) (int64, error) {
+	if err := fault.Hit(fault.SerializeWrite); err != nil {
+		return 0, err
+	}
+	ropes := make([]*cellRope, len(s.shards))
+	for i, sh := range s.shards {
+		ropes[i] = sh.cells
+	}
+	sh0 := s.shards[0]
+	body := appendIndexBody(nil, sh0.opt, sh0.precisionLevel, s.mergedPolys(), ropes...)
+	return writeIndexPayload(w, body)
+}
+
+// mergedPolys merges the shards' nil-masked polygon slices into the global
+// one: each live polygon is present (identically) in every owner shard, so
+// the first non-nil slot wins; slots nil everywhere are tombstones in every
+// shard and stay tombstones.
+func (s *ShardedSnapshot) mergedPolys() []*geom.Polygon {
+	if len(s.shards) == 1 {
+		return s.shards[0].polys
+	}
+	out := make([]*geom.Polygon, s.NumPolygons())
+	for _, sh := range s.shards {
+		for i, p := range sh.polys {
+			if p != nil && out[i] == nil {
+				out[i] = p
+			}
+		}
+	}
+	return out
+}
+
+// Stats returns structural statistics of the composed view: sizes are
+// summed across shards, NumPolygons is the composed id-slot count, and the
+// configuration fields are shared by every shard.
+func (s *ShardedSnapshot) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		ss := sh.Stats()
+		st.NumCells += ss.NumCells
+		st.NumTrieNodes += ss.NumTrieNodes
+		st.OrphanTrieNodes += ss.OrphanTrieNodes
+		st.TrieSizeBytes += ss.TrieSizeBytes
+		st.TableSizeBytes += ss.TableSizeBytes
+	}
+	st.NumPolygons = s.NumPolygons()
+	st.Granularity = s.shards[0].opt.delta
+	st.PrecisionLevel = s.shards[0].precisionLevel
+	return st
+}

@@ -96,7 +96,14 @@ func (s *Snapshot) CoversApprox(p Point) []PolygonID {
 
 func (s *Snapshot) query(p Point, exact bool) []PolygonID {
 	gp := geom.Point{X: p.Lon, Y: p.Lat}
-	entry := s.tree.Find(cellid.FromPoint(gp))
+	return s.queryLeaf(gp, cellid.FromPoint(gp), exact)
+}
+
+// queryLeaf is the point-query core with the leaf cell id already computed;
+// the sharded read path routes on the leaf and then probes the owning
+// shard's snapshot through this entry point without re-encoding the point.
+func (s *Snapshot) queryLeaf(gp geom.Point, leaf cellid.CellID, exact bool) []PolygonID {
+	entry := s.tree.Find(leaf)
 	if entry.IsFalseHit() {
 		return nil
 	}

@@ -8,6 +8,7 @@ import (
 	"actjoin/internal/cover"
 	"actjoin/internal/geom"
 	"actjoin/internal/refs"
+	"actjoin/internal/supercover"
 )
 
 // Runtime polygon updates — the extension the paper sketches in Section
@@ -74,39 +75,56 @@ func (ix *Index) addLocked(p Polygon) (PolygonID, error) {
 	ix.polys = append(ix.mutablePolys(1), gp)
 	ix.staged = true
 
-	covering := cover.Covering(gp, cover.Options{MaxCells: ix.opt.coveringCells})
-	interior := cover.InteriorCovering(gp, cover.Options{MaxCells: ix.opt.interiorCells, MaxLevel: 20})
+	covering, interior := coverPolygon(gp, ix.opt)
 	for _, c := range covering {
 		ix.sc.Insert(c, []refs.Ref{refs.MakeRef(id, false)})
 	}
 	for _, c := range interior {
 		ix.sc.Insert(c, []refs.Ref{refs.MakeRef(id, true)})
 	}
-	if ix.precisionLevel > 0 {
-		// Only the regions of the new covering cells can violate the
-		// precision invariant: insertion places references (its own, and
-		// copies made by conflict resolution) strictly inside the inserted
-		// cells, and everything outside them satisfied the invariant
-		// before this add. Refining those subtrees — instead of rescanning
-		// every boundary cell of every polygon — makes Add O(covering)
-		// rather than O(index).
-		//
-		// The refinement level is re-derived from the new polygon's own
-		// latitude: cell diagonals in meters grow toward the equator, so a
-		// polygon added equatorward of the build set needs deeper cells
-		// than the build-time level to honor the same meter bound. The
-		// equator-nearest latitude of the polygon's bound is its worst
-		// case. Never going coarser than the build level keeps the
-		// invariant of the old references that conflict resolution copied
-		// inside the seeds.
-		lat := equatorNearestLat(gp.Bound())
-		level := cellid.LevelForMaxDiagonalMeters(ix.opt.precisionMeters, lat)
-		if level < ix.precisionLevel {
-			level = ix.precisionLevel
-		}
+	if level := addRefineLevel(gp, ix.opt, ix.precisionLevel); level > 0 {
 		ix.sc.RefineCells(ix.polys, covering, level)
 	}
 	return id, nil
+}
+
+// coverPolygon computes a polygon's covering and interior covering under the
+// index's budgets — the cells an Add inserts (shared by the plain and the
+// sharded add paths; the sharded one computes coverings before routing them
+// to the owning shards).
+func coverPolygon(gp *geom.Polygon, opt options) (covering, interior []cellid.CellID) {
+	covering = cover.Covering(gp, cover.Options{MaxCells: opt.coveringCells})
+	interior = cover.InteriorCovering(gp, cover.Options{MaxCells: opt.interiorCells, MaxLevel: 20})
+	return covering, interior
+}
+
+// addRefineLevel returns the refinement level an Add must restore around its
+// covering cells, or 0 when the index is exact-only.
+//
+// Only the regions of the new covering cells can violate the precision
+// invariant: insertion places references (its own, and copies made by
+// conflict resolution) strictly inside the inserted cells, and everything
+// outside them satisfied the invariant before the add. Refining those
+// subtrees — instead of rescanning every boundary cell of every polygon —
+// makes Add O(covering) rather than O(index).
+//
+// The refinement level is re-derived from the new polygon's own latitude:
+// cell diagonals in meters grow toward the equator, so a polygon added
+// equatorward of the build set needs deeper cells than the build-time level
+// to honor the same meter bound. The equator-nearest latitude of the
+// polygon's bound is its worst case. Never going coarser than the build
+// level keeps the invariant of the old references that conflict resolution
+// copied inside the seeds.
+func addRefineLevel(gp *geom.Polygon, opt options, precisionLevel int) int {
+	if precisionLevel == 0 {
+		return 0
+	}
+	lat := equatorNearestLat(gp.Bound())
+	level := cellid.LevelForMaxDiagonalMeters(opt.precisionMeters, lat)
+	if level < precisionLevel {
+		level = precisionLevel
+	}
+	return level
 }
 
 // equatorNearestLat returns the latitude within the rect's extent where
@@ -305,4 +323,122 @@ func (ix *Index) Apply(fn func(tx *Tx) error) error {
 	}
 	committed = true
 	return nil
+}
+
+// Shard-side staging: a ShardedIndex (shard.go) decomposes every mutation
+// into per-shard op lists — coverings pre-computed and pre-routed to the
+// owning shard — and each shard stages its list and publishes once, under
+// its own mutex, exactly like a single-shard Apply. The ops carry global
+// polygon ids (assigned by the sharded registry) rather than deriving them
+// from the local polygon slice, which is why staging here pads the slice
+// with tombstones up to the id: a shard only grows past an id when a later
+// mutation forces the length, and a nil slot is indistinguishable from a
+// removed polygon — exactly the semantics merged reads want.
+
+// shardOpKind discriminates shardOp.
+type shardOpKind uint8
+
+const (
+	shardOpAdd shardOpKind = iota
+	shardOpRemove
+	shardOpTrain
+)
+
+// shardOp is one routed mutation for one shard.
+type shardOp struct {
+	kind shardOpKind
+
+	// add / remove
+	id PolygonID
+	// add
+	gp          *geom.Polygon
+	covering    []cellid.CellID // covering cells routed to this shard
+	interior    []cellid.CellID // interior cells routed to this shard
+	refineLevel int
+	// train
+	points   []cellid.CellID // training points routed to this shard
+	maxCells int             // per-shard budget (0 = unlimited), set at commit
+	skip     bool            // train only: global budget already exhausted
+	trainRes *supercover.TrainResult
+}
+
+// applyShardOps stages a routed op batch on this shard and publishes once.
+// It returns the snapshot that was current before the batch, which the
+// multi-shard commit keeps for cross-shard rollback (rewindTo). On a stage
+// or publish failure the shard itself is already rolled back (restore /
+// recoverFailedPublish) and its published snapshot unchanged — only the
+// *other* shards of the batch need rewinding.
+func (ix *Index) applyShardOps(ops []shardOp) (prev *Snapshot, err error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return nil, ErrClosed
+	}
+	prev = ix.cur.Load()
+	for i := range ops {
+		ix.stageShardOp(&ops[i])
+	}
+	if _, err := ix.publish(); err != nil {
+		return prev, err
+	}
+	return prev, nil
+}
+
+// stageShardOp stages one routed op into the writer-side state, mirroring
+// addLocked / removeLocked / trainLocked with the id, coverings and budget
+// supplied by the router instead of computed locally.
+//
+//act:requires mu
+func (ix *Index) stageShardOp(op *shardOp) {
+	switch op.kind {
+	case shardOpAdd:
+		extra := int(op.id) + 1 - len(ix.polys)
+		if extra < 0 {
+			extra = 0
+		}
+		polys := ix.mutablePolys(extra)
+		for len(polys) <= int(op.id) {
+			polys = append(polys, nil)
+		}
+		polys[op.id] = op.gp
+		ix.polys = polys
+		ix.staged = true
+		for _, c := range op.covering {
+			ix.sc.Insert(c, []refs.Ref{refs.MakeRef(op.id, false)})
+		}
+		for _, c := range op.interior {
+			ix.sc.Insert(c, []refs.Ref{refs.MakeRef(op.id, true)})
+		}
+		if op.refineLevel > 0 && len(op.covering) > 0 {
+			ix.sc.RefineCells(ix.polys, op.covering, op.refineLevel)
+		}
+	case shardOpRemove:
+		// Validation happened in the sharded registry; a shard that never
+		// grew past the id (or already holds a tombstone) has nothing to do.
+		if int(op.id) < len(ix.polys) && ix.polys[op.id] != nil {
+			ix.sc.RemovePolygon(op.id)
+			ix.mutablePolys(0)[op.id] = nil
+			ix.staged = true
+		}
+	case shardOpTrain:
+		var res supercover.TrainResult
+		if op.skip {
+			res = supercover.TrainResult{BudgetReached: true}
+		} else {
+			res = ix.sc.Train(ix.polys, op.points, op.maxCells)
+			ix.staged = true
+		}
+		if op.trainRes != nil {
+			*op.trainRes = res
+		}
+	}
+}
+
+// writerNumCells reports the writer-side covering size under the mutex; the
+// sharded Train uses it to convert the global cell budget into per-shard
+// remainders as the commit walks the shards.
+func (ix *Index) writerNumCells() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.sc.NumCells()
 }
