@@ -164,6 +164,7 @@ type Index struct {
 	mu sync.Mutex //act:lock mu
 
 	//act:published
+	//act:atomic
 	cur atomic.Pointer[Snapshot]
 
 	// Writer-side state. polys is copy-on-write: published snapshots share
@@ -211,9 +212,9 @@ type Index struct {
 	// build (the hard-cap wait on c.done) holding mu, so the failure path
 	// must stay lock-free (see noteCompactorFailure). compactorWG tracks
 	// the goroutine itself for Close.
-	compactionsFailed     atomic.Int64
-	consecCompactFailures atomic.Int64
-	quarantined           atomic.Pointer[quarantine]
+	compactionsFailed     atomic.Int64               //act:atomic
+	consecCompactFailures atomic.Int64               //act:atomic
+	quarantined           atomic.Pointer[quarantine] //act:atomic
 	compactorWG           sync.WaitGroup
 
 	// Test hooks (same-package tests only): holdCompaction, when non-nil,
@@ -425,6 +426,7 @@ func (ix *Index) publishIncrementalGuarded(prev *Snapshot, roots []cellid.CellID
 // after a nil error.
 //
 //act:requires mu
+//act:seam
 func (ix *Index) publishFullGuarded() (s *Snapshot, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -561,6 +563,7 @@ func (ix *Index) bgCompactionOffLocked() bool {
 //
 //act:requires mu
 //act:freezer
+//act:seam
 func (ix *Index) patchSnapshot(base *Snapshot, enc *cellindex.Encoder, roots []cellid.CellID, maxDirtyFraction float64) *Snapshot {
 	if len(roots) == 0 {
 		return &Snapshot{

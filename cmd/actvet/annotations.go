@@ -41,6 +41,19 @@ import (
 //	                          next) line deliberately launches a goroutine
 //	                          with no recover guard, with a reason
 //	//act:alloc-harness <fn>  test-file marker: an AllocsPerRun case covers fn
+//	//act:atomic              field: accessed only through sync/atomic (either
+//	                          a sync/atomic type or a plain word reached via
+//	                          the atomic package functions); atomcheck's
+//	                          discipline applies
+//	//act:seqlock <class>     field: a seqlock generation word (atomic
+//	                          unsigned integer); writers bump it odd/even in
+//	                          paired Add(1)s under the named lock class held
+//	                          exclusively, readers use the even-stable
+//	                          re-check pattern or the class as a fallback
+//	//act:seam                function: a declared fault-injection seam; its
+//	                          body must contain a fault.Hit/MustHit point
+//	//act:ignore-err <why>    site comment: the discarded error on this (or
+//	                          the next) line is deliberate, with a reason
 //
 // The mutex name in guarded/requires is resolved lexically: a function
 // "holds mu" when its own body (not a nested goroutine) contains a
@@ -63,8 +76,12 @@ type annotations struct {
 	noalloc      map[types.Object]bool
 	pinned       map[types.Object]bool
 	refresh      map[types.Object]bool
-	allowAlloc   map[string]string // "file:line" of the comment -> reason
-	norecover    map[string]string // "file:line" of the comment -> reason
+	atomic       map[types.Object]bool   // fields under the atomics discipline
+	seqlock      map[types.Object]string // seqlock generation field -> lock class
+	seam         map[types.Object]bool   // declared fault-injection seams
+	allowAlloc   map[string]string       // "file:line" of the comment -> reason
+	norecover    map[string]string       // "file:line" of the comment -> reason
+	ignoreErr    map[string]string       // "file:line" of the comment -> reason
 }
 
 func newAnnotations() *annotations {
@@ -83,8 +100,12 @@ func newAnnotations() *annotations {
 		noalloc:      map[types.Object]bool{},
 		pinned:       map[types.Object]bool{},
 		refresh:      map[types.Object]bool{},
+		atomic:       map[types.Object]bool{},
+		seqlock:      map[types.Object]string{},
+		seam:         map[types.Object]bool{},
 		allowAlloc:   map[string]string{},
 		norecover:    map[string]string{},
+		ignoreErr:    map[string]string{},
 	}
 }
 
@@ -157,6 +178,16 @@ func collectAnnotations(l *loader) (*annotations, []diagnostic) {
 						}
 						pos := l.position(c.Pos())
 						ann.norecover[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
+						continue
+					}
+					if rest, ok := strings.CutPrefix(c.Text, "//act:ignore-err"); ok {
+						reason := strings.TrimSpace(rest)
+						if reason == "" {
+							bad(c, "//act:ignore-err needs a reason")
+							continue
+						}
+						pos := l.position(c.Pos())
+						ann.ignoreErr[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] = reason
 					}
 				}
 			}
@@ -222,9 +253,11 @@ func applyFuncDirective(ann *annotations, obj types.Object, dir directive, bad f
 		ann.refresh[obj] = true
 	case "publisher":
 		ann.publisher[obj] = true
-	case "guarded", "published", "lock", "pinned":
+	case "seam":
+		ann.seam[obj] = true
+	case "guarded", "published", "lock", "pinned", "atomic", "seqlock":
 		bad(dir.pos, "//act:%s applies to struct fields, not functions", dir.name)
-	case "allow-alloc", "norecover":
+	case "allow-alloc", "norecover", "ignore-err":
 		// Collected positionally from the raw comment list; as a doc
 		// directive it still suppresses a site on the next line.
 	case "alloc-harness":
@@ -289,9 +322,25 @@ func collectFieldAnnotations(l *loader, ann *annotations, st *ast.StructType, ba
 				for _, name := range f.Names {
 					ann.pinned[l.info.Defs[name]] = true
 				}
-			case "requires", "exclusive", "freezer", "mutates", "hotpath", "noalloc", "refresh", "publisher":
+			case "atomic":
+				for _, name := range f.Names {
+					ann.atomic[l.info.Defs[name]] = true
+				}
+			case "seqlock":
+				if len(dir.args) != 1 {
+					bad(dir.pos, "//act:seqlock needs exactly one lock-class name")
+					continue
+				}
+				if t := l.typeOf(f.Type); t == nil || !isAtomicUint(t) {
+					bad(dir.pos, "//act:seqlock needs an atomic unsigned integer field (atomic.Uint32 or atomic.Uint64)")
+					continue
+				}
+				for _, name := range f.Names {
+					ann.seqlock[l.info.Defs[name]] = dir.args[0]
+				}
+			case "requires", "exclusive", "freezer", "mutates", "hotpath", "noalloc", "refresh", "publisher", "seam":
 				bad(dir.pos, "//act:%s applies to functions, not struct fields", dir.name)
-			case "allow-alloc", "norecover":
+			case "allow-alloc", "norecover", "ignore-err":
 				// Site-level; collected positionally.
 			case "alloc-harness":
 				bad(dir.pos, "//act:alloc-harness belongs in a _test.go harness file")
@@ -311,4 +360,28 @@ func isMutex(t types.Type) bool {
 	obj := n.Obj()
 	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
 		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isAtomicType reports whether t is one of the sync/atomic wrapper types
+// (atomic.Bool, atomic.Int64, atomic.Pointer[T], atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicUint reports whether t is atomic.Uint32 or atomic.Uint64, the only
+// types a seqlock generation may have: parity is the protocol, so the word
+// must be an unsigned integer bumped through the atomic API.
+func isAtomicUint(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" &&
+		(obj.Name() == "Uint32" || obj.Name() == "Uint64")
 }

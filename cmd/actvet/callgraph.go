@@ -2,9 +2,11 @@ package main
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // The whole-program analyzers (lockorder, snapcheck, allocbound) share one
@@ -30,6 +32,7 @@ type funcContext struct {
 	events   []lockEvent  // mutex operations, sorted by position
 	calls    []callSite   // resolved static calls, sorted by position
 	accesses []accessSite // guarded-field reads/writes, sorted by position
+	atomics  []atomicOp   // sync/atomic operations on tracked fields, sorted
 }
 
 // lockEvent is one Lock/RLock/Unlock/RUnlock call on a mutex.
@@ -38,7 +41,20 @@ type lockEvent struct {
 	name     string // source-level mutex name, for diagnostics
 	pos      token.Pos
 	unlock   bool
+	rlock    bool // RLock/RUnlock: a shared hold, not an exclusive one
 	deferred bool // runs at function exit (defer), not at its position
+}
+
+// atomicOp is one sync/atomic operation on a struct field under the atomics
+// discipline (//act:atomic, //act:seqlock, or simply a sync/atomic-typed
+// field): a method call on an atomic wrapper type or a legacy
+// atomic.LoadX/StoreX/AddX/... call on the field's address.
+type atomicOp struct {
+	field    types.Object
+	op       string // Load, Store, Add, Swap, CompareAndSwap, ...
+	pos      token.Pos
+	argOne   bool // for Add: the delta is the constant 1
+	deferred bool
 }
 
 // callSite is one statically resolved call.
@@ -85,6 +101,7 @@ func buildCallGraph(l *loader, ann *annotations) *callGraph {
 		sort.Slice(ctx.events, func(i, j int) bool { return ctx.events[i].pos < ctx.events[j].pos })
 		sort.Slice(ctx.calls, func(i, j int) bool { return ctx.calls[i].pos < ctx.calls[j].pos })
 		sort.Slice(ctx.accesses, func(i, j int) bool { return ctx.accesses[i].pos < ctx.accesses[j].pos })
+		sort.Slice(ctx.atomics, func(i, j int) bool { return ctx.atomics[i].pos < ctx.atomics[j].pos })
 	}
 	return cg
 }
@@ -122,6 +139,9 @@ func (cg *callGraph) walkBody(l *loader, ann *annotations, ctx *funcContext, bod
 			if ev, ok := cg.lockEventOf(l, ann, n.Call); ok {
 				ev.deferred = true
 				ctx.events = append(ctx.events, ev)
+			} else if op, ok := atomicOpOf(l, ann, n.Call); ok {
+				op.deferred = true
+				ctx.atomics = append(ctx.atomics, op)
 			} else if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
 				cg.walkBody(l, ann, ctx, lit.Body, true)
 			} else if callee := l.calleeOf(n.Call); callee != nil {
@@ -136,6 +156,10 @@ func (cg *callGraph) walkBody(l *loader, ann *annotations, ctx *funcContext, bod
 				ev.deferred = deferred
 				ctx.events = append(ctx.events, ev)
 				return true
+			}
+			if op, ok := atomicOpOf(l, ann, n); ok {
+				op.deferred = deferred
+				ctx.atomics = append(ctx.atomics, op)
 			}
 			if callee := l.calleeOf(n); callee != nil {
 				ctx.calls = append(ctx.calls, callSite{callee: callee, pos: n.Pos()})
@@ -159,11 +183,15 @@ func (cg *callGraph) lockEventOf(l *loader, ann *annotations, call *ast.CallExpr
 	if !ok {
 		return lockEvent{}, false
 	}
-	var unlock bool
+	var unlock, rlock bool
 	switch sel.Sel.Name {
-	case "Lock", "RLock":
-	case "Unlock", "RUnlock":
+	case "Lock":
+	case "RLock":
+		rlock = true
+	case "Unlock":
 		unlock = true
+	case "RUnlock":
+		unlock, rlock = true, true
 	default:
 		return lockEvent{}, false
 	}
@@ -186,7 +214,78 @@ func (cg *callGraph) lockEventOf(l *loader, ann *annotations, call *ast.CallExpr
 	if muObj == nil || !isMutex(muObj.Type()) {
 		return lockEvent{}, false
 	}
-	return lockEvent{class: ann.locks[muObj], name: muName, pos: call.Pos(), unlock: unlock}, true
+	return lockEvent{class: ann.locks[muObj], name: muName, pos: call.Pos(), unlock: unlock, rlock: rlock}, true
+}
+
+// atomicTracked reports whether fld is under the atomics discipline: a
+// sync/atomic-typed struct field, or one annotated //act:atomic or
+// //act:seqlock.
+func atomicTracked(ann *annotations, fld types.Object) bool {
+	if fld == nil {
+		return false
+	}
+	if ann.atomic[fld] {
+		return true
+	}
+	if _, ok := ann.seqlock[fld]; ok {
+		return true
+	}
+	return isAtomicType(fld.Type())
+}
+
+// atomicOpOf recognizes a sync/atomic operation on a tracked struct field:
+// a method call on an atomic wrapper field (<x>.<f>.Load()) or a legacy
+// package call on its address (atomic.AddInt64(&<x>.<f>, 1)).
+func atomicOpOf(l *loader, ann *annotations, call *ast.CallExpr) (atomicOp, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return atomicOp{}, false
+	}
+	// Method form: the receiver is a field of a sync/atomic wrapper type.
+	if inner, ok := unparen(sel.X).(*ast.SelectorExpr); ok {
+		if fld := l.fieldOf(inner); fld != nil && isAtomicType(fld.Type()) && atomicTracked(ann, fld) {
+			if op, ok := atomicOpName(sel.Sel.Name); ok {
+				return atomicOp{field: fld, op: op, pos: call.Pos(), argOne: op == "Add" && argIsOne(l, call, 0)}, true
+			}
+		}
+	}
+	// Legacy form: atomic.LoadUint64(&s.f), atomic.AddInt64(&s.f, 1), ...
+	if callee := l.calleeOf(call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "sync/atomic" && len(call.Args) > 0 {
+		if op, ok := atomicOpName(callee.Name()); ok {
+			if ue, isAddr := unparen(call.Args[0]).(*ast.UnaryExpr); isAddr && ue.Op == token.AND {
+				if fsel, ok := unparen(ue.X).(*ast.SelectorExpr); ok {
+					if fld := l.fieldOf(fsel); atomicTracked(ann, fld) {
+						return atomicOp{field: fld, op: op, pos: call.Pos(), argOne: op == "Add" && argIsOne(l, call, 1)}, true
+					}
+				}
+			}
+		}
+	}
+	return atomicOp{}, false
+}
+
+// atomicOpName maps a sync/atomic method or function name to its canonical
+// operation (AddInt64 and Add are both "Add").
+func atomicOpName(name string) (string, bool) {
+	for _, op := range []string{"CompareAndSwap", "Load", "Store", "Swap", "Add", "Or", "And"} {
+		if strings.HasPrefix(name, op) {
+			return op, true
+		}
+	}
+	return "", false
+}
+
+// argIsOne reports whether the i-th argument of the call is the constant 1.
+func argIsOne(l *loader, call *ast.CallExpr, i int) bool {
+	if i >= len(call.Args) {
+		return false
+	}
+	tv, ok := l.info.Types[call.Args[i]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Uint64Val(tv.Value)
+	return ok && v == 1
 }
 
 // heldAt reports whether class is held at pos within a context, given the

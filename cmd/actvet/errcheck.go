@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// errcheck is a stdlib-only unchecked-error pass over the engine packages:
+// a call whose final result is an error must not have that error silently
+// discarded — as a bare statement, behind a defer (the classic leaked
+// Close/Rollback failure on the exit path), behind a go statement (the
+// error vanishes with the goroutine), or assigned to the blank identifier.
+// //act:ignore-err <reason> on the line (or the line above) is the audited
+// escape hatch; the reason is mandatory.
+//
+// Scope: package main is exempt (the command wrappers report through their
+// exit status and os.Stderr), as are fmt's formatted-print family — their
+// error is the destination writer's, observed where the writer is flushed
+// or closed — and the never-failing bytes.Buffer/strings.Builder methods.
+func errcheck(l *loader, p *pkgData, ann *annotations) []diagnostic {
+	if p.pkg.Name() == "main" {
+		return nil
+	}
+	var diags []diagnostic
+	diag := func(n ast.Node, format string, args ...any) {
+		pos := l.position(n.Pos())
+		if _, ok := ann.ignoreErr[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]; ok {
+			return
+		}
+		if _, ok := ann.ignoreErr[fmt.Sprintf("%s:%d", pos.Filename, pos.Line-1)]; ok {
+			return
+		}
+		diags = append(diags, diagnostic{pos: pos, analyzer: "errcheck", msg: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && l.callReturnsError(call) && !errcheckExempt(l, call) {
+					diag(n, "unchecked error: the result of %s is discarded (handle it, or annotate //act:ignore-err <reason>)", callName(l, call))
+				}
+			case *ast.DeferStmt:
+				if l.callReturnsError(n.Call) && !errcheckExempt(l, n.Call) {
+					diag(n, "deferred %s discards its error: a failure on the exit path vanishes (capture it in a closure, or annotate //act:ignore-err <reason>)", callName(l, n.Call))
+				}
+			case *ast.GoStmt:
+				if l.callReturnsError(n.Call) && !errcheckExempt(l, n.Call) {
+					diag(n, "go %s discards its error along with the goroutine (collect it, or annotate //act:ignore-err <reason>)", callName(l, n.Call))
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok || errcheckExempt(l, call) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name != "_" {
+						continue
+					}
+					if resultIsError(l, call, i, len(n.Lhs)) {
+						diag(n, "error result of %s assigned to _ (handle it, or annotate //act:ignore-err <reason>)", callName(l, call))
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// callReturnsError reports whether the call's final result is an error.
+func (l *loader) callReturnsError(call *ast.CallExpr) bool {
+	t := l.typeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+// resultIsError reports whether the i-th of n assigned results of the call
+// is an error.
+func resultIsError(l *loader, call *ast.CallExpr, i, n int) bool {
+	t := l.typeOf(call)
+	if t == nil {
+		return false
+	}
+	tup, ok := t.(*types.Tuple)
+	if !ok {
+		return n == 1 && i == 0 && isErrorType(t)
+	}
+	if tup.Len() != n || i >= tup.Len() {
+		return false
+	}
+	return isErrorType(tup.At(i).Type())
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errcheckExempt reports whether the callee belongs to the never-checked
+// set: fmt's print family and the infallible bytes.Buffer/strings.Builder
+// methods.
+func errcheckExempt(l *loader, call *ast.CallExpr) bool {
+	callee := l.calleeOf(call)
+	if callee == nil {
+		return false
+	}
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch callee.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// callName renders the called function for a diagnostic.
+func callName(l *loader, call *ast.CallExpr) string {
+	if callee := l.calleeOf(call); callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+			rt := sig.Recv().Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				return named.Obj().Name() + "." + callee.Name()
+			}
+		}
+		return callee.Name()
+	}
+	return "the call"
+}

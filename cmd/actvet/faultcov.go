@@ -1,0 +1,305 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// faultcov keeps the fault-injection seam registry honest: the Point
+// constants in the module's fault package, the //act:seam annotations on the
+// engine functions that host them, the injection-point registry table in
+// docs/ANNOTATIONS.md, and the test rules that arm them must all agree.
+// Hand-maintained three-way agreement is exactly the kind that drifts, and a
+// drifted seam is a chaos suite that silently stops covering a failure path.
+//
+//   - a function annotated //act:seam must contain a fault.Hit/MustHit call;
+//   - a fault.Hit/MustHit call outside the fault package must sit in an
+//     //act:seam function, and its point argument must be one of the
+//     declared Point constants;
+//   - every declared Point constant must be listed in the fault package's
+//     Points() registry function, hit by at least one seam, documented as a
+//     row of the "Injection-point registry" table in docs/ANNOTATIONS.md,
+//     and referenced by at least one _test.go file (a rule that can arm it);
+//   - a documentation row naming no declared constant is drift in the other
+//     direction and fails the same way.
+func faultcov(l *loader, cg *callGraph, ann *annotations) []diagnostic {
+	var diags []diagnostic
+	fp := findFaultPkg(l)
+	if fp == nil {
+		// No fault package: every declared seam is unsatisfiable.
+		for obj := range ann.seam {
+			diags = append(diags, diagnostic{
+				pos:      l.position(obj.Pos()),
+				analyzer: "faultcov",
+				msg:      "//act:seam declared but the module has no fault package (a package named fault exporting Point, Hit and MustHit)",
+			})
+		}
+		return diags
+	}
+	diag := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, diagnostic{pos: l.position(pos), analyzer: "faultcov", msg: fmt.Sprintf(format, args...)})
+	}
+
+	// The declared injection points, by constant object.
+	type pointInfo struct {
+		obj types.Object
+		val string
+	}
+	var points []pointInfo
+	byObj := map[types.Object]string{}
+	scope := fp.pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Point" || named.Obj().Pkg() != fp.pkg {
+			continue
+		}
+		val := constant.StringVal(c.Val())
+		points = append(points, pointInfo{obj: c, val: val})
+		byObj[c] = val
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].val < points[j].val })
+
+	hitObj := scope.Lookup("Hit")
+	mustHitObj := scope.Lookup("MustHit")
+
+	// Every Hit/MustHit site outside the fault package: resolve the point
+	// argument, demand the //act:seam annotation on the hosting function.
+	hitBy := map[types.Object]bool{}  // const -> some seam hits it
+	hasHit := map[types.Object]bool{} // seam function -> contains a hit
+	for _, p := range l.pkgs {
+		if !p.local || p == fp {
+			continue
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fnObj := l.info.Defs[fd.Name]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := l.calleeOf(call)
+					if callee == nil || (callee != hitObj && callee != mustHitObj) {
+						return true
+					}
+					if fnObj != nil && !ann.seam[fnObj] {
+						diag(call.Pos(), "%s call in %s, which is not annotated //act:seam: declare the seam so its coverage is tracked", callee.Name(), fnObj.Name())
+					}
+					if fnObj != nil {
+						hasHit[fnObj] = true
+					}
+					if len(call.Args) == 0 {
+						return true
+					}
+					var argObj types.Object
+					switch a := unparen(call.Args[0]).(type) {
+					case *ast.Ident:
+						argObj = l.objOf(a)
+					case *ast.SelectorExpr:
+						argObj = l.objOf(a.Sel)
+					}
+					if _, ok := byObj[argObj]; ok {
+						hitBy[argObj] = true
+					} else {
+						diag(call.Args[0].Pos(), "%s point is not one of the fault package's declared Point constants: ad-hoc points escape the registry, the docs and the chaos sweep", callee.Name())
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Declared seams must contain an injection point.
+	decls := moduleFuncDecls(l)
+	for obj := range ann.seam {
+		if hasHit[obj] {
+			continue
+		}
+		if fd, ok := decls[obj]; ok && fd.Body != nil {
+			diag(fd.Name.Pos(), "function %s is annotated //act:seam but contains no fault.Hit/MustHit injection point", obj.Name())
+		}
+	}
+
+	// The Points() registry function must list every constant.
+	inPoints := map[types.Object]bool{}
+	for _, f := range fp.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Points" || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := l.objOf(id); obj != nil {
+						if _, ok := byObj[obj]; ok {
+							inPoints[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// The documentation registry table.
+	docRows, docDiags := faultDocRows(l, fp)
+	diags = append(diags, docDiags...)
+	testRefs := faultTestRefs(l, fp, byObj)
+
+	for _, pt := range points {
+		if !inPoints[pt.obj] {
+			diag(pt.obj.Pos(), "injection point %s is not listed in Points(): the randomized chaos sweep will never arm it", pt.val)
+		}
+		if !hitBy[pt.obj] {
+			diag(pt.obj.Pos(), "injection point %s has no fault.Hit/MustHit site outside the fault package: an orphaned point is a seam that tests nothing", pt.val)
+		}
+		if docRows != nil {
+			if _, ok := docRows[pt.val]; !ok {
+				diag(pt.obj.Pos(), "injection point %s has no row in the docs/ANNOTATIONS.md injection-point registry table", pt.val)
+			}
+		}
+		if !testRefs[pt.obj.Name()] {
+			diag(pt.obj.Pos(), "injection point %s is referenced by no _test.go file: no rule can arm the seam, so it is never exercised", pt.val)
+		}
+	}
+	// Drift in the other direction: documented rows naming no constant.
+	vals := map[string]bool{}
+	for _, pt := range points {
+		vals[pt.val] = true
+	}
+	var rows []string
+	for row := range docRows {
+		if !vals[row] {
+			rows = append(rows, row)
+		}
+	}
+	sort.Strings(rows)
+	for _, row := range rows {
+		if tp := scope.Lookup("Point"); tp != nil {
+			diag(tp.Pos(), "docs/ANNOTATIONS.md registry row %q names no declared Point constant: stale documentation", row)
+		}
+	}
+	return diags
+}
+
+// findFaultPkg locates the module's fault package: a local package named
+// fault that exports a string-backed Point type and Hit/MustHit functions.
+func findFaultPkg(l *loader) *pkgData {
+	var paths []string
+	for path := range l.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p := l.pkgs[path]
+		if !p.local || p.pkg.Name() != "fault" {
+			continue
+		}
+		scope := p.pkg.Scope()
+		tn, ok := scope.Lookup("Point").(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if b, ok := tn.Type().Underlying().(*types.Basic); !ok || b.Kind() != types.String {
+			continue
+		}
+		if scope.Lookup("Hit") == nil || scope.Lookup("MustHit") == nil {
+			continue
+		}
+		return p
+	}
+	return nil
+}
+
+// faultDocRows parses the "Injection-point registry" table of
+// docs/ANNOTATIONS.md under the module root, returning the point value of
+// each row (the backticked first cell) keyed to its line number. A missing
+// file or table is itself a diagnostic, anchored at the Point type.
+func faultDocRows(l *loader, fp *pkgData) (map[string]int, []diagnostic) {
+	anchor := l.position(fp.pkg.Scope().Lookup("Point").Pos())
+	path := filepath.Join(l.modRoot, "docs", "ANNOTATIONS.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, []diagnostic{{pos: anchor, analyzer: "faultcov",
+			msg: "docs/ANNOTATIONS.md is missing: the injection-point registry table must document every declared point"}}
+	}
+	rows := map[string]int{}
+	inTable := false
+	for i, line := range strings.Split(string(data), "\n") {
+		switch {
+		case strings.HasPrefix(line, "#") && strings.Contains(strings.ToLower(line), "injection-point registry"):
+			inTable = true
+		case inTable && strings.HasPrefix(line, "#"):
+			inTable = false
+		case inTable && strings.HasPrefix(line, "| `"):
+			rest := strings.TrimPrefix(line, "| `")
+			if name, _, ok := strings.Cut(rest, "`"); ok {
+				rows[name] = i + 1
+			}
+		}
+	}
+	if !inTable && len(rows) == 0 {
+		return nil, []diagnostic{{pos: anchor, analyzer: "faultcov",
+			msg: "docs/ANNOTATIONS.md has no \"Injection-point registry\" table: every declared point needs a documented row"}}
+	}
+	return rows, nil
+}
+
+// faultTestRefs scans every _test.go file of the module (parse-only — test
+// files are not part of the type-checked load) for references to the fault
+// package's Point constants: a qualified selector <pkg>.<Const> anywhere, or
+// a bare <Const> in the fault package's own test files.
+func faultTestRefs(l *loader, fp *pkgData, byObj map[types.Object]string) map[string]bool {
+	names := map[string]bool{}
+	for obj := range byObj {
+		names[obj.Name()] = true
+	}
+	refs := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, p := range l.pkgs {
+		if !p.local {
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(p.dir, "*_test.go"))
+		if err != nil {
+			continue
+		}
+		inFault := p == fp
+		for _, path := range matches {
+			f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if _, ok := n.X.(*ast.Ident); ok && names[n.Sel.Name] {
+						refs[n.Sel.Name] = true
+					}
+				case *ast.Ident:
+					if inFault && names[n.Name] {
+						refs[n.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return refs
+}

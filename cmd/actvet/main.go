@@ -5,7 +5,7 @@
 // is never written through, hot probe loops stay allocation-free, and the
 // published-snapshot pointer is swapped only by the publish machinery. Those
 // rules are declared in the source as machine-readable //act: annotations
-// (see docs/ANNOTATIONS.md), and actvet checks them with nine analyzers.
+// (see docs/ANNOTATIONS.md), and actvet checks them with thirteen analyzers.
 //
 // Per-function checks:
 //
@@ -35,6 +35,9 @@
 //     top-level recover (panic containment at the goroutine boundary —
 //     nothing above a goroutine on the stack can recover for it) or carries
 //     an //act:norecover <reason> site annotation.
+//   - errcheck: in non-main packages, a call whose final result is an error
+//     must not be discarded — as a statement, behind defer or go, or
+//     assigned to _ — unless the line carries //act:ignore-err <reason>.
 //
 // Whole-program checks, over a go/types-resolved call graph of the module:
 //
@@ -50,15 +53,32 @@
 //     with //act:allow-alloc <reason> site suppressions, and must each be
 //     covered by a testing.AllocsPerRun case declared with an
 //     //act:alloc-harness marker.
+//   - atomcheck: every sync/atomic-typed struct field carries //act:atomic;
+//     //act:atomic fields are never touched outside sync/atomic, never
+//     copied by value, and load-then-store read-modify-write sequences run
+//     under a held lock class or a CompareAndSwap loop.
+//   - seqcheck: an //act:seqlock <class> generation field follows the
+//     seqlock protocol — writers bump odd/even in paired Add(1)s (the
+//     restore deferred, so a panic exit cannot strand readers on an odd
+//     generation) under the class held exclusively; readers use the
+//     even-stable re-check pattern or hold the class.
+//   - faultcov: //act:seam functions contain a fault.Hit/MustHit point, and
+//     the fault package's Point constants, its Points() registry, the
+//     docs/ANNOTATIONS.md injection-point table and the _test.go rules that
+//     arm them all stay in agreement.
 //
 // Usage:
 //
-//	actvet [-allocharness] [packages]
+//	actvet [-allocharness] [-json] [-faultregistry] [packages]
 //
 // Packages are directories or "dir/..." patterns relative to the current
 // module; with no arguments it vets "./...". -allocharness prints
 // AllocsPerRun skeletons for annotated functions that lack a harness case
-// instead of vetting. The analyzers use only stdlib packages (go/parser,
+// instead of vetting; -json reports diagnostics as a JSON array of
+// {file,line,col,analyzer,message} objects (file relative to the module
+// root) for machine consumption; -faultregistry prints the live
+// injection-point list, one point value per line, for the CI drift gate
+// against the documentation table. The analyzers use only stdlib packages (go/parser,
 // go/ast, go/types); imports — including the standard library — are
 // type-checked from source, so the tool runs in the build image with no
 // installed toolchain artifacts (allocbound additionally shells out to
@@ -67,8 +87,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/constant"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -77,6 +100,8 @@ import (
 
 func main() {
 	harness := flag.Bool("allocharness", false, "print AllocsPerRun skeletons for uncovered //act:hotpath///act:noalloc functions")
+	jsonOut := flag.Bool("json", false, "report diagnostics as a JSON array of {file,line,col,analyzer,message} objects")
+	registry := flag.Bool("faultregistry", false, "print the live injection-point list, one point value per line")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -97,18 +122,92 @@ func main() {
 		fmt.Print(out)
 		return
 	}
+	if *registry {
+		l, _, err := loadPatterns(".", args)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actvet: %v\n", err)
+			os.Exit(2)
+		}
+		points, err := faultRegistry(l)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, pt := range points {
+			fmt.Println(pt)
+		}
+		return
+	}
 	diags, err := vet(".", args)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "actvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		modRoot, _, err := findModule(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actvet: %v\n", err)
+			os.Exit(2)
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(jsonDiags(diags, modRoot)); err != nil {
+			fmt.Fprintf(os.Stderr, "actvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "actvet: %d violations\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the machine-readable form of one diagnostic, with the file
+// path relative to the module root so CI can map it onto the PR diff.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func jsonDiags(diags []diagnostic, modRoot string) []jsonDiag {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.pos.Filename
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonDiag{File: file, Line: d.pos.Line, Col: d.pos.Column, Analyzer: d.analyzer, Message: d.msg})
+	}
+	return out
+}
+
+// faultRegistry returns the module's declared injection-point values,
+// sorted, for the CI drift gate against the documentation table.
+func faultRegistry(l *loader) ([]string, error) {
+	fp := findFaultPkg(l)
+	if fp == nil {
+		return nil, fmt.Errorf("no fault package (a local package named fault exporting Point, Hit and MustHit) in the load")
+	}
+	var points []string
+	scope := fp.pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Point" || named.Obj().Pkg() != fp.pkg {
+			continue
+		}
+		points = append(points, constant.StringVal(c.Val()))
+	}
+	sort.Strings(points)
+	return points, nil
 }
 
 // loadPatterns loads the packages matched by patterns into a fresh loader.
@@ -139,10 +238,10 @@ func loadPatterns(cwd string, patterns []string) (*loader, []*pkgData, error) {
 }
 
 // vet loads and analyzes the packages matched by patterns, returning the
-// formatted diagnostics sorted by position. The per-function analyzers run
-// on the matched packages; the whole-program analyzers run once over every
+// diagnostics sorted by position. The per-function analyzers run on the
+// matched packages; the whole-program analyzers run once over every
 // module-local package the load pulled in.
-func vet(cwd string, patterns []string) ([]string, error) {
+func vet(cwd string, patterns []string) ([]diagnostic, error) {
 	l, pkgs, err := loadPatterns(cwd, patterns)
 	if err != nil {
 		return nil, err
@@ -159,29 +258,29 @@ func vet(cwd string, patterns []string) ([]string, error) {
 		diags = append(diags, publishcheck(l, p, ann)...)
 		diags = append(diags, doccheck(l, p, ann)...)
 		diags = append(diags, gocheck(l, p, ann)...)
+		diags = append(diags, errcheck(l, p, ann)...)
 	}
 	diags = append(diags, lockorder(l, cg, ann)...)
 	diags = append(diags, snapcheck(l, cg, ann)...)
+	diags = append(diags, atomcheck(l, cg, ann)...)
+	diags = append(diags, seqcheck(l, cg, ann)...)
+	diags = append(diags, faultcov(l, cg, ann)...)
 	ab, err := allocbound(l, cg, ann)
 	if err != nil {
 		return nil, err
 	}
 	diags = append(diags, ab...)
 
-	out := make([]string, len(diags))
-	for i, d := range diags {
-		out[i] = d.String()
-	}
-	sort.Strings(out)
-	return dedup(out), nil
+	sort.Slice(diags, func(i, j int) bool { return diags[i].String() < diags[j].String() })
+	return dedup(diags), nil
 }
 
 // dedup drops adjacent duplicates from a sorted slice (the same annotation
 // error can surface once per vetted package that loads the file).
-func dedup(s []string) []string {
+func dedup(s []diagnostic) []diagnostic {
 	out := s[:0]
 	for i, v := range s {
-		if i == 0 || v != s[i-1] {
+		if i == 0 || v.String() != s[i-1].String() {
 			out = append(out, v)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"go/ast"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -59,6 +60,14 @@ func runFixture(t *testing.T, dir string) {
 		diags = append(diags, doccheck(l, p, ann)...)
 	case "gocheck":
 		diags = append(diags, gocheck(l, p, ann)...)
+	case "errcheck":
+		diags = append(diags, errcheck(l, p, ann)...)
+	case "atomcheck":
+		diags = append(diags, atomcheck(l, buildCallGraph(l, ann), ann)...)
+	case "seqcheck":
+		diags = append(diags, seqcheck(l, buildCallGraph(l, ann), ann)...)
+	case "faultcov":
+		diags = append(diags, faultcov(l, buildCallGraph(l, ann), ann)...)
 	case "lockorder":
 		diags = append(diags, lockorder(l, buildCallGraph(l, ann), ann)...)
 	case "snapcheck":
@@ -78,8 +87,17 @@ func runFixture(t *testing.T, dir string) {
 		re      *regexp.Regexp
 		matched bool
 	}
+	// want comments are collected from every local package of the fixture
+	// module, not just the root: faultcov fixtures anchor diagnostics on
+	// their fault subpackage's declarations.
+	var files []*ast.File
+	for _, lp := range l.pkgs {
+		if lp.local {
+			files = append(files, lp.files...)
+		}
+	}
 	var wants []*want
-	for _, f := range p.files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := wantRE.FindStringSubmatch(c.Text)

@@ -1,0 +1,47 @@
+// Package fixture shows the shapes atomcheck accepts: declared atomic
+// fields operated through their methods, a legacy word reached only via
+// sync/atomic, single-op RMWs, a CAS loop, and a lock-protected
+// load-then-store.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter keeps all its atomic state declared and disciplined.
+type counter struct {
+	hits atomic.Int64 //act:atomic
+	mode atomic.Int64 //act:atomic
+	raw  int64        //act:atomic legacy word, touched only through sync/atomic
+	mu   sync.Mutex   //act:lock ctrmu
+}
+
+// bump is a single atomic read-modify-write.
+func (c *counter) bump() { c.hits.Add(1) }
+
+// rawAdd touches the legacy word only through sync/atomic.
+func (c *counter) rawAdd() int64 { return atomic.AddInt64(&c.raw, 1) }
+
+// share hands the atomic out by pointer, never by value.
+func (c *counter) share() *atomic.Int64 { return &c.hits }
+
+// casLoop re-validates its read before every store.
+func (c *counter) casLoop() {
+	for {
+		v := c.mode.Load()
+		if c.mode.CompareAndSwap(v, v|4) {
+			return
+		}
+	}
+}
+
+// reset rewrites the counter with its lock held across both ends, so no
+// writer can interleave between the load and the store.
+func (c *counter) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hits.Load() > 0 {
+		c.hits.Store(0)
+	}
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises errcheck: errors discarded as bare statements,
+// behind defer and go statements, and hidden behind the blank identifier.
+package fixture
+
+import "errors"
+
+// conn is a closable resource whose Close can fail.
+type conn struct{}
+
+// Close always fails, so there is an error worth dropping.
+func (c *conn) Close() error { return errors.New("close") }
+
+// fail returns an error.
+func fail() error { return errors.New("fail") }
+
+// pair returns a value and an error.
+func pair() (int, error) { return 0, errors.New("pair") }
+
+// statement drops the error on the floor.
+func statement() {
+	fail() // want `unchecked error: the result of fail is discarded`
+}
+
+// deferred loses a Close failure on the exit path.
+func deferred(c *conn) error {
+	defer c.Close() // want `deferred conn.Close discards its error`
+	return nil
+}
+
+// launched loses the error with the goroutine.
+func launched() {
+	go fail() // want `go fail discards its error`
+}
+
+// blanked hides the error of a multi-result call.
+func blanked() int {
+	v, _ := pair() // want `error result of pair assigned to _`
+	return v
+}
+
+// blankSingle discards explicitly, but without an audit note.
+func blankSingle() {
+	_ = fail() // want `error result of fail assigned to _`
+}

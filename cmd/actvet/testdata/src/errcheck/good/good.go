@@ -1,0 +1,52 @@
+// Package fixture shows the shapes errcheck accepts: handled errors, a
+// closure-captured deferred Close, the audited //act:ignore-err escape
+// hatch, and the exempt fmt/builder calls.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// conn is a closable resource whose Close can fail.
+type conn struct{}
+
+// Close always fails, so there is an error worth handling.
+func (c *conn) Close() error { return errors.New("close") }
+
+// fail returns an error.
+func fail() error { return errors.New("fail") }
+
+// handled propagates its error.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// deferredChecked captures the Close error in a closure so the exit path
+// reports it.
+func deferredChecked(c *conn) (err error) {
+	defer func() {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// audited opts out with a mandatory reason.
+func audited() {
+	//act:ignore-err best-effort warmup; a miss is re-fetched on demand
+	fail()
+}
+
+// printing uses the exempt fmt print family and the infallible builders.
+func printing(b *strings.Builder) {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "%d\n", 1)
+	b.WriteString("x")
+}

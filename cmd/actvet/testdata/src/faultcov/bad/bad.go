@@ -1,0 +1,42 @@
+// Package fixture exercises faultcov: undeclared seams, seams without
+// points, ad-hoc points that bypass the registry, and registry entries
+// that drifted from the documentation and the tests.
+package fixture
+
+import "fixture/fault"
+
+// process is a declared seam hosting its injection point.
+//
+//act:seam
+func process() error {
+	if err := fault.Hit(fault.SpliceA); err != nil {
+		return err
+	}
+	return nil
+}
+
+// bare hosts an injection point without declaring the seam.
+func bare() error {
+	return fault.Hit(fault.SpliceB) // want `Hit call in bare, which is not annotated //act:seam`
+}
+
+// emptySeam declares a seam but contains no injection point.
+//
+//act:seam
+func emptySeam() error { // want `annotated //act:seam but contains no fault.Hit/MustHit`
+	return nil
+}
+
+// adHoc invents a point inline, bypassing the registry.
+//
+//act:seam
+func adHoc() {
+	fault.MustHit(fault.Point("ad-hoc")) // want `MustHit point is not one of the fault package's declared Point constants`
+}
+
+// undoc hits the point that lacks a documentation row.
+//
+//act:seam
+func undoc() error {
+	return fault.Hit(fault.Undoc)
+}

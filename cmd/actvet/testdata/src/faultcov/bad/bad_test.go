@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"testing"
+
+	"fixture/fault"
+)
+
+// TestArm references the points a rule can arm; Orphan is deliberately
+// absent.
+func TestArm(t *testing.T) {
+	for _, p := range []fault.Point{fault.SpliceA, fault.SpliceB, fault.Undoc} {
+		if p == "" {
+			t.Fatal("empty point")
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package fault declares the fixture's injection points.
+package fault
+
+// Point names one injection point.
+type Point string // want `registry row "ghost-point" names no declared Point constant`
+
+// The declared injection points of the fixture.
+const (
+	// SpliceA is fully covered: seam, registry, docs and tests agree.
+	SpliceA Point = "splice-a"
+	// SpliceB is hit but missing from the Points() registry.
+	SpliceB Point = "splice-b" // want `injection point splice-b is not listed in Points\(\)`
+	// Orphan is registered but no seam hits it and no test arms it.
+	Orphan Point = "orphan-point" // want `injection point orphan-point (has no fault.Hit/MustHit site|is referenced by no _test.go)`
+	// Undoc is live but has no documentation row.
+	Undoc Point = "undoc-point" // want `injection point undoc-point has no row in the docs/ANNOTATIONS.md`
+)
+
+// Points returns the registry the chaos sweep arms.
+func Points() []Point { return []Point{SpliceA, Orphan, Undoc} }
+
+// Hit reports whether the point should fail.
+func Hit(p Point) error { return nil }
+
+// MustHit panics when the point is armed.
+func MustHit(p Point) {}

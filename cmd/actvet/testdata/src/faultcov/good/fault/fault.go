@@ -1,0 +1,22 @@
+// Package fault declares the fixture's injection points.
+package fault
+
+// Point names one injection point.
+type Point string
+
+// The declared injection points of the fixture.
+const (
+	// SpliceA fires inside the splice seam.
+	SpliceA Point = "splice-a"
+	// SpliceB fires inside the merge seam.
+	SpliceB Point = "splice-b"
+)
+
+// Points returns the registry the chaos sweep arms.
+func Points() []Point { return []Point{SpliceA, SpliceB} }
+
+// Hit reports whether the point should fail.
+func Hit(p Point) error { return nil }
+
+// MustHit panics when the point is armed.
+func MustHit(p Point) {}

@@ -1,0 +1,23 @@
+// Package fixture shows the agreement faultcov accepts: every seam is
+// declared and hosts a registered point; every point is registered,
+// documented and armed by a test.
+package fixture
+
+import "fixture/fault"
+
+// splice is the first declared seam.
+//
+//act:seam
+func splice() error {
+	if err := fault.Hit(fault.SpliceA); err != nil {
+		return err
+	}
+	return nil
+}
+
+// merge is the second declared seam, on the panic path.
+//
+//act:seam
+func merge() {
+	fault.MustHit(fault.SpliceB)
+}

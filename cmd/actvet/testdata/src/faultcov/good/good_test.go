@@ -1,0 +1,17 @@
+package fixture
+
+import (
+	"testing"
+
+	"fixture/fault"
+)
+
+// TestArm references every declared point, so each seam has a rule that
+// can arm it.
+func TestArm(t *testing.T) {
+	for _, p := range []fault.Point{fault.SpliceA, fault.SpliceB} {
+		if p == "" {
+			t.Fatal("empty point")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises seqcheck: seqlock writers that can strand
+// readers on an odd generation — including the panic exit that skips a
+// straight-line restore — and readers that cannot detect a racing commit.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ring is a seqlock-protected composition.
+type ring struct {
+	mu   sync.RWMutex  //act:lock ringmu
+	gen  atomic.Uint64 //act:seqlock ringmu
+	vals []int
+}
+
+// orphan declares a seqlock against a lock class nothing declares.
+type orphan struct {
+	//act:seqlock ghostmu
+	gen atomic.Uint64 // want `//act:seqlock ghostmu on gen names no declared //act:lock class`
+}
+
+// commitLeaky restores the generation in straight-line code: a panic in
+// the append unwinds past the second Add and readers spin forever.
+func (r *ring) commitLeaky(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen.Add(1)
+	r.vals = append(r.vals, v)
+	r.gen.Add(1) // want `seqlock writer leaves gen odd on a panic exit: 2 bump\(s\) but 0 deferred restore\(s\)`
+}
+
+// commitStore rewrites the generation wholesale instead of bumping it.
+func (r *ring) commitStore() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen.Store(2) // want `seqlock generation gen written with Store`
+}
+
+// commitSkip jumps two generations at once, skipping the odd state that
+// warns readers off.
+func (r *ring) commitSkip() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen.Add(2) // want `seqlock generation gen must move by Add\(1\)`
+}
+
+// commitUnlocked bumps with no lock at all: two writers interleave their
+// parity transitions.
+func (r *ring) commitUnlocked(v int) {
+	r.gen.Add(1) // want `seqlock writer bumps gen without holding lock class ringmu exclusively`
+	defer r.gen.Add(1)
+	r.vals = append(r.vals, v)
+}
+
+// commitShared bumps under the shared side of the lock, which admits a
+// second concurrent writer.
+func (r *ring) commitShared(v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.gen.Add(1) // want `seqlock writer bumps gen without holding lock class ringmu exclusively`
+	defer r.gen.Add(1)
+	r.vals = append(r.vals, v)
+}
+
+// commitBackwards only defers a bump: the function exits odd.
+func (r *ring) commitBackwards() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	defer r.gen.Add(1) // want `seqlock writer defers 1 restore\(s\) of gen against 0 bump\(s\)`
+}
+
+// readOnce gathers after a single load: it cannot tell whether a commit
+// raced the gather.
+func (r *ring) readOnce() []int {
+	g := r.gen.Load() // want `seqlock reader loads gen once`
+	if g&1 != 0 {
+		return nil
+	}
+	return r.vals
+}
+
+// readNoRecheck rejects odd generations but never re-compares, so a
+// commit that lands mid-gather goes unnoticed.
+func (r *ring) readNoRecheck() []int {
+	g := r.gen.Load() // want `seqlock reader never re-compares a fresh gen.Load\(\)`
+	if g&1 != 0 {
+		return nil
+	}
+	out := r.vals
+	g2 := r.gen.Load()
+	_ = g2
+	return out
+}
+
+// readNoOddTest re-compares but gathers even while a writer is mid-commit.
+func (r *ring) readNoOddTest() []int {
+	g := r.gen.Load() // want `seqlock reader never tests gen for oddness`
+	out := r.vals
+	if r.gen.Load() == g {
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Package fixture shows the seqlock protocol seqcheck accepts: an
+// exclusive-locked writer with a deferred restore, the even-stable
+// re-check reader, and the lock-fallback reader.
+package fixture
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ring is a seqlock-protected composition.
+type ring struct {
+	mu   sync.RWMutex  //act:lock ringmu
+	gen  atomic.Uint64 //act:seqlock ringmu
+	vals []int
+}
+
+// commit runs the writer protocol: exclusive lock, odd bump, and a
+// deferred even restore that runs on every exit path, panics included.
+func (r *ring) commit(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen.Add(1)
+	defer r.gen.Add(1)
+	r.vals = append(r.vals, v)
+}
+
+// read is the even-stable pattern with the shared-lock fallback.
+func (r *ring) read() []int {
+	for i := 0; i < 8; i++ {
+		g := r.gen.Load()
+		if g&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		out := append([]int(nil), r.vals...)
+		if r.gen.Load() == g {
+			return out
+		}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]int(nil), r.vals...)
+}
+
+// readLocked gathers entirely under the shared lock: writers hold the
+// exclusive side, so the generation cannot move mid-gather.
+func (r *ring) readLocked() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_ = r.gen.Load()
+	return append([]int(nil), r.vals...)
+}

@@ -130,7 +130,7 @@ type compaction struct {
 	// cancel tells the build to stop between phases and wakes backoff
 	// sleeps; set (and cancelCh closed) at most once, by
 	// abandonCompactionLocked.
-	cancel   atomic.Bool
+	cancel   atomic.Bool //act:atomic
 	cancelCh chan struct{}
 
 	// replay collects the dirty roots of every publish since the compaction
@@ -225,6 +225,8 @@ func compactBase(base *Snapshot, cancel *atomic.Bool) *compactResult {
 // killing the process. The build touches only goroutine-private and frozen
 // state, so a half-done attempt leaves nothing to clean up. res is nil with
 // a nil error when the build observed cancellation and stopped early.
+//
+//act:seam
 func buildCompaction(c *compaction) (res *compactResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -331,6 +333,7 @@ func (ix *Index) dropCompaction(c *compaction) {
 // nothing until it returns a fully patched snapshot).
 //
 //act:publisher
+//act:seam
 func (ix *Index) landGuarded(c *compaction) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -392,6 +395,7 @@ func (ix *Index) forceQuarantine(err error) {
 // its PublishStats counter.
 //
 //act:requires mu
+//act:seam
 func (ix *Index) reconcileLocked(c *compaction) *Snapshot {
 	if ix.compacting != c {
 		return nil

@@ -46,6 +46,8 @@ type PatchRegion struct {
 // ok is false when the regions cannot be expressed in t's frozen layout;
 // the caller must fall back to a full Build. Patches must be chained
 // linearly (each from the latest tree), which the publish mutex guarantees.
+//
+//act:seam
 func (t *Tree) Patch(regions []PatchRegion, totalCells int) (nt *Tree, ok bool) {
 	// Injected faults surface as a layout refusal — the failure mode every
 	// caller already falls back from. The point sits before any validation
@@ -163,6 +165,8 @@ func (t *Tree) Patch(regions []PatchRegion, totalCells int) (nt *Tree, ok bool) 
 // other patch — the whole point of compacting off the critical path — and it
 // never orphans concurrently-held frozen views, which retain the arena they
 // were built over.
+//
+//act:seam
 func (t *Tree) GrowArena(extraNodes int) {
 	if extraNodes <= 0 || cap(t.entries)-len(t.entries) >= extraNodes*t.fanout {
 		return

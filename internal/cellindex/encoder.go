@@ -178,6 +178,8 @@ func (e *Encoder) Release(entry refs.Entry) {
 // Begin opens a patch journal: every AppendCells/Release refcount change
 // until Commit or Rollback is recorded so an abandoned patch can be undone
 // exactly. Panics if a patch is already open — patches never nest.
+//
+//act:seam
 func (e *Encoder) Begin() {
 	fault.MustHit(fault.EncoderBegin)
 	if e.journaling {
@@ -188,6 +190,8 @@ func (e *Encoder) Begin() {
 }
 
 // Commit closes the open patch journal, keeping its effects.
+//
+//act:seam
 func (e *Encoder) Commit() {
 	fault.MustHit(fault.EncoderCommit)
 	if !e.journaling {
@@ -203,6 +207,8 @@ func (e *Encoder) Commit() {
 // re-encodes the same list), and records the patch released regain their
 // reference. Table words appended by the aborted patch are thereby counted
 // as garbage, so the compaction thresholds see them.
+//
+//act:seam
 func (e *Encoder) Rollback() {
 	fault.MustHit(fault.EncoderRollback)
 	if !e.journaling {

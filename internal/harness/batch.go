@@ -70,6 +70,5 @@ func (e *Env) Batch(w io.Writer) error {
 			t.row(workload, r.name, fmtMpts(mpts), fmtSpeedup(mpts/base), hit)
 		}
 	}
-	t.flush()
-	return nil
+	return t.flush()
 }

@@ -76,8 +76,7 @@ func (e *Env) Compact(w io.Writer) error {
 			fmt.Sprintf("%.2f", worst.Seconds()*1e3),
 		)
 	}
-	t.flush()
-	return nil
+	return t.flush()
 }
 
 // compactionCycles counts the garbage-collection cycles the index has run:

@@ -25,7 +25,9 @@ func (e *Env) Fig7Left(w io.Writer) error {
 		}
 		t.row(row...)
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nthroughput in M points/s. shape check: ACT4 > ACT2 > ACT1 > GBT > LB;")
 	fmt.Fprintln(w, "every structure slows down on finer-grained polygon datasets.")
 	return nil
@@ -51,7 +53,9 @@ func (e *Env) Fig7Middle(w io.Writer) error {
 		t.row(sn, fmtMpts(tps[0]), fmtMpts(tps[1]), fmtMpts(tps[2]),
 			fmt.Sprintf("%+.1f%%", delta))
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: ACT4 is nearly flat across precisions (paper: -5.7%)")
 	fmt.Fprintln(w, "while GBT and LB lose 30-40% from 60m to 4m.")
 	return nil
@@ -81,7 +85,9 @@ func (e *Env) Fig7Right(w io.Writer) error {
 		}
 		t.row(row...)
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\nshape check: near-linear scaling while threads <= physical cores\n")
 	fmt.Fprintf(w, "(this host: GOMAXPROCS=%d); oversubscription should not hurt, since\n", e.cfg.MaxThreads)
 	fmt.Fprintln(w, "lookups are bound by memory latency (paper Figure 7 right).")
@@ -103,7 +109,9 @@ func (e *Env) Fig8(w io.Writer) error {
 		}
 		t.row(row...)
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "\nshape check: uniform points are slower than clustered taxi points\n")
 	fmt.Fprintf(w, "(more cache/branch misses): ACT4 on boroughs %s vs %s M pts/s here.\n",
 		fmtMpts(tp["boroughs"]["ACT4"]), fmtMpts(taxi["boroughs"]["ACT4"]))
@@ -141,7 +149,9 @@ func (e *Env) Fig9(w io.Writer) error {
 			t.row(row...)
 		}
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: BOS (42 polygons) is fastest, then SF, LA, NYC; ACT4")
 	fmt.Fprintln(w, "stays nearly flat across precisions on every city (paper Figure 9).")
 	return nil
@@ -199,7 +209,9 @@ func (e *Env) Fig10(w io.Writer) error {
 	for _, name := range order {
 		t.row(rows[name]...)
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: ACT4 wins everywhere (paper: 6.96x over SI1 on")
 	fmt.Fprintln(w, "neighborhoods); RT is worst on boroughs, whose complex polygons make")
 	fmt.Fprintln(w, "each PIP test expensive. PG(ref) is the GiST-like quadratic-split")
@@ -247,7 +259,9 @@ func (e *Env) Fig11(w io.Writer) error {
 		t.row(ds, "exact", fmtMpts(actRes.ThroughputMpts()), fmtMpts(gpuTp),
 			fmt.Sprintf("%d", arj.Passes))
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: BRJ needs more passes (and slows down) at 4m while ACT4")
 	fmt.Fprintln(w, "stays flat; the raster join is insensitive to the polygon dataset")
 	fmt.Fprintln(w, "while ACT4 is not. GPU-sim is a CPU simulation: compare shapes, not")

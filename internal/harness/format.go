@@ -29,7 +29,7 @@ func (t *table) rule(n int) {
 	t.row(cells...)
 }
 
-func (t *table) flush() { t.tw.Flush() }
+func (t *table) flush() error { return t.tw.Flush() }
 
 // fmtMillions renders a cell count like the paper's "[M]" columns.
 func fmtMillions(n int) string {

@@ -13,7 +13,9 @@ func TestTableAlignment(t *testing.T) {
 	tbl.row("a", "bb", "ccc")
 	tbl.rule(3)
 	tbl.row("xxxx", "y", "z")
-	tbl.flush()
+	if err := tbl.flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 3 {
 		t.Fatalf("got %d lines", len(lines))

@@ -55,8 +55,7 @@ func (e *Env) Publish(w io.Writer) error {
 			fmtSpeedup(speedup),
 		)
 	}
-	t.flush()
-	return nil
+	return t.flush()
 }
 
 // publishLatency measures the per-publish latency of an Add/Remove churn

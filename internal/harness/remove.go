@@ -57,8 +57,7 @@ func (e *Env) Remove(w io.Writer) error {
 			fmtSpeedup(speedup),
 		)
 	}
-	t.flush()
-	return nil
+	return t.flush()
 }
 
 // removeLatency measures the per-Remove latency (locating the polygon's

@@ -65,8 +65,7 @@ func (e *Env) Shard(w io.Writer) error {
 			return err
 		}
 	}
-	t.flush()
-	return nil
+	return t.flush()
 }
 
 // parallelPublishRate runs one Add/Remove churn writer per shard, each

@@ -115,8 +115,7 @@ func (e *Env) Snapshot(w io.Writer) error {
 	t.row("reader slowdown under writes", fmtSpeedup(quiet.ThroughputMpts/contended.ThroughputMpts))
 	t.row("writer publishes/s under read load",
 		fmt.Sprintf("%.0f", float64(writerPublishes.Load())/writerDur.Seconds()))
-	t.flush()
-	return nil
+	return t.flush()
 }
 
 // bestOfJoin is bestOf for the public-API result type.

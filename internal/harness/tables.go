@@ -38,7 +38,9 @@ func (e *Env) Table1(w io.Writer) error {
 			)
 		}
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: cells grow as the precision bound tightens; census")
 	fmt.Fprintln(w, "dominates cell counts; lookup tables stay small (most refs inlined).")
 	return nil
@@ -62,7 +64,9 @@ func (e *Env) Table2(w io.Writer) error {
 			t.row(ds, fmtMillions(enc.NumCells), sn, fmtMiB(idx.SizeBytes()), build)
 		}
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: higher ACT fanouts trade nodes for sparser slots; LB")
 	fmt.Fprintln(w, "is 16B/cell exactly; GBT adds inner levels on top of that.")
 	return nil
@@ -82,7 +86,9 @@ func (e *Env) Table3(w io.Writer) error {
 		c := tp["census"][sn]
 		t.row(sn, fmtSpeedup(b/n), fmtSpeedup(b/c), fmtSpeedup(n/c))
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: ACT variants gain more from coarse datasets than GBT/LB")
 	fmt.Fprintln(w, "(paper: ACT1 8.63x vs GBT 3.51x vs LB 2.63x for b over c).")
 	return nil
@@ -120,7 +126,9 @@ func (e *Env) Table4(w io.Writer) error {
 			t.row(kind, ds, row)
 		}
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: uniform points skew toward the root (big cells are hit")
 	fmt.Fprintln(w, "more often); census pushes taxi probes to deeper levels than boroughs.")
 	return nil
@@ -168,7 +176,9 @@ func (e *Env) Table5(w io.Writer) error {
 				fmt.Sprintf("%.2f", cmps))
 		}
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check (substitutes Table 5's cycles/branch/cache misses): ACT")
 	fmt.Fprintln(w, "does no key comparisons and few node accesses; LB compares the most;")
 	fmt.Fprintln(w, "clustered taxi points cost less than uniform points on every structure.")
@@ -204,7 +214,9 @@ func (e *Env) Table6(w io.Writer) error {
 		}
 		t.row(row...)
 	}
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: speedups grow with training size (paper: 1.25-2.18x)")
 	fmt.Fprintln(w, "and are largest for neighborhoods.")
 	return nil
@@ -231,7 +243,9 @@ func (e *Env) Table7(w io.Writer) error {
 		row = append(row, fmt.Sprintf("%s -> %s", fmtPct(resU.STHPercent()), fmtPct(resT.STHPercent())))
 	}
 	t.row(row...)
-	t.flush()
+	if err := t.flush(); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nshape check: STH is high even untrained (paper: >70%) and training")
 	fmt.Fprintln(w, "raises it further (paper: 87.2->97.7 for neighborhoods).")
 	return nil

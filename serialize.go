@@ -53,6 +53,8 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.Current().Write
 
 // WriteTo serializes the snapshot. It implements io.WriterTo and is safe to
 // run concurrently with mutations on the owning Index.
+//
+//act:seam
 func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	if err := fault.Hit(fault.SerializeWrite); err != nil {
 		return 0, err
@@ -137,6 +139,7 @@ func writeIndexPayload(w io.Writer, body []byte) (int64, error) {
 // ReadIndexFrom deserializes an index written by WriteTo.
 //
 //act:exclusive
+//act:seam
 func ReadIndexFrom(r io.Reader) (*Index, error) {
 	if err := fault.Hit(fault.SerializeRead); err != nil {
 		return nil, err

@@ -61,7 +61,7 @@ type ShardedIndex struct {
 	// multi-shard commit is fanning out under wmu, even otherwise. Current
 	// retries its shard-snapshot gather until it reads the same even value
 	// on both sides, so a composed snapshot never spans a torn commit.
-	gen atomic.Uint64
+	gen atomic.Uint64 //act:seqlock shardw
 
 	// wmu is the commit lock; see the struct comment for the sharing rule.
 	wmu sync.RWMutex //act:lock shardw
@@ -683,6 +683,7 @@ func (six *ShardedIndex) commitMulti(plan [][]shardOp) error {
 // error does.
 //
 //act:requires wmu
+//act:seam
 func (six *ShardedIndex) commitShard(si int, ops []shardOp) (prev *Snapshot, err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -252,6 +252,8 @@ func (s *ShardedSnapshot) runShards(pts []geom.Point, cells []cellid.CellID, ord
 // serializes byte-identically to the unsharded index holding the same
 // state, and ReadIndexFrom loads either stream into an equivalent index.
 // It implements io.WriterTo.
+//
+//act:seam
 func (s *ShardedSnapshot) WriteTo(w io.Writer) (int64, error) {
 	if err := fault.Hit(fault.SerializeWrite); err != nil {
 		return 0, err
